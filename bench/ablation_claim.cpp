@@ -1,0 +1,120 @@
+// Ablation A1: the MASC claim-algorithm design choices of §4.3.3.
+//
+// Sweeps, at reduced Figure-2 scale (configurable):
+//   * claim strategy: the paper's random-block/first-sub-prefix vs
+//     deterministic first-fit vs random-block/random-sub-prefix;
+//   * expansion policy: the paper's double-or-new-prefix rule vs
+//     double-only vs new-prefix-only;
+//   * occupancy target: 50/65/75/85/95 %;
+//   * the prefixes-per-domain goal: 1/2/3/4.
+//
+// Reports steady-state utilization and G-RIB size for each variant — the
+// trade-off the paper calls "challenging … to achieve both aggregation
+// and efficient utilization".
+//
+// Usage: ablation_claim [--days N] [--tops N] [--children N] [--seed N]
+#include <cstdio>
+#include <cstring>
+
+#include "eval/masc_sim.hpp"
+
+namespace {
+
+long long arg_value(int argc, char** argv, const char* name,
+                    long long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+struct Row {
+  const char* label;
+  eval::MascSimSample steady;
+  int failures;
+};
+
+eval::MascSimParams base_params(int argc, char** argv) {
+  eval::MascSimParams p;
+  p.top_level_domains =
+      static_cast<std::size_t>(arg_value(argc, argv, "--tops", 20));
+  p.children_per_top =
+      static_cast<std::size_t>(arg_value(argc, argv, "--children", 20));
+  p.horizon = net::SimTime::days(arg_value(argc, argv, "--days", 300));
+  p.seed = static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 7));
+  return p;
+}
+
+Row run(const char* label, const eval::MascSimParams& params) {
+  const eval::MascSimResult result = eval::run_masc_sim(params);
+  return Row{label, result.steady_state(params.horizon.to_days() / 2.0),
+             result.allocation_failures};
+}
+
+void print_header(const char* sweep) {
+  std::printf("\n-- %s --\n", sweep);
+  std::printf("%-24s %12s %10s %9s %9s\n", "variant", "utilization",
+              "grib_avg", "grib_max", "failures");
+}
+
+void print_row(const Row& row) {
+  std::printf("%-24s %12.3f %10.1f %9zu %9d\n", row.label,
+              row.steady.utilization, row.steady.grib_average,
+              row.steady.grib_max, row.failures);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const eval::MascSimParams base = base_params(argc, argv);
+  std::printf(
+      "== Ablation A1: MASC claim-algorithm variants "
+      "(%zu x %zu domains, %lld days) ==\n",
+      base.top_level_domains, base.children_per_top,
+      static_cast<long long>(base.horizon.to_days()));
+
+  print_header("claim strategy (where a new prefix lands)");
+  {
+    eval::MascSimParams p = base;
+    p.pool.strategy = masc::ClaimStrategy::kRandomBlockFirstSub;
+    print_row(run("random-block/first-sub*", p));
+    p.pool.strategy = masc::ClaimStrategy::kFirstFit;
+    print_row(run("first-fit", p));
+    p.pool.strategy = masc::ClaimStrategy::kRandomBlockRandomSub;
+    print_row(run("random-block/random-sub", p));
+  }
+
+  print_header("expansion policy");
+  {
+    eval::MascSimParams p = base;
+    p.pool.expansion = masc::ExpansionPolicy::kPaper;
+    print_row(run("double-or-new-prefix*", p));
+    p.pool.expansion = masc::ExpansionPolicy::kDoubleOnly;
+    print_row(run("double-only", p));
+    p.pool.expansion = masc::ExpansionPolicy::kNewPrefixOnly;
+    print_row(run("new-prefix-only", p));
+  }
+
+  print_header("occupancy target");
+  for (const int pct : {50, 65, 75, 85, 95}) {
+    eval::MascSimParams p = base;
+    p.pool.occupancy_target = pct / 100.0;
+    char label[32];
+    std::snprintf(label, sizeof label, "%d%%%s", pct,
+                  pct == 75 ? "*" : "");
+    print_row(run(label, p));
+  }
+
+  print_header("prefixes-per-domain goal");
+  for (const int goal : {1, 2, 3, 4}) {
+    eval::MascSimParams p = base;
+    p.pool.max_prefixes = goal;
+    char label[32];
+    std::snprintf(label, sizeof label, "goal=%d%s", goal,
+                  goal == 2 ? "*" : "");
+    print_row(run(label, p));
+  }
+
+  std::printf("\n(* = the paper's choice)\n");
+  return 0;
+}

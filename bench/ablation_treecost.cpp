@@ -1,0 +1,148 @@
+// Ablation A3: tree cost beyond path length (§5.2's efficiency argument).
+//
+// For the Figure-4 topology and group-size sweep, reports the number of
+// distinct inter-domain links each tree type occupies for one group
+// (bandwidth footprint), normalized to the shortest-path tree. The
+// bidirectional tree's footprint advantage over per-source shortest-path
+// state is the paper's case for shared trees; the hybrid's extra branches
+// quantify what §5.3's optimization costs in links.
+//
+// Usage: ablation_treecost [--nodes N] [--trials N] [--seed N]
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "eval/tree_model.hpp"
+#include "net/rng.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+long long arg_value(int argc, char** argv, const char* name,
+                    long long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto nodes =
+      static_cast<std::size_t>(arg_value(argc, argv, "--nodes", 3326));
+  const int trials = static_cast<int>(arg_value(argc, argv, "--trials", 10));
+  const auto seed =
+      static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1998));
+  net::Rng rng(seed);
+  const topology::Graph graph = topology::make_as_level(nodes, 2, rng);
+
+  std::printf(
+      "== Ablation A3: tree footprint (links occupied per group) ==\n"
+      "topology: %zu domains, %d trials/point\n\n",
+      graph.node_count(), trials);
+  std::printf("%9s %10s %12s %12s %12s\n", "receivers", "spt", "unidir",
+              "bidir", "hybrid");
+  for (const std::size_t size : {2u, 5u, 10u, 20u, 50u, 100u, 200u, 500u}) {
+    if (size >= graph.node_count()) break;
+    double spt = 0.0;
+    double uni = 0.0;
+    double bidir = 0.0;
+    double hybrid = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      eval::GroupScenario scenario;
+      std::set<topology::NodeId> receivers;
+      while (receivers.size() < size) {
+        receivers.insert(
+            static_cast<topology::NodeId>(rng.index(graph.node_count())));
+      }
+      scenario.receivers.assign(receivers.begin(), receivers.end());
+      scenario.root =
+          scenario.receivers[rng.index(scenario.receivers.size())];
+      scenario.source =
+          static_cast<topology::NodeId>(rng.index(graph.node_count()));
+      const eval::TreeModel model(graph, scenario);
+      spt += static_cast<double>(
+          model.tree_edges(eval::TreeType::kShortestPath));
+      uni += static_cast<double>(
+          model.tree_edges(eval::TreeType::kUnidirectional));
+      bidir += static_cast<double>(
+          model.tree_edges(eval::TreeType::kBidirectional));
+      hybrid +=
+          static_cast<double>(model.tree_edges(eval::TreeType::kHybrid));
+    }
+    const double n = trials;
+    std::printf("%9zu %10.1f %12.1f %12.1f %12.1f\n", size, spt / n,
+                uni / n, bidir / n, hybrid / n);
+  }
+  // -- traffic concentration (§5.3) ---------------------------------------
+  // A conferencing workload: every member sends one packet; report the
+  // hottest link. Shared trees concentrate traffic on tree links (each
+  // packet crosses every tree edge); the paper argues the sparse
+  // inter-domain topology keeps this acceptable.
+  std::printf(
+      "\n== traffic concentration (all %d-member conferences, max/mean "
+      "link load) ==\n",
+      0);
+  std::printf("%9s | %11s | %11s | %11s | %11s\n", "members", "spt",
+              "unidir", "bidir", "hybrid");
+  for (const std::size_t size : {5u, 10u, 20u, 50u}) {
+    eval::GroupScenario base;
+    std::set<topology::NodeId> members;
+    while (members.size() < size) {
+      members.insert(
+          static_cast<topology::NodeId>(rng.index(graph.node_count())));
+    }
+    const std::vector<topology::NodeId> member_list(members.begin(),
+                                                    members.end());
+    const topology::NodeId root = member_list[rng.index(member_list.size())];
+    std::printf("%9zu |", size);
+    for (const eval::TreeType type :
+         {eval::TreeType::kShortestPath, eval::TreeType::kUnidirectional,
+          eval::TreeType::kBidirectional, eval::TreeType::kHybrid}) {
+      const eval::LinkLoad load =
+          eval::traffic_concentration(graph, root, member_list, type);
+      std::printf(" %4d / %4.1f |", load.max_load, load.mean_load);
+    }
+    std::printf("\n");
+  }
+
+  // -- §6 comparison: HDVMRP ------------------------------------------------
+  // HDVMRP "floods data packets to the boundary routers of all regions"
+  // and keeps per-(source, group) state at every boundary router; BGMP
+  // holds state only on the shared tree.
+  std::printf(
+      "\n== vs HDVMRP (§6): first-packet flood cost and forwarding state "
+      "==\n");
+  std::printf("%9s | %16s %16s | %18s %18s\n", "members", "hdvmrp flood",
+              "bgmp tree links", "hdvmrp state rows", "bgmp state rows");
+  for (const std::size_t size : {10u, 50u, 200u}) {
+    eval::GroupScenario scenario;
+    std::set<topology::NodeId> receivers;
+    while (receivers.size() < size) {
+      receivers.insert(
+          static_cast<topology::NodeId>(rng.index(graph.node_count())));
+    }
+    scenario.receivers.assign(receivers.begin(), receivers.end());
+    scenario.root = scenario.receivers[rng.index(size)];
+    scenario.source =
+        static_cast<topology::NodeId>(rng.index(graph.node_count()));
+    const eval::TreeModel model(graph, scenario);
+    // HDVMRP: every inter-domain link carries the first packet; every
+    // domain's boundary holds (S,G) state afterwards. BGMP: the packet
+    // touches only tree+injection links; only on-tree domains hold state.
+    const std::size_t hdvmrp_flood = graph.edge_count();
+    const std::size_t bgmp_links =
+        model.tree_edges(eval::TreeType::kBidirectional);
+    const std::size_t hdvmrp_state = graph.node_count();  // per (S,G)
+    const std::size_t bgmp_state = model.shared_tree_nodes().size();
+    std::printf("%9zu | %16zu %16zu | %18zu %18zu\n", size, hdvmrp_flood,
+                bgmp_links, hdvmrp_state, bgmp_state);
+  }
+  std::printf(
+      "\nNote: per-source SPTs multiply the footprint by the number of\n"
+      "senders, while the shared-tree types serve every sender from one\n"
+      "tree (plus injection paths) — §3's forwarding-state scaling goal.\n");
+  return 0;
+}

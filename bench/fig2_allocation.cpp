@@ -1,0 +1,114 @@
+// Figure 2 reproduction (E1 + E2): the MASC claim algorithm simulated over
+// the paper's workload —
+//
+//   50 top-level domains x 50 children; each child requests blocks of 256
+//   addresses with 30-day lifetimes at inter-request times U(1h, 95h);
+//   800 simulated days.
+//
+// Prints the Figure-2(a) utilization series and the Figure-2(b) G-RIB
+// size series (average and max over all 2550 domains), plus steady-state
+// summaries against the paper's reported values (~50% utilization; G-RIB
+// mean ~175, max <= ~180). Writes fig2_allocation.csv next to the binary.
+//
+// Usage: fig2_allocation [--days N] [--tops N] [--children N] [--seed N]
+//                        [--max-prefixes N] [--csv PATH]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "eval/masc_sim.hpp"
+
+namespace {
+
+long long arg_value(int argc, char** argv, const char* name,
+                    long long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+const char* arg_string(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eval::MascSimParams params;
+  params.horizon =
+      net::SimTime::days(arg_value(argc, argv, "--days", 800));
+  params.top_level_domains =
+      static_cast<std::size_t>(arg_value(argc, argv, "--tops", 50));
+  params.children_per_top =
+      static_cast<std::size_t>(arg_value(argc, argv, "--children", 50));
+  params.seed = static_cast<std::uint64_t>(
+      arg_value(argc, argv, "--seed", 1998));
+  params.pool.max_prefixes =
+      static_cast<int>(arg_value(argc, argv, "--max-prefixes", 2));
+  params.exchanges =
+      static_cast<std::size_t>(arg_value(argc, argv, "--exchanges", 0));
+  const std::string csv_path =
+      arg_string(argc, argv, "--csv", "fig2_allocation.csv");
+
+  std::printf(
+      "== Figure 2: MASC address allocation (%zu top-level x %zu children, "
+      "%lld days, seed %llu) ==\n",
+      params.top_level_domains, params.children_per_top,
+      static_cast<long long>(params.horizon.to_days()),
+      static_cast<unsigned long long>(params.seed));
+
+  const eval::MascSimResult result = eval::run_masc_sim(params);
+
+  std::FILE* csv = std::fopen(csv_path.c_str(), "w");
+  if (csv != nullptr) {
+    std::fprintf(csv,
+                 "day,utilization,grib_average,grib_max,"
+                 "requested_addresses,top_level_claimed,total_prefixes\n");
+  }
+  std::printf("%8s %12s %12s %9s %12s %14s\n", "day", "utilization",
+              "grib_avg", "grib_max", "requested", "claimed(224/4)");
+  for (const eval::MascSimSample& s : result.samples) {
+    if (csv != nullptr) {
+      std::fprintf(csv, "%.0f,%.6f,%.3f,%zu,%llu,%llu,%zu\n", s.day,
+                   s.utilization, s.grib_average, s.grib_max,
+                   static_cast<unsigned long long>(s.requested_addresses),
+                   static_cast<unsigned long long>(s.top_level_claimed),
+                   s.total_prefixes);
+    }
+    const auto day = static_cast<long long>(s.day);
+    if (day % 25 == 0) {  // console: every 25 days
+      std::printf("%8lld %12.3f %12.1f %9zu %12llu %14llu\n", day,
+                  s.utilization, s.grib_average, s.grib_max,
+                  static_cast<unsigned long long>(s.requested_addresses),
+                  static_cast<unsigned long long>(s.top_level_claimed));
+    }
+  }
+  if (csv != nullptr) {
+    std::fclose(csv);
+    std::printf("(full daily series written to %s)\n", csv_path.c_str());
+  }
+
+  const double steady_from = params.horizon.to_days() / 2.0;
+  const eval::MascSimSample steady = result.steady_state(steady_from);
+  const double blocks =
+      static_cast<double>(steady.requested_addresses) / 256.0;
+  std::printf(
+      "\n== steady state (day >= %.0f) vs the paper ==\n"
+      "  utilization            %.3f   (paper: ~0.50)\n"
+      "  G-RIB average          %.1f   (paper: ~175)\n"
+      "  G-RIB max              %zu   (paper: <= ~180)\n"
+      "  outstanding blocks     %.0f   (paper: 37500)\n"
+      "  aggregation factor     %.0fx  (blocks per G-RIB route)\n"
+      "  allocation failures    %d\n"
+      "  requests served        %llu\n",
+      steady_from, steady.utilization, steady.grib_average, steady.grib_max,
+      blocks, blocks / steady.grib_average, result.allocation_failures,
+      static_cast<unsigned long long>(result.requests_served));
+  return 0;
+}

@@ -1,0 +1,187 @@
+// M1: google-benchmark micro-benchmarks for the library's hot paths —
+// the data structures every protocol operation rests on.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "bgp/speaker.hpp"
+#include "eval/tree_model.hpp"
+#include "masc/claim_algorithm.hpp"
+#include "masc/registry.hpp"
+#include "net/event.hpp"
+#include "net/prefix_trie.hpp"
+#include "net/rng.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+std::vector<Prefix> random_prefixes(std::size_t n, std::uint64_t seed) {
+  net::Rng rng(seed);
+  std::vector<Prefix> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int len = static_cast<int>(rng.uniform_int(8, 24));
+    out.push_back(Prefix::containing(
+        Ipv4Addr{static_cast<std::uint32_t>(
+            0xE0000000u | rng.uniform_int(0, 0x0FFFFFFF))},
+        len));
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- prefix trie
+
+void BM_TrieInsert(benchmark::State& state) {
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    net::PrefixTrie<int> trie;
+    for (const Prefix& p : prefixes) trie.insert(p, 1);
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrieInsert)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), 2);
+  net::PrefixTrie<int> trie;
+  for (const Prefix& p : prefixes) trie.insert(p, 1);
+  net::Rng rng(3);
+  std::vector<Ipv4Addr> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(Ipv4Addr{static_cast<std::uint32_t>(
+        0xE0000000u | rng.uniform_int(0, 0x0FFFFFFF))});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.longest_match(probes[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieLongestMatch)->Arg(1000)->Arg(10000);
+
+// ------------------------------------------------------------ event queue
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    net::EventQueue queue;
+    int fired = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      queue.schedule_at(net::SimTime::milliseconds((i * 37) % 1000 + 1),
+                        [&fired] { ++fired; });
+    }
+    queue.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
+
+// ------------------------------------------------------------ BGP decision
+
+void BM_RibDecision(benchmark::State& state) {
+  // Candidate churn on one prefix with `n` peers.
+  const int peers = static_cast<int>(state.range(0));
+  net::Rng rng(4);
+  std::vector<bgp::Candidate> candidates;
+  for (int i = 0; i < peers; ++i) {
+    bgp::Candidate c;
+    c.route.prefix = Prefix::parse("224.0.0.0/16");
+    c.route.as_path.resize(
+        static_cast<std::size_t>(rng.uniform_int(1, 6)), 1);
+    c.route.local_pref = static_cast<int>(rng.uniform_int(80, 100));
+    c.via = static_cast<bgp::PeerIndex>(i);
+    c.exit_uid = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20));
+    candidates.push_back(c);
+  }
+  for (auto _ : state) {
+    bgp::RibEntry entry;
+    for (const auto& c : candidates) entry.upsert(c);
+    benchmark::DoNotOptimize(entry.best());
+  }
+  state.SetItemsProcessed(state.iterations() * peers);
+}
+BENCHMARK(BM_RibDecision)->Arg(4)->Arg(32);
+
+// ------------------------------------------------------------- MASC claim
+
+void BM_ClaimChoice(benchmark::State& state) {
+  // Choose a claim among `n` live sibling claims in 224/4.
+  masc::ClaimRegistry registry;
+  net::Rng rng(5);
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), 6);
+  const net::SimTime now = net::SimTime::days(1);
+  const net::SimTime later = net::SimTime::days(31);
+  masc::DomainId owner = 1;
+  for (const Prefix& p : prefixes) {
+    (void)registry.claim(p, owner++, later, now);
+  }
+  const std::vector<Prefix> spaces{net::multicast_space()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        masc::choose_claim(spaces, registry, 24, now, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClaimChoice)->Arg(50)->Arg(500);
+
+// ----------------------------------------------------- Figure-4 tree model
+
+void BM_TreeModel(benchmark::State& state) {
+  net::Rng rng(7);
+  const topology::Graph graph = topology::make_as_level(3326, 2, rng);
+  eval::GroupScenario scenario;
+  scenario.root = 10;
+  scenario.source = 20;
+  for (int i = 0; i < state.range(0); ++i) {
+    scenario.receivers.push_back(
+        static_cast<topology::NodeId>(rng.index(graph.node_count())));
+  }
+  for (auto _ : state) {
+    const eval::TreeModel model(graph, scenario);
+    benchmark::DoNotOptimize(
+        model.path_lengths(eval::TreeType::kHybrid));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeModel)->Arg(100)->Arg(1000);
+
+// ----------------------------------------------- BGP propagation end-to-end
+
+void BM_BgpPropagation(benchmark::State& state) {
+  // One group route propagating over a 200-domain line of speakers.
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::EventQueue events;
+    net::Network network(events);
+    std::vector<std::unique_ptr<bgp::Speaker>> speakers;
+    for (int i = 0; i < 200; ++i) {
+      speakers.push_back(std::make_unique<bgp::Speaker>(
+          network, static_cast<bgp::DomainId>(i + 1),
+          "s" + std::to_string(i)));
+    }
+    for (int i = 0; i + 1 < 200; ++i) {
+      bgp::Speaker::connect(*speakers[i], *speakers[i + 1],
+                            bgp::Relationship::kLateral);
+    }
+    state.ResumeTiming();
+    speakers[0]->originate(bgp::RouteType::kGroup,
+                           Prefix::parse("224.1.0.0/16"));
+    events.run();
+    benchmark::DoNotOptimize(
+        speakers[199]->rib(bgp::RouteType::kGroup).size());
+  }
+}
+BENCHMARK(BM_BgpPropagation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

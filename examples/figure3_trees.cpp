@@ -1,0 +1,158 @@
+// Figure 3 walk-through: BGMP bidirectional shared trees and
+// source-specific branches on the paper's 8-domain topology.
+//
+//           D        E
+//           |        |
+//          A4--A3   A1            domain A: borders A1..A4
+//           |    \  /
+//    F2-----+    (A)              F2--A4 is the Figure-3(b) shortcut
+//           |     |
+//          (F)   A2--C1 (C)--C2
+//           |              |
+//    F1----B2 (B)         G1 (G) G2---H1 (H)
+//           |
+//          B1 = root side
+//
+// Part (a): group 224.0.128.1 rooted in B; members in B, C, D, F, H. A
+// non-member host in E sends; the packet travels toward the root domain
+// and fans out over the bidirectional tree.
+//
+// Part (b): a source S in D sends. F's shared-tree router is F1, but F's
+// shortest path to S is via F2 — the first packet is encapsulated F1→F2,
+// F2 builds a source-specific branch toward D, and subsequent packets
+// take the short path while the encapsulated path is pruned.
+#include <iostream>
+
+#include "core/domain.hpp"
+#include "core/internet.hpp"
+
+namespace {
+
+using core::Domain;
+using core::Group;
+
+const Group kGroup = net::Ipv4Addr::parse("224.0.128.1");
+
+std::string target_name(const bgmp::TargetKey& t) {
+  return t.kind == bgmp::TargetKey::Kind::kMigp ? "MIGP" : t.peer->name();
+}
+
+void show_entry(Domain& d, std::size_t border) {
+  bgmp::Router& r = d.bgmp_router(border);
+  const bgmp::GroupEntry* entry = r.star_entry(kGroup);
+  if (entry == nullptr) return;
+  std::cout << "  " << r.name() << ": parent="
+            << (entry->parent ? target_name(*entry->parent) : "-")
+            << " children={";
+  bool first = true;
+  for (const auto& [child, refs] : entry->children) {
+    (void)refs;
+    if (!first) std::cout << ", ";
+    first = false;
+    std::cout << target_name(child);
+  }
+  std::cout << "}\n";
+}
+
+topology::Graph mesh(std::size_t n) {
+  topology::Graph g(n);
+  for (topology::NodeId i = 0; i < n; ++i) {
+    for (topology::NodeId j = i + 1; j < n; ++j) g.add_edge(i, j);
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  core::Internet net;
+  // Domain A with four border routers A1..A4 (indices 0..3).
+  Domain& a = net.add_domain({.id = 10,
+                              .name = "A",
+                              .internal_graph = mesh(4),
+                              .borders = {0, 1, 2, 3}});
+  Domain& b = net.add_domain({.id = 20,
+                              .name = "B",
+                              .internal_graph = mesh(2),
+                              .borders = {0, 1}});
+  Domain& c = net.add_domain({.id = 30,
+                              .name = "C",
+                              .internal_graph = mesh(2),
+                              .borders = {0, 1}});
+  Domain& d = net.add_domain({.id = 40, .name = "D"});
+  Domain& e = net.add_domain({.id = 50, .name = "E"});
+  Domain& f = net.add_domain({.id = 60,
+                              .name = "F",
+                              .internal_graph = mesh(2),
+                              .borders = {0, 1}});
+  Domain& g = net.add_domain({.id = 70,
+                              .name = "G",
+                              .internal_graph = mesh(2),
+                              .borders = {0, 1}});
+  Domain& h = net.add_domain({.id = 80, .name = "H"});
+
+  // Figure-3 links with realistic provider/customer relationships and
+  // Gao–Rexford export policy throughout (the backbone A provides transit
+  // to its customers; F is multihomed: a customer of both B and — via the
+  // Figure-3(b) shortcut — of A). Border indices: A1=0, A2=1, A3=2,
+  // A4=3; B1=0, B2=1; C1=0, C2=1; F1=0, F2=1; G1=0, G2=1.
+  const auto gr = bgp::ExportPolicy::kGaoRexford;
+  const auto ms = net::SimTime::milliseconds(10);
+  net.link(e, a, bgp::Relationship::kProvider, 0, 0, ms, gr, gr);  // E1--A1
+  net.link(c, a, bgp::Relationship::kProvider, 0, 1, ms, gr, gr);  // C1--A2
+  net.link(b, a, bgp::Relationship::kProvider, 0, 2, ms, gr, gr);  // B1--A3
+  net.link(d, a, bgp::Relationship::kProvider, 0, 3, ms, gr, gr);  // D1--A4
+  net.link(f, b, bgp::Relationship::kProvider, 0, 1, ms, gr, gr);  // F1--B2
+  net.link(g, c, bgp::Relationship::kProvider, 0, 1, ms, gr, gr);  // G1--C2
+  net.link(h, g, bgp::Relationship::kProvider, 0, 1, ms, gr, gr);  // H1--G2
+  net.link(f, a, bgp::Relationship::kProvider, 1, 3, ms, gr, gr);  // F2--A4
+
+  for (Domain* dom : {&a, &b, &c, &d, &e, &f, &g, &h}) {
+    dom->announce_unicast();
+  }
+  // B is the root domain for 224.0.128.0/24 (its MASC allocation).
+  b.originate_group_range(net::Prefix::parse("224.0.128.0/24"));
+  net.settle();
+
+  net.set_delivery_observer([](const core::Delivery& del) {
+    std::cout << "    -> members in " << del.domain->name() << " ("
+              << del.hops << " inter-domain hops)\n";
+  });
+
+  std::cout << "== Part (a): members join; the bidirectional tree forms ==\n";
+  b.host_join(kGroup);
+  c.host_join(kGroup);
+  d.host_join(kGroup);
+  f.host_join(kGroup);
+  h.host_join(kGroup);
+  net.settle();
+  std::cout << "(*,G) entries for " << kGroup.to_string() << ":\n";
+  for (std::size_t i = 0; i < 4; ++i) show_entry(a, i);
+  for (Domain* dom : {&b, &c, &f, &g}) {
+    for (std::size_t i = 0; i < 2; ++i) show_entry(*dom, i);
+  }
+  show_entry(d, 0);
+  show_entry(h, 0);
+
+  std::cout << "\nA non-member host in E sends one packet:\n";
+  e.send(kGroup);
+  net.settle();
+
+  std::cout << "\n== Part (b): source S in D; F builds a branch via F2 ==\n";
+  const net::Ipv4Addr source = d.host_address(1);
+  std::cout << "first packet from S=" << source.to_string()
+            << " (via the shared tree; F1 encapsulates to F2):\n";
+  d.send(kGroup);
+  net.settle();
+  const bgmp::SourceEntry* branch =
+      f.bgmp_router(1).source_entry(source, kGroup);
+  std::cout << "F2's (S,G) entry: "
+            << (branch != nullptr && branch->parent
+                    ? "parent=" + target_name(*branch->parent)
+                    : "(none)")
+            << "\n";
+  std::cout << "second packet from S (native via the branch D1->A4->F2):\n";
+  d.send(kGroup);
+  net.settle();
+  return 0;
+}

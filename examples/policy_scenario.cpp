@@ -1,0 +1,87 @@
+// Multicast policy as selective propagation of group routes (§2, §4.2).
+//
+// Topology (all Gao–Rexford export policy):
+//
+//    origin ──customer──> providerA ──lateral── providerB ──lateral── providerC
+//                                                                        │
+//                                                       member ──customer┘
+//
+// providerB learns the origin's group route from its lateral peer A, and
+// — policy! — will NOT re-export it to its other lateral C. The member
+// hanging off C therefore cannot resolve the group's root domain and the
+// join dies, with zero configuration beyond the peering relationships.
+// Making C a *customer* of B (a payment relationship) flips the export
+// rule and the tree forms.
+#include <iostream>
+
+#include "core/domain.hpp"
+#include "core/internet.hpp"
+
+namespace {
+
+const core::Group kGroup = net::Ipv4Addr::parse("224.1.0.1");
+
+void report(core::Domain& member, core::Domain& origin, bool delivered) {
+  std::cout << "  member in " << member.name() << " "
+            << (delivered ? "RECEIVED" : "did not receive")
+            << " data from " << origin.name() << "\n";
+}
+
+bool try_scenario(bgp::Relationship b_sees_c) {
+  core::Internet net;
+  core::Domain& origin = net.add_domain({.id = 1, .name = "origin"});
+  core::Domain& a = net.add_domain({.id = 2, .name = "providerA"});
+  core::Domain& b = net.add_domain({.id = 3, .name = "providerB"});
+  core::Domain& c = net.add_domain({.id = 4, .name = "providerC"});
+  core::Domain& member = net.add_domain({.id = 5, .name = "member"});
+
+  const auto gr = bgp::ExportPolicy::kGaoRexford;
+  const auto ms = net::SimTime::milliseconds(10);
+  net.link(a, origin, bgp::Relationship::kCustomer, 0, 0, ms, gr, gr);
+  net.link(a, b, bgp::Relationship::kLateral, 0, 0, ms, gr, gr);
+  net.link(b, c, b_sees_c, 0, 0, ms, gr, gr);
+  net.link(c, member, bgp::Relationship::kCustomer, 0, 0, ms, gr, gr);
+  for (core::Domain* d : {&origin, &a, &b, &c, &member}) {
+    d->announce_unicast();
+  }
+  origin.originate_group_range(net::Prefix::parse("224.1.0.0/16"));
+  net.settle();
+
+  const bool has_route =
+      member.speaker().lookup(bgp::RouteType::kGroup, kGroup).has_value();
+  std::cout << "  member's G-RIB "
+            << (has_route ? "has a route to the root domain"
+                          : "has NO route to the root domain (filtered)")
+            << "\n";
+
+  bool delivered = false;
+  net.set_delivery_observer(
+      [&](const core::Delivery& d) { delivered |= d.domain == &member; });
+  member.host_join(kGroup);
+  net.settle();
+  origin.send(kGroup);
+  net.settle();
+  report(member, origin, delivered);
+  return delivered;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== providerB -- providerC as settlement-free laterals ==\n"
+               "(a lateral-learned route is not re-exported to laterals)\n";
+  const bool blocked_case = try_scenario(bgp::Relationship::kLateral);
+
+  std::cout << "\n== providerC becomes providerB's customer ==\n"
+               "(customers receive all routes)\n";
+  const bool allowed_case = try_scenario(bgp::Relationship::kCustomer);
+
+  if (blocked_case || !allowed_case) {
+    std::cerr << "unexpected policy outcome\n";
+    return 1;
+  }
+  std::cout << "\nPolicy for multicast is exactly the unicast mechanism: a\n"
+               "group route that is not propagated is a root domain that\n"
+               "cannot be reached (§4.2).\n";
+  return 0;
+}

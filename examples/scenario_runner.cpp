@@ -1,0 +1,288 @@
+// scenario_runner — drive the MASC/BGMP architecture from a scenario
+// script, for exploring topologies and failure cases without writing C++.
+//
+// Usage: scenario_runner [script.msc]     (runs a built-in demo without args)
+//
+// Script language (one command per line, '#' comments):
+//
+//   domain <name> [migp=dvmrp|pim-dm|pim-sm|cbt|mospf] [borders=N]
+//   link <a> <b> [rel=lateral|customer|provider] [aborder=N] [bborder=N]
+//   masc-parent <child> <parent>        masc-siblings <a> <b>
+//   spaces <domain>                     # top level: claim from 224/4
+//   announce <domain>                   # originate its unicast prefix
+//   request <domain> <addresses>        # MASC space request
+//   originate <domain> <prefix>         # inject a group range directly
+//   settle                              # run simulated time to quiescence
+//   join <domain> <group> [router]      leave <domain> <group> [router]
+//   send <domain> <group>               # one packet from a host
+//   branch <domain> <source-domain> <group>
+//   link-down <a> <b>                   link-up <a> <b>
+//   show-tree <group>                   show-grib <domain>
+//   show-pool <domain>
+//   expect <domain> <copies> [hops]     # assert on the last send
+//
+// `rel` is the relationship of <b> as seen from <a> ("customer" = b is a's
+// customer). Exits non-zero on a failed `expect` — usable as a test.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/domain.hpp"
+#include "core/internet.hpp"
+
+namespace {
+
+using core::Domain;
+using core::Group;
+
+struct Scenario {
+  core::Internet net;
+  std::map<std::string, Domain*> domains;
+  std::map<const Domain*, std::vector<int>> last_send;
+  bgp::DomainId next_id = 1;
+  int failures = 0;
+
+  Scenario() {
+    net.set_delivery_observer([this](const core::Delivery& d) {
+      last_send[d.domain].push_back(d.hops);
+    });
+  }
+
+  Domain& domain(const std::string& name) {
+    const auto it = domains.find(name);
+    if (it == domains.end()) {
+      throw std::runtime_error("unknown domain '" + name + "'");
+    }
+    return *it->second;
+  }
+};
+
+std::map<std::string, std::string> keyword_args(
+    const std::vector<std::string>& words, std::size_t from) {
+  std::map<std::string, std::string> out;
+  for (std::size_t i = from; i < words.size(); ++i) {
+    const auto eq = words[i].find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("expected key=value, got '" + words[i] + "'");
+    }
+    out[words[i].substr(0, eq)] = words[i].substr(eq + 1);
+  }
+  return out;
+}
+
+bgp::Relationship parse_rel(const std::string& text) {
+  if (text == "lateral") return bgp::Relationship::kLateral;
+  if (text == "customer") return bgp::Relationship::kCustomer;
+  if (text == "provider") return bgp::Relationship::kProvider;
+  throw std::runtime_error("bad relationship '" + text + "'");
+}
+
+std::string target_name(const bgmp::TargetKey& t) {
+  return t.kind == bgmp::TargetKey::Kind::kMigp ? "MIGP" : t.peer->name();
+}
+
+void run_command(Scenario& s, const std::vector<std::string>& words) {
+  const std::string& cmd = words[0];
+  if (cmd == "domain") {
+    const auto kw = keyword_args(words, 2);
+    Domain::Config config;
+    config.id = s.next_id++;
+    config.name = words[1];
+    if (const auto it = kw.find("migp"); it != kw.end()) {
+      config.protocol = migp::parse_protocol(it->second);
+    }
+    if (const auto it = kw.find("borders"); it != kw.end()) {
+      const auto n = static_cast<std::size_t>(std::stoul(it->second));
+      topology::Graph mesh(n);
+      for (topology::NodeId i = 0; i < n; ++i) {
+        for (topology::NodeId j = i + 1; j < n; ++j) mesh.add_edge(i, j);
+      }
+      config.internal_graph = std::move(mesh);
+      config.borders.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        config.borders.push_back(static_cast<migp::RouterId>(i));
+      }
+    }
+    s.domains[words[1]] = &s.net.add_domain(std::move(config));
+  } else if (cmd == "link") {
+    const auto kw = keyword_args(words, 3);
+    bgp::Relationship rel = bgp::Relationship::kLateral;
+    std::size_t aborder = 0;
+    std::size_t bborder = 0;
+    if (const auto it = kw.find("rel"); it != kw.end()) {
+      rel = parse_rel(it->second);
+    }
+    if (const auto it = kw.find("aborder"); it != kw.end()) {
+      aborder = std::stoul(it->second);
+    }
+    if (const auto it = kw.find("bborder"); it != kw.end()) {
+      bborder = std::stoul(it->second);
+    }
+    s.net.link(s.domain(words[1]), s.domain(words[2]), rel, aborder,
+               bborder);
+  } else if (cmd == "masc-parent") {
+    s.net.masc_parent(s.domain(words[1]), s.domain(words[2]));
+  } else if (cmd == "masc-siblings") {
+    s.net.masc_siblings(s.domain(words[1]), s.domain(words[2]));
+  } else if (cmd == "spaces") {
+    s.domain(words[1]).masc_node().set_spaces({net::multicast_space()});
+  } else if (cmd == "announce") {
+    s.domain(words[1]).announce_unicast();
+  } else if (cmd == "request") {
+    s.domain(words[1]).masc_node().request_space(std::stoull(words[2]));
+  } else if (cmd == "originate") {
+    s.domain(words[1]).originate_group_range(net::Prefix::parse(words[2]));
+  } else if (cmd == "settle") {
+    s.net.settle();
+  } else if (cmd == "join" || cmd == "leave") {
+    const Group group = net::Ipv4Addr::parse(words[2]);
+    const migp::RouterId at =
+        words.size() > 3 ? static_cast<migp::RouterId>(std::stoul(words[3]))
+                         : 0;
+    if (cmd == "join") {
+      s.domain(words[1]).host_join(group, at);
+    } else {
+      s.domain(words[1]).host_leave(group, at);
+    }
+  } else if (cmd == "send") {
+    s.last_send.clear();
+    s.domain(words[1]).send(net::Ipv4Addr::parse(words[2]));
+    s.net.settle();
+  } else if (cmd == "branch") {
+    s.domain(words[1]).build_source_branch(
+        s.domain(words[2]).host_address(1), net::Ipv4Addr::parse(words[3]));
+  } else if (cmd == "link-down" || cmd == "link-up") {
+    s.net.set_link_state(s.domain(words[1]), s.domain(words[2]),
+                         cmd == "link-up");
+  } else if (cmd == "show-tree") {
+    const Group group = net::Ipv4Addr::parse(words[1]);
+    std::cout << "(*,G) entries for " << words[1] << ":\n";
+    for (const auto& [name, domain] : s.domains) {
+      for (std::size_t b = 0; b < domain->border_count(); ++b) {
+        const bgmp::GroupEntry* entry =
+            domain->bgmp_router(b).star_entry(group);
+        if (entry == nullptr) continue;
+        std::cout << "  " << domain->bgmp_router(b).name() << ": parent="
+                  << (entry->parent ? target_name(*entry->parent) : "-")
+                  << " children={";
+        bool first = true;
+        for (const auto& [child, refs] : entry->children) {
+          (void)refs;
+          std::cout << (first ? "" : ", ") << target_name(child);
+          first = false;
+        }
+        std::cout << "}\n";
+      }
+    }
+  } else if (cmd == "show-grib") {
+    Domain& d = s.domain(words[1]);
+    std::cout << "G-RIB at " << words[1] << ":";
+    for (const auto& [prefix, route] :
+         d.speaker().rib(bgp::RouteType::kGroup).best_routes()) {
+      std::cout << " " << prefix.to_string() << "(AS" << route.origin_as
+                << ")";
+    }
+    std::cout << "\n";
+  } else if (cmd == "show-pool") {
+    Domain& d = s.domain(words[1]);
+    std::cout << "MASC pool at " << words[1] << ":";
+    for (const masc::ClaimedPrefix& p :
+         d.masc_node().pool().prefixes()) {
+      std::cout << " " << p.prefix.to_string()
+                << (p.active ? "" : "(draining)");
+    }
+    std::cout << "\n";
+  } else if (cmd == "expect") {
+    Domain& d = s.domain(words[1]);
+    const int want_copies = std::stoi(words[2]);
+    const auto& got = s.last_send[&d];
+    bool ok = static_cast<int>(got.size()) == want_copies;
+    if (ok && words.size() > 3 && want_copies > 0) {
+      ok = got[0] == std::stoi(words[3]);
+    }
+    std::cout << (ok ? "  OK   " : "  FAIL ") << words[1] << ": "
+              << got.size() << " copies";
+    if (!got.empty()) std::cout << ", " << got[0] << " hops";
+    std::cout << "\n";
+    if (!ok) ++s.failures;
+  } else {
+    throw std::runtime_error("unknown command '" + cmd + "'");
+  }
+}
+
+const char* kDemoScript = R"(
+# Built-in demo: a diamond with a failure and repair.
+domain root
+domain left
+domain right
+domain member
+link root left
+link root right
+link left member
+link right member
+originate root 224.0.128.0/24
+announce root
+settle
+join member 224.0.128.1
+settle
+show-tree 224.0.128.1
+send root 224.0.128.1
+expect member 1 2
+link-down left member
+link-down right member
+settle
+send root 224.0.128.1
+expect member 0
+link-up left member
+link-up right member
+settle
+leave member 224.0.128.1
+settle
+join member 224.0.128.1
+settle
+send root 224.0.128.1
+expect member 1 2
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::istringstream demo(kDemoScript);
+  std::ifstream file;
+  std::istream* in = &demo;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    in = &file;
+  }
+  Scenario scenario;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::vector<std::string> words;
+    std::string word;
+    while (fields >> word) words.push_back(word);
+    if (words.empty()) continue;
+    try {
+      run_command(scenario, words);
+    } catch (const std::exception& error) {
+      std::cerr << "line " << line_no << ": " << error.what() << "\n";
+      return 1;
+    }
+  }
+  if (scenario.failures > 0) {
+    std::cerr << scenario.failures << " expectation(s) failed\n";
+    return 1;
+  }
+  return 0;
+}

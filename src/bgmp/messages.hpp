@@ -1,0 +1,43 @@
+// BGMP control and data messages exchanged over border-router peerings.
+#pragma once
+
+#include <string>
+
+#include "net/ip.hpp"
+#include "net/network.hpp"
+#include "bgmp/types.hpp"
+
+namespace bgmp {
+
+/// Group join/prune ((*,G)) and source-specific join/prune ((S,G)).
+struct ControlMessage final : net::Message {
+  enum class Kind : std::uint8_t {
+    kJoinGroup,
+    kPruneGroup,
+    kJoinSource,
+    kPruneSource,
+  };
+  Kind kind = Kind::kJoinGroup;
+  Group group;
+  net::Ipv4Addr source;  // valid for the source-specific kinds
+
+  [[nodiscard]] std::string describe() const override;
+};
+
+/// A multicast data packet crossing an inter-domain BGMP peering. `hops`
+/// counts inter-domain link traversals (the paper's Figure-4 path-length
+/// metric). `branch_copy` marks data travelling down a source-specific
+/// branch (modelling the tunnelled delivery of §5.3): branch copies serve
+/// only the branch's receivers and never re-enter shared-tree or rootward
+/// forwarding — the resolution this library adopts for the duplication
+/// scenarios the paper's footnote 10 leaves open.
+struct DataMessage final : net::Message {
+  net::Ipv4Addr source;
+  Group group;
+  int hops = 0;
+  bool branch_copy = false;
+
+  [[nodiscard]] std::string describe() const override;
+};
+
+}  // namespace bgmp

@@ -1,0 +1,90 @@
+// BGMP forwarding-state types: targets and the (*,G) / (S,G) entries of §5.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "net/ip.hpp"
+
+namespace bgmp {
+
+class Router;
+
+using Group = net::Ipv4Addr;
+
+/// A target in a forwarding entry's target list (§5.2): "A child target
+/// identifies either a BGMP peer or an MIGP component". All same-domain
+/// coordination collapses onto the single MIGP-component target; external
+/// peers are distinct targets.
+struct TargetKey {
+  enum class Kind : std::uint8_t { kMigp, kPeer };
+  Kind kind = Kind::kMigp;
+  Router* peer = nullptr;  // set iff kind == kPeer
+
+  static TargetKey migp() { return TargetKey{Kind::kMigp, nullptr}; }
+  static TargetKey external(Router* r) { return TargetKey{Kind::kPeer, r}; }
+
+  friend auto operator<=>(const TargetKey&, const TargetKey&) = default;
+};
+
+/// A (*,G) entry: parent target toward the group's root domain plus
+/// refcounted child targets. "The parent and child targets together are
+/// called the target list"; data received from any target is forwarded to
+/// all the others (bidirectional forwarding).
+struct GroupEntry {
+  std::optional<TargetKey> parent;
+  /// When the parent target is the MIGP component because the BGP next hop
+  /// is an internal peer (§5.2 footnote 9), the border router joins/prunes
+  /// through that internal router; remembered here for teardown.
+  Router* parent_relay = nullptr;
+  /// Child targets with refcounts: the MIGP-component child may stand for
+  /// several internal joiners (local members and internal BGMP peers).
+  std::map<TargetKey, int> children;
+
+  [[nodiscard]] bool has_target(const TargetKey& t) const {
+    return (parent && *parent == t) || children.contains(t);
+  }
+};
+
+/// An (S,G) entry (§5.3): created either by a source-specific join (its
+/// parent points toward the source) or by a source-specific prune arriving
+/// at a shared-tree router (copy of the (*,G) list minus the pruned
+/// target). When present it overrides the (*,G) entry for S's packets.
+struct SourceEntry {
+  net::Ipv4Addr source;
+  std::optional<TargetKey> parent;
+  Router* parent_relay = nullptr;
+  std::map<TargetKey, int> children;
+  /// Children added by source-specific joins (branch directions): data
+  /// forwarded to them is marked as a branch copy. Children copied from
+  /// the (*,G) list are ordinary tree directions.
+  std::set<TargetKey> branch_children;
+  /// Where data from S last arrived — the upstream direction a prune
+  /// propagates toward when the child list empties.
+  std::optional<TargetKey> upstream;
+  /// True once data arrived from the branch parent: encapsulated copies
+  /// are then dropped (§5.3: "starts dropping the encapsulated copies of
+  /// S's data packets").
+  bool native_seen = false;
+  /// True when `parent` points toward the source (a branch entry): the
+  /// branch is unidirectional — data flows from the source downward, so
+  /// the parent is never a forwarding target. False for entries copied
+  /// from the (*,G) list, whose parent keeps the bidirectional-tree role.
+  bool toward_source = false;
+
+  [[nodiscard]] bool has_target(const TargetKey& t) const {
+    return (parent && *parent == t) || children.contains(t);
+  }
+};
+
+/// Key for the (S,G) table.
+struct SourceGroup {
+  net::Ipv4Addr source;
+  Group group;
+  friend auto operator<=>(const SourceGroup&, const SourceGroup&) = default;
+};
+
+}  // namespace bgmp

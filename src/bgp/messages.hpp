@@ -1,0 +1,25 @@
+// BGP update messages exchanged over peering channels.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/prefix.hpp"
+#include "bgp/types.hpp"
+
+namespace bgp {
+
+/// An UPDATE: announcements and withdrawals for one route type. (Real BGP
+/// multiplexes AFIs inside one message; one type per message is equivalent
+/// and simpler to trace.)
+struct UpdateMessage final : net::Message {
+  RouteType type = RouteType::kUnicast;
+  std::vector<Route> announcements;
+  std::vector<net::Prefix> withdrawals;
+
+  [[nodiscard]] std::string describe() const override;
+};
+
+}  // namespace bgp

@@ -1,0 +1,87 @@
+#include "bgp/rib.hpp"
+
+#include <algorithm>
+
+namespace bgp {
+
+bool better(const Candidate& a, const Candidate& b) {
+  const bool a_local = a.via == kLocalPeer;
+  const bool b_local = b.via == kLocalPeer;
+  if (a_local != b_local) return a_local;
+  if (a.route.local_pref != b.route.local_pref) {
+    return a.route.local_pref > b.route.local_pref;
+  }
+  if (a.route.as_path.size() != b.route.as_path.size()) {
+    return a.route.as_path.size() < b.route.as_path.size();
+  }
+  return a.exit_uid < b.exit_uid;
+}
+
+bool RibEntry::upsert(Candidate candidate) {
+  const std::optional<Route> previous =
+      best_ ? std::optional<Route>(candidates_[*best_].route) : std::nullopt;
+  const auto it = std::find_if(
+      candidates_.begin(), candidates_.end(),
+      [&](const Candidate& c) { return c.via == candidate.via; });
+  if (it != candidates_.end()) {
+    *it = std::move(candidate);
+  } else {
+    candidates_.push_back(std::move(candidate));
+  }
+  return reselect(previous);
+}
+
+bool RibEntry::remove(PeerIndex via) {
+  const std::optional<Route> previous =
+      best_ ? std::optional<Route>(candidates_[*best_].route) : std::nullopt;
+  const auto it =
+      std::find_if(candidates_.begin(), candidates_.end(),
+                   [&](const Candidate& c) { return c.via == via; });
+  if (it == candidates_.end()) return false;
+  candidates_.erase(it);
+  return reselect(previous);
+}
+
+bool RibEntry::reselect(std::optional<Route> previous_best) {
+  best_.reset();
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (!best_ || better(candidates_[i], candidates_[*best_])) best_ = i;
+  }
+  const std::optional<Route> now =
+      best_ ? std::optional<Route>(candidates_[*best_].route) : std::nullopt;
+  return now != previous_best;
+}
+
+std::optional<std::pair<net::Prefix, const Candidate*>> Rib::longest_match(
+    net::Ipv4Addr addr) const {
+  const auto hit = trie_.longest_match(addr);
+  if (!hit) return std::nullopt;
+  const Candidate* best = hit->second->best();
+  if (best == nullptr) return std::nullopt;  // defensive; entries are pruned
+  return {{hit->first, best}};
+}
+
+RibEntry& Rib::entry(const net::Prefix& prefix) {
+  RibEntry* existing = trie_.find(prefix);
+  if (existing != nullptr) return *existing;
+  trie_.insert(prefix, RibEntry{});
+  return *trie_.find(prefix);
+}
+
+void Rib::erase_if_empty(const net::Prefix& prefix) {
+  const RibEntry* existing = trie_.find(prefix);
+  if (existing != nullptr && existing->empty()) trie_.erase(prefix);
+}
+
+std::vector<std::pair<net::Prefix, Route>> Rib::best_routes() const {
+  std::vector<std::pair<net::Prefix, Route>> out;
+  out.reserve(trie_.size());
+  trie_.for_each([&](const net::Prefix& p, const RibEntry& entry) {
+    if (const Candidate* best = entry.best()) {
+      out.emplace_back(p, best->route);
+    }
+  });
+  return out;
+}
+
+}  // namespace bgp

@@ -1,0 +1,95 @@
+// Routing Information Bases: candidate routes per prefix and the decision
+// process that selects one best route domain-wide.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "net/prefix_trie.hpp"
+#include "bgp/types.hpp"
+
+namespace bgp {
+
+/// Identifies a peering session within one speaker (index into its peer
+/// table). kLocalPeer marks a locally-originated candidate.
+using PeerIndex = std::uint32_t;
+inline constexpr PeerIndex kLocalPeer = UINT32_MAX;
+
+/// One candidate path for a prefix, as held in the Adj-RIB-In (or the
+/// local origination slot).
+struct Candidate {
+  Route route;
+  PeerIndex via = kLocalPeer;
+  /// True if learned over an iBGP session.
+  bool internal = false;
+  /// Identity of the border router acting as exit for this candidate: the
+  /// receiving router's own uid for eBGP candidates, the iBGP sender's uid
+  /// for internal ones, the speaker's own uid for local originations. The
+  /// lowest-uid tie-break makes every router in a domain converge on the
+  /// same best exit router (§5: "one border router is chosen as the best
+  /// exit router for each group route").
+  std::uint64_t exit_uid = 0;
+};
+
+/// Total order of the decision process. Returns true if `a` is better:
+/// local origination, then highest LOCAL_PREF, then shortest AS path, then
+/// lowest exit uid.
+[[nodiscard]] bool better(const Candidate& a, const Candidate& b);
+
+/// All candidates for one prefix plus the current selection.
+class RibEntry {
+ public:
+  /// Inserts or replaces the candidate from `via`. Returns true if the
+  /// best route (selection) changed.
+  bool upsert(Candidate candidate);
+
+  /// Removes the candidate from `via` (no-op if absent). Returns true if
+  /// the best route changed.
+  bool remove(PeerIndex via);
+
+  [[nodiscard]] const Candidate* best() const {
+    return best_ ? &candidates_[*best_] : nullptr;
+  }
+  [[nodiscard]] const std::vector<Candidate>& candidates() const {
+    return candidates_;
+  }
+  [[nodiscard]] bool empty() const { return candidates_.empty(); }
+
+ private:
+  // Returns true if the selection (or its route contents) changed.
+  bool reselect(std::optional<Route> previous_best);
+
+  std::vector<Candidate> candidates_;
+  std::optional<std::size_t> best_;
+};
+
+/// One routing-table view (unicast RIB, M-RIB or G-RIB).
+class Rib {
+ public:
+  /// Entry count — the paper's "G-RIB size" metric is rib(kGroup).size().
+  [[nodiscard]] std::size_t size() const { return trie_.size(); }
+
+  [[nodiscard]] const RibEntry* find(const net::Prefix& prefix) const {
+    return trie_.find(prefix);
+  }
+
+  /// Longest-prefix match: the best route whose prefix contains `addr`.
+  /// Entries whose best selection is empty cannot occur (they are erased).
+  [[nodiscard]] std::optional<std::pair<net::Prefix, const Candidate*>>
+  longest_match(net::Ipv4Addr addr) const;
+
+  /// Mutating access used by the speaker. Creates the entry on demand.
+  RibEntry& entry(const net::Prefix& prefix);
+  /// Erases the entry if it has no candidates left.
+  void erase_if_empty(const net::Prefix& prefix);
+
+  [[nodiscard]] std::vector<std::pair<net::Prefix, Route>> best_routes()
+      const;
+
+ private:
+  net::PrefixTrie<RibEntry> trie_;
+};
+
+}  // namespace bgp

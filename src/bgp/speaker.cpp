@@ -1,0 +1,313 @@
+#include "bgp/speaker.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "net/log.hpp"
+
+namespace bgp {
+
+namespace {
+
+std::uint64_t next_uid() {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+
+}  // namespace
+
+std::string Route::describe() const {
+  std::string out = prefix.to_string() + " path[";
+  for (std::size_t i = 0; i < as_path.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(as_path[i]);
+  }
+  out += "] origin AS" + std::to_string(origin_as);
+  return out;
+}
+
+std::string UpdateMessage::describe() const {
+  std::string out = std::string("UPDATE ") + to_string(type);
+  for (const Route& r : announcements) out += " +" + r.prefix.to_string();
+  for (const net::Prefix& p : withdrawals) out += " -" + p.to_string();
+  return out;
+}
+
+Speaker::Speaker(net::Network& network, DomainId as, std::string name)
+    : network_(network), as_(as), name_(std::move(name)), uid_(next_uid()) {}
+
+net::ChannelId Speaker::connect(Speaker& a, Speaker& b,
+                                Relationship a_sees_b, net::SimTime latency,
+                                ExportPolicy a_export,
+                                ExportPolicy b_export) {
+  const bool same_domain = a.as_ == b.as_;
+  if (same_domain != (a_sees_b == Relationship::kInternal)) {
+    throw std::invalid_argument(
+        "Speaker::connect: internal relationship iff same domain (" +
+        a.name_ + " AS" + std::to_string(a.as_) + " / " + b.name_ + " AS" +
+        std::to_string(b.as_) + ")");
+  }
+  const net::ChannelId channel = a.network_.connect(a, b, latency);
+  // A broken peering is a reset transport session, not a lossless pause:
+  // both sides flush and resynchronize when it returns.
+  a.network_.set_drop_when_down(channel, true);
+  a.add_peer(b, channel, a_sees_b, a_export);
+  b.add_peer(a, channel, reverse(a_sees_b), b_export);
+  a.full_sync(a.peers_.back());
+  b.full_sync(b.peers_.back());
+  return channel;
+}
+
+PeerIndex Speaker::add_peer(Speaker& peer, net::ChannelId channel,
+                            Relationship rel, ExportPolicy export_policy) {
+  peers_.push_back(Peer{&peer, channel, rel, export_policy, {}});
+  return static_cast<PeerIndex>(peers_.size() - 1);
+}
+
+PeerIndex Speaker::peer_by_channel(net::ChannelId channel) const {
+  for (PeerIndex i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].channel == channel) return i;
+  }
+  throw std::logic_error("Speaker: message on unknown channel");
+}
+
+void Speaker::originate(RouteType type, const net::Prefix& prefix) {
+  auto& origins = origins_[static_cast<std::size_t>(type)];
+  if (origins.contains(prefix)) return;
+  origins.insert(prefix, true);
+  Candidate local;
+  local.route =
+      Route{prefix, /*as_path=*/{}, /*origin_as=*/as_, /*local_pref=*/100};
+  local.via = kLocalPeer;
+  local.internal = false;
+  local.exit_uid = uid_;
+  RibEntry& entry = rib_mut(type).entry(prefix);
+  if (entry.upsert(std::move(local))) best_changed(type, prefix);
+  // A new covering origination changes which more-specifics are
+  // aggregation-suppressed at export.
+  resync_specifics(type, prefix);
+}
+
+void Speaker::withdraw(RouteType type, const net::Prefix& prefix) {
+  auto& origins = origins_[static_cast<std::size_t>(type)];
+  if (!origins.erase(prefix)) return;
+  RibEntry& entry = rib_mut(type).entry(prefix);
+  if (entry.remove(kLocalPeer)) best_changed(type, prefix);
+  rib_mut(type).erase_if_empty(prefix);
+  resync_specifics(type, prefix);
+}
+
+void Speaker::set_aggregation(bool enabled) {
+  if (aggregation_ == enabled) return;
+  aggregation_ = enabled;
+  for (Peer& peer : peers_) full_sync(peer);
+}
+
+std::optional<LookupResult> Speaker::lookup(RouteType type,
+                                            net::Ipv4Addr addr) const {
+  const auto hit = rib(type).longest_match(addr);
+  if (!hit) return std::nullopt;
+  const Candidate& best = *hit->second;
+  LookupResult result;
+  result.prefix = hit->first;
+  result.route = best.route;
+  if (best.via == kLocalPeer) {
+    result.next_hop = nullptr;
+    result.internal = false;
+  } else {
+    result.next_hop = peers_[best.via].speaker;
+    result.internal = best.internal;
+  }
+  return result;
+}
+
+std::vector<Speaker*> Speaker::peers() const {
+  std::vector<Speaker*> out;
+  out.reserve(peers_.size());
+  for (const Peer& p : peers_) out.push_back(p.speaker);
+  return out;
+}
+
+std::optional<Relationship> Speaker::relationship_with(
+    const Speaker& peer) const {
+  for (const Peer& p : peers_) {
+    if (p.speaker == &peer) return p.relationship;
+  }
+  return std::nullopt;
+}
+
+void Speaker::on_message(net::ChannelId channel,
+                         std::unique_ptr<net::Message> msg) {
+  const auto* update = dynamic_cast<const UpdateMessage*>(msg.get());
+  if (update == nullptr) {
+    throw std::logic_error("Speaker: unexpected message type");
+  }
+  handle_update(peer_by_channel(channel), *update);
+}
+
+void Speaker::on_channel_down(net::ChannelId channel) {
+  const PeerIndex index = peer_by_channel(channel);
+  Peer& peer = peers_[index];
+  for (int t = 0; t < kRouteTypeCount; ++t) {
+    const auto type = static_cast<RouteType>(t);
+    // Flush the Adj-RIB-In from this peer; best-route changes cascade.
+    std::vector<net::Prefix> learned;
+    Rib& table = rib_mut(type);
+    for (const auto& [prefix, route] : table.best_routes()) {
+      (void)route;
+      learned.push_back(prefix);
+    }
+    for (const net::Prefix& prefix : learned) {
+      RibEntry& entry = table.entry(prefix);
+      if (entry.remove(index)) best_changed(type, prefix);
+      table.erase_if_empty(prefix);
+    }
+    // The peer's session state is gone with the session.
+    peer.advertised[static_cast<std::size_t>(type)].clear();
+  }
+}
+
+void Speaker::on_channel_up(net::ChannelId channel) {
+  full_sync(peers_[peer_by_channel(channel)]);
+}
+
+void Speaker::handle_update(PeerIndex from, const UpdateMessage& update) {
+  Peer& peer = peers_[from];
+  Rib& rib = rib_mut(update.type);
+  for (const net::Prefix& prefix : update.withdrawals) {
+    RibEntry& entry = rib.entry(prefix);
+    if (entry.remove(from)) best_changed(update.type, prefix);
+    rib.erase_if_empty(prefix);
+  }
+  for (const Route& announced : update.announcements) {
+    RibEntry& entry = rib.entry(announced.prefix);
+    // AS-path loop prevention: a route that already crossed this domain is
+    // treated as unreachable via this peer.
+    if (announced.contains_as(as_)) {
+      if (entry.remove(from)) best_changed(update.type, announced.prefix);
+      rib.erase_if_empty(announced.prefix);
+      continue;
+    }
+    Candidate candidate;
+    candidate.route = announced;
+    candidate.via = from;
+    candidate.internal = peer.relationship == Relationship::kInternal;
+    if (!candidate.internal) {
+      candidate.route.local_pref = default_local_pref(peer.relationship);
+    }
+    // The exit router for an eBGP candidate is this router itself; for an
+    // iBGP candidate it is the internal sender. The lowest-uid rule then
+    // elects one best exit domain-wide.
+    candidate.exit_uid = candidate.internal ? peer.speaker->uid() : uid_;
+    if (entry.upsert(std::move(candidate))) {
+      best_changed(update.type, announced.prefix);
+    }
+  }
+}
+
+std::optional<Route> Speaker::desired_advertisement(RouteType type,
+                                                    const net::Prefix& prefix,
+                                                    const Peer& peer) const {
+  const RibEntry* entry = rib(type).find(prefix);
+  if (entry == nullptr) return std::nullopt;
+  const Candidate* best = entry->best();
+  if (best == nullptr) return std::nullopt;
+  // Split horizon: never back to the session it was learned from.
+  if (best->via != kLocalPeer && peers_[best->via].speaker == peer.speaker) {
+    return std::nullopt;
+  }
+  const bool to_internal = peer.relationship == Relationship::kInternal;
+  if (to_internal) {
+    // iBGP: re-advertise only what we learned externally or originated.
+    if (best->internal) return std::nullopt;
+    return best->route;  // path and LOCAL_PREF carried unchanged
+  }
+  // eBGP export.
+  // Pointless-advertisement suppression: the peer's AS is already on the
+  // path and would reject it.
+  if (best->route.contains_as(peer.speaker->as())) return std::nullopt;
+  // §4.3.2 aggregation: suppress a more-specific covered by an own
+  // origination — the covering group route already provides reachability
+  // toward this domain, which will then use its more-specific entry.
+  if (aggregation_ && best->via != kLocalPeer) {
+    const auto& origins = origins_[static_cast<std::size_t>(type)];
+    const auto cover = origins.longest_match(prefix);
+    if (cover && cover->first.length() < prefix.length()) return std::nullopt;
+  }
+  if (peer.export_policy == ExportPolicy::kGaoRexford &&
+      peer.relationship != Relationship::kCustomer) {
+    // Only own/customer routes go to providers and laterals. LOCAL_PREF
+    // >= 100 encodes customer-or-local provenance.
+    if (best->via != kLocalPeer && best->route.local_pref < 100) {
+      return std::nullopt;
+    }
+  }
+  Route exported = best->route;
+  exported.as_path.insert(exported.as_path.begin(), as_);
+  exported.local_pref = 100;  // reset; the importer assigns its own
+  return exported;
+}
+
+void Speaker::sync_peer(RouteType type, const net::Prefix& prefix,
+                        Peer& peer) {
+  // No session, no updates: the channel-up full sync reconciles later.
+  if (!network_.is_up(peer.channel)) return;
+  auto& advertised = peer.advertised[static_cast<std::size_t>(type)];
+  const std::optional<Route> desired =
+      desired_advertisement(type, prefix, peer);
+  const Route* current = advertised.find(prefix);
+  if (desired.has_value()) {
+    if (current != nullptr && *current == *desired) return;
+    advertised.insert(prefix, *desired);
+    auto update = std::make_unique<UpdateMessage>();
+    update->type = type;
+    update->announcements.push_back(*desired);
+    network_.send(peer.channel, *this, std::move(update));
+  } else if (current != nullptr) {
+    advertised.erase(prefix);
+    auto update = std::make_unique<UpdateMessage>();
+    update->type = type;
+    update->withdrawals.push_back(prefix);
+    network_.send(peer.channel, *this, std::move(update));
+  }
+}
+
+void Speaker::best_changed(RouteType type, const net::Prefix& prefix) {
+  sync_all_peers(type, prefix);
+  for (const RouteChangeListener& listener : listeners_) {
+    listener(type, prefix);
+  }
+}
+
+void Speaker::sync_all_peers(RouteType type, const net::Prefix& prefix) {
+  for (Peer& peer : peers_) sync_peer(type, prefix, peer);
+}
+
+void Speaker::full_sync(Peer& peer) {
+  for (int t = 0; t < kRouteTypeCount; ++t) {
+    const auto type = static_cast<RouteType>(t);
+    // Sync everything currently advertised (so stale entries withdraw) and
+    // everything in the loc-RIB.
+    std::vector<net::Prefix> prefixes;
+    peer.advertised[static_cast<std::size_t>(type)].for_each(
+        [&](const net::Prefix& p, const Route&) { prefixes.push_back(p); });
+    for (const auto& [p, route] : rib(type).best_routes()) {
+      (void)route;
+      prefixes.push_back(p);
+    }
+    for (const net::Prefix& p : prefixes) sync_peer(type, p, peer);
+  }
+}
+
+void Speaker::resync_specifics(RouteType type, const net::Prefix& prefix) {
+  std::vector<net::Prefix> specifics;
+  for (const auto& [p, route] : rib(type).best_routes()) {
+    (void)route;
+    if (prefix.contains(p) && p.length() > prefix.length()) {
+      specifics.push_back(p);
+    }
+  }
+  for (const net::Prefix& p : specifics) sync_all_peers(type, p);
+}
+
+}  // namespace bgp

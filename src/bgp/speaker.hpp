@@ -1,0 +1,171 @@
+// A BGP speaker: one per border router.
+//
+// Speakers hold the three MBGP routing-table views (unicast, M-RIB, G-RIB),
+// exchange update messages over peering channels, run the decision process,
+// and apply export policy. Two behaviours from the paper are first-class:
+//
+// * Group-route aggregation (§4.3.2): a speaker whose domain originates a
+//   covering prefix does not propagate its children's more-specific group
+//   routes to external peers — "the border routers of the parent domain
+//   need not propagate their children's group routes explicitly".
+// * Policy as selective propagation (§2, §4.2): provider/customer export
+//   rules ("Gao–Rexford") limit which routes a domain will carry, for
+//   multicast exactly as for unicast.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/prefix_trie.hpp"
+#include "bgp/messages.hpp"
+#include "bgp/rib.hpp"
+#include "bgp/types.hpp"
+
+namespace bgp {
+
+class Speaker;
+
+/// Export policy applied on a peering, per direction.
+enum class ExportPolicy : std::uint8_t {
+  kAdvertiseAll,  ///< no policy filter
+  /// Advertise to customers everything; to providers/laterals only routes
+  /// that are locally originated or learned from customers (inferred from
+  /// LOCAL_PREF >= 100, the standard encoding).
+  kGaoRexford,
+};
+
+/// Result of a longest-prefix-match query against one RIB view, as consumed
+/// by BGMP: which peer is the next hop toward the prefix's origin.
+struct LookupResult {
+  net::Prefix prefix;
+  Route route;
+  /// The speaker to forward toward; nullptr when the route is locally
+  /// originated (this domain is the root/origin — §5.2's "no BGP next hop").
+  Speaker* next_hop = nullptr;
+  /// True if next_hop is an internal (same-domain) peer — the best exit
+  /// router reached through the MIGP rather than directly.
+  bool internal = false;
+};
+
+class Speaker final : public net::Endpoint {
+ public:
+  Speaker(net::Network& network, DomainId as, std::string name);
+
+  Speaker(const Speaker&) = delete;
+  Speaker& operator=(const Speaker&) = delete;
+
+  /// Establishes a peering between two speakers. `a_sees_b` is the
+  /// relationship from a's perspective (kInternal iff same domain, which is
+  /// enforced). Each side immediately advertises its table to the other,
+  /// as on BGP session establishment. Returns the channel (for
+  /// link-failure experiments).
+  static net::ChannelId connect(
+      Speaker& a, Speaker& b, Relationship a_sees_b,
+      net::SimTime latency = net::SimTime::milliseconds(10),
+      ExportPolicy a_export = ExportPolicy::kAdvertiseAll,
+      ExportPolicy b_export = ExportPolicy::kAdvertiseAll);
+
+  /// Injects a locally-originated route (e.g. a MASC allocation as a group
+  /// route). Idempotent.
+  void originate(RouteType type, const net::Prefix& prefix);
+
+  /// Withdraws a locally-originated route (e.g. an expired MASC range).
+  void withdraw(RouteType type, const net::Prefix& prefix);
+
+  [[nodiscard]] const Rib& rib(RouteType type) const {
+    return ribs_[static_cast<std::size_t>(type)];
+  }
+
+  /// Longest-match lookup in one view; how BGMP resolves "the next hop
+  /// towards the group's root domain".
+  [[nodiscard]] std::optional<LookupResult> lookup(RouteType type,
+                                                   net::Ipv4Addr addr) const;
+
+  [[nodiscard]] DomainId as() const { return as_; }
+  [[nodiscard]] std::uint64_t uid() const { return uid_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  /// Turns §4.3.2's export-time aggregation on/off (on by default). With it
+  /// off, every more-specific learned route is propagated — the ablation
+  /// baseline for the G-RIB-size experiments.
+  void set_aggregation(bool enabled);
+
+  /// Registers a callback fired whenever a loc-RIB best route changes
+  /// (installed, replaced or lost). BGMP uses it to migrate shared-tree
+  /// parents when the path toward a root domain moves.
+  using RouteChangeListener =
+      std::function<void(RouteType, const net::Prefix&)>;
+  void add_route_change_listener(RouteChangeListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  /// Peers of this speaker (for wiring BGMP components to BGP peerings).
+  [[nodiscard]] std::vector<Speaker*> peers() const;
+  [[nodiscard]] std::optional<Relationship> relationship_with(
+      const Speaker& peer) const;
+
+  // net::Endpoint:
+  void on_message(net::ChannelId channel,
+                  std::unique_ptr<net::Message> msg) override;
+  /// Session loss: all routes learned over the peering are flushed and
+  /// withdrawals cascade (BGP hold-timer expiry semantics).
+  void on_channel_down(net::ChannelId channel) override;
+  /// Session re-establishment: the full table is re-advertised.
+  void on_channel_up(net::ChannelId channel) override;
+
+ private:
+  struct Peer {
+    Speaker* speaker;
+    net::ChannelId channel;
+    Relationship relationship;
+    ExportPolicy export_policy;
+    /// Last route announced to this peer, per view — the Adj-RIB-Out.
+    std::array<net::PrefixTrie<Route>, kRouteTypeCount> advertised;
+  };
+
+  Rib& rib_mut(RouteType type) {
+    return ribs_[static_cast<std::size_t>(type)];
+  }
+
+  PeerIndex add_peer(Speaker& peer, net::ChannelId channel, Relationship rel,
+                     ExportPolicy export_policy);
+  [[nodiscard]] PeerIndex peer_by_channel(net::ChannelId channel) const;
+
+  void handle_update(PeerIndex from, const UpdateMessage& update);
+
+  /// Best-route change fan-out: notifies listeners and resyncs peers.
+  void best_changed(RouteType type, const net::Prefix& prefix);
+
+  /// Recomputes what `peer` should see for (type, prefix) and sends the
+  /// delta (announcement or withdrawal), if any.
+  void sync_peer(RouteType type, const net::Prefix& prefix, Peer& peer);
+  /// Syncs every peer for one prefix.
+  void sync_all_peers(RouteType type, const net::Prefix& prefix);
+  /// Syncs `peer` for every prefix in every view (session establishment).
+  void full_sync(Peer& peer);
+  /// Re-evaluates all loc-RIB prefixes strictly inside `prefix` — needed
+  /// when an own origination appears/disappears and changes which
+  /// more-specifics aggregation suppresses.
+  void resync_specifics(RouteType type, const net::Prefix& prefix);
+
+  [[nodiscard]] std::optional<Route> desired_advertisement(
+      RouteType type, const net::Prefix& prefix, const Peer& peer) const;
+
+  net::Network& network_;
+  DomainId as_;
+  std::string name_;
+  std::uint64_t uid_;
+  bool aggregation_ = true;
+  std::array<Rib, kRouteTypeCount> ribs_;
+  /// Locally-originated prefixes per view.
+  std::array<net::PrefixTrie<bool>, kRouteTypeCount> origins_;
+  std::vector<Peer> peers_;
+  std::vector<RouteChangeListener> listeners_;
+};
+
+}  // namespace bgp

@@ -1,0 +1,104 @@
+// Route types and route attributes for the multiprotocol BGP substrate.
+//
+// The paper (§2) relies on the MBGP extension carrying "multiple types of
+// routes … and consequently multiple logical views of the routing table":
+// the unicast RIB, the M-RIB used for RPF checks when multicast and unicast
+// topologies diverge, and the G-RIB holding the *group routes* MASC injects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace bgp {
+
+/// An Autonomous System / domain identifier.
+using DomainId = std::uint32_t;
+
+/// The logical routing-table views of §2 (MBGP route types).
+enum class RouteType : std::uint8_t {
+  kUnicast = 0,    ///< ordinary unicast reachability
+  kMulticast = 1,  ///< M-RIB: topology for RPF checks
+  kGroup = 2,      ///< G-RIB: group routes binding ranges to root domains
+};
+inline constexpr int kRouteTypeCount = 3;
+
+[[nodiscard]] constexpr const char* to_string(RouteType type) {
+  switch (type) {
+    case RouteType::kUnicast: return "unicast";
+    case RouteType::kMulticast: return "m-rib";
+    case RouteType::kGroup: return "g-rib";
+  }
+  return "?";
+}
+
+/// A route as carried in update messages: an address prefix for a
+/// destination (or group range) plus path attributes.
+struct Route {
+  net::Prefix prefix;
+  /// AS path, nearest AS first. Empty for a locally-originated route that
+  /// has not yet crossed an external peering.
+  std::vector<DomainId> as_path;
+  /// The domain that originated the route (the root domain for group
+  /// routes).
+  DomainId origin_as = 0;
+  /// BGP LOCAL_PREF: higher preferred. Set at eBGP import from the peering
+  /// relationship; carried unchanged across iBGP.
+  int local_pref = 100;
+
+  [[nodiscard]] bool contains_as(DomainId as) const {
+    for (const DomainId hop : as_path) {
+      if (hop == as) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const Route&, const Route&) = default;
+};
+
+/// The relationship of a peering session, from one speaker's point of view.
+/// Mirrors the provider/customer structure of §2's policy discussion.
+enum class Relationship : std::uint8_t {
+  kInternal,  ///< iBGP: same domain
+  kCustomer,  ///< the peer is our customer
+  kProvider,  ///< the peer is our provider
+  kLateral,   ///< settlement-free peer
+};
+
+[[nodiscard]] constexpr Relationship reverse(Relationship rel) {
+  switch (rel) {
+    case Relationship::kCustomer: return Relationship::kProvider;
+    case Relationship::kProvider: return Relationship::kCustomer;
+    case Relationship::kInternal: return Relationship::kInternal;
+    case Relationship::kLateral: return Relationship::kLateral;
+  }
+  return Relationship::kLateral;
+}
+
+[[nodiscard]] constexpr const char* to_string(Relationship rel) {
+  switch (rel) {
+    case Relationship::kInternal: return "internal";
+    case Relationship::kCustomer: return "customer";
+    case Relationship::kProvider: return "provider";
+    case Relationship::kLateral: return "lateral";
+  }
+  return "?";
+}
+
+/// Default LOCAL_PREF assigned at eBGP import: prefer customer routes, then
+/// lateral peers, then providers (the standard economic ordering).
+[[nodiscard]] constexpr int default_local_pref(Relationship rel) {
+  switch (rel) {
+    case Relationship::kCustomer: return 100;
+    case Relationship::kLateral: return 90;
+    case Relationship::kProvider: return 80;
+    case Relationship::kInternal: return 100;  // not used at import
+  }
+  return 100;
+}
+
+}  // namespace bgp

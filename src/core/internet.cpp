@@ -1,0 +1,86 @@
+#include "core/internet.hpp"
+
+#include <stdexcept>
+
+#include "bgmp/router.hpp"
+
+namespace core {
+
+Internet::Internet(std::uint64_t seed)
+    : network_(events_), rng_(seed) {}
+
+Domain& Internet::add_domain(Domain::Config config) {
+  domains_.push_back(std::make_unique<Domain>(*this, std::move(config)));
+  return *domains_.back();
+}
+
+void Internet::link(Domain& a, Domain& b, bgp::Relationship a_sees_b,
+                    std::size_t a_border, std::size_t b_border,
+                    net::SimTime latency, bgp::ExportPolicy a_export,
+                    bgp::ExportPolicy b_export) {
+  const net::ChannelId bgp_channel =
+      bgp::Speaker::connect(a.speaker(a_border), b.speaker(b_border),
+                            a_sees_b, latency, a_export, b_export);
+  const net::ChannelId bgmp_channel = bgmp::Router::connect(
+      a.bgmp_router(a_border), b.bgmp_router(b_border), latency);
+  links_.push_back(Link{&a, &b, bgp_channel, bgmp_channel});
+}
+
+void Internet::set_link_state(const Domain& a, const Domain& b, bool up) {
+  bool found = false;
+  for (const Link& link : links_) {
+    const bool match = (link.a == &a && link.b == &b) ||
+                       (link.a == &b && link.b == &a);
+    if (!match) continue;
+    found = true;
+    network_.set_up(link.bgp_channel, up);
+    network_.set_up(link.bgmp_channel, up);
+  }
+  if (!found) {
+    throw std::invalid_argument("Internet::set_link_state: domains " +
+                                a.name() + " and " + b.name() +
+                                " are not linked");
+  }
+}
+
+void Internet::masc_parent(Domain& child, Domain& parent) {
+  masc::MascNode::connect(child.masc_node(), parent.masc_node(),
+                          masc::MascNode::PeerKind::kParent);
+}
+
+void Internet::masc_siblings(Domain& a, Domain& b) {
+  masc::MascNode::connect(a.masc_node(), b.masc_node(),
+                          masc::MascNode::PeerKind::kSibling);
+}
+
+void Internet::settle(std::uint64_t max_events) {
+  events_.run(max_events);
+}
+
+Domain* Internet::domain_of_address(net::Ipv4Addr addr) const {
+  const auto hit = unicast_map_.longest_match(addr);
+  return hit ? *hit->second : nullptr;
+}
+
+void Internet::register_unicast_prefix(const net::Prefix& prefix,
+                                       Domain& domain) {
+  unicast_map_.insert(prefix, &domain);
+}
+
+std::vector<Domain*> Internet::build_from_graph(const topology::Graph& graph,
+                                                migp::Protocol protocol) {
+  std::vector<Domain*> domains;
+  domains.reserve(graph.node_count());
+  for (topology::NodeId n = 0; n < graph.node_count(); ++n) {
+    Domain::Config config;
+    config.id = n + 1;  // AS ids start at 1
+    config.protocol = protocol;
+    domains.push_back(&add_domain(std::move(config)));
+  }
+  for (const auto& [a, b] : graph.edges()) {
+    link(*domains[a], *domains[b]);
+  }
+  return domains;
+}
+
+}  // namespace core

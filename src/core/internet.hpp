@@ -1,0 +1,97 @@
+// The Internet: the event queue, the message network, every domain, and
+// the wiring helpers that assemble the paper's architecture — inter-domain
+// links (eBGP + BGMP peerings), iBGP full meshes, MASC parent/child and
+// sibling peerings — plus delivery observation for the experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "core/domain.hpp"
+#include "net/event.hpp"
+#include "net/network.hpp"
+#include "net/prefix_trie.hpp"
+#include "topology/graph.hpp"
+
+namespace core {
+
+class Internet {
+ public:
+  explicit Internet(std::uint64_t seed = 1);
+
+  Internet(const Internet&) = delete;
+  Internet& operator=(const Internet&) = delete;
+
+  [[nodiscard]] net::EventQueue& events() { return events_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] net::Rng& rng() { return rng_; }
+
+  /// Creates a domain. The returned reference is stable.
+  Domain& add_domain(Domain::Config config);
+  [[nodiscard]] Domain& domain(std::size_t index) { return *domains_[index]; }
+  [[nodiscard]] std::size_t domain_count() const { return domains_.size(); }
+
+  /// Links two domains: an eBGP peering plus a mirroring BGMP peering
+  /// between border `a_border` of `a` and border `b_border` of `b`.
+  void link(Domain& a, Domain& b,
+            bgp::Relationship a_sees_b = bgp::Relationship::kLateral,
+            std::size_t a_border = 0, std::size_t b_border = 0,
+            net::SimTime latency = net::SimTime::milliseconds(10),
+            bgp::ExportPolicy a_export = bgp::ExportPolicy::kAdvertiseAll,
+            bgp::ExportPolicy b_export = bgp::ExportPolicy::kAdvertiseAll);
+
+  /// Takes every link between two domains down (or back up): the eBGP and
+  /// BGMP sessions reset; routes flush, trees repair once BGP reconverges.
+  /// Throws std::invalid_argument if the domains are not linked.
+  void set_link_state(const Domain& a, const Domain& b, bool up);
+
+  /// MASC hierarchy wiring.
+  void masc_parent(Domain& child, Domain& parent);
+  void masc_siblings(Domain& a, Domain& b);
+
+  /// Runs the event queue to exhaustion (BGP/BGMP/MASC all settle; MASC
+  /// waiting periods advance simulated time as needed).
+  void settle(std::uint64_t max_events = 50'000'000);
+  void run_until(net::SimTime t) { events_.run_until(t); }
+
+  /// Observer for every data delivery to a domain's members.
+  using DeliveryObserver = std::function<void(const Delivery&)>;
+  void set_delivery_observer(DeliveryObserver observer) {
+    observer_ = std::move(observer);
+  }
+  void report_delivery(const Delivery& delivery) {
+    if (observer_) observer_(delivery);
+  }
+
+  /// Maps a unicast address to the domain owning it (source attribution).
+  [[nodiscard]] Domain* domain_of_address(net::Ipv4Addr addr) const;
+  void register_unicast_prefix(const net::Prefix& prefix, Domain& domain);
+
+  /// Builds single-border-router domains for every node of `graph` and
+  /// links them laterally along its edges — the evaluation substrate for
+  /// the Figure-4 experiments. Returns the domains indexed by node id.
+  std::vector<Domain*> build_from_graph(
+      const topology::Graph& graph,
+      migp::Protocol protocol = migp::Protocol::kDvmrp);
+
+ private:
+  struct Link {
+    const Domain* a;
+    const Domain* b;
+    net::ChannelId bgp_channel;
+    net::ChannelId bgmp_channel;
+  };
+
+  net::EventQueue events_;
+  net::Network network_;
+  net::Rng rng_;
+  std::vector<Link> links_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  net::PrefixTrie<Domain*> unicast_map_;
+  DeliveryObserver observer_;
+};
+
+}  // namespace core

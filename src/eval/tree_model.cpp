@@ -1,0 +1,295 @@
+#include "eval/tree_model.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+namespace eval {
+
+using topology::NodeId;
+
+TreeModel::TreeModel(const topology::Graph& graph, GroupScenario scenario)
+    : TreeModel(graph, scenario, topology::bfs(graph, scenario.root),
+                topology::bfs(graph, scenario.source)) {}
+
+TreeModel::TreeModel(const topology::Graph& graph, GroupScenario scenario,
+                     topology::BfsTree from_root,
+                     topology::BfsTree from_source)
+    : graph_(graph),
+      scenario_(std::move(scenario)),
+      from_root_(std::move(from_root)),
+      from_source_(std::move(from_source)),
+      root_tree_(from_root_),
+      entry_(scenario_.source) {
+  if (from_root_.source != scenario_.root ||
+      from_source_.source != scenario_.source) {
+    throw std::invalid_argument("TreeModel: tree roots mismatch scenario");
+  }
+  // The bidirectional shared tree: union of receiver→root BFS paths (the
+  // joins propagate along BGP shortest paths toward the root domain).
+  tree_nodes_.insert(scenario_.root);
+  for (const NodeId r : scenario_.receivers) {
+    if (!from_root_.reachable(r)) {
+      throw std::invalid_argument("TreeModel: receiver unreachable");
+    }
+    for (NodeId cur = r; !tree_nodes_.contains(cur);
+         cur = from_root_.parent[cur]) {
+      tree_nodes_.insert(cur);
+      if (cur == scenario_.root) break;
+    }
+  }
+  // The source's rootward path enters the tree at the first on-tree node.
+  NodeId cur = scenario_.source;
+  std::uint32_t hops = 0;
+  while (!tree_nodes_.contains(cur)) {
+    cur = from_root_.parent[cur];
+    ++hops;
+  }
+  entry_ = cur;
+  source_to_entry_ = hops;
+}
+
+std::uint32_t TreeModel::bidirectional_length(NodeId receiver) const {
+  // source → entry (rootward), then along tree edges entry → receiver.
+  return source_to_entry_ + root_tree_.distance(entry_, receiver);
+}
+
+NodeId TreeModel::branch_join(NodeId receiver) const {
+  // §5.3: the source-specific join follows the receiver's shortest path
+  // toward the source, stopping at the first shared-tree router (which
+  // carries S's data on the bidirectional tree) or at the source domain.
+  // The walk starts at the receiver's next hop: the receiver itself being
+  // on the tree does not stop its own join (Figure 3(b): F1 is on the
+  // tree, yet F's branch runs via F2 toward the source).
+  if (receiver == scenario_.source) return receiver;
+  NodeId cur = from_source_.parent[receiver];
+  while (cur != scenario_.source && !tree_nodes_.contains(cur)) {
+    cur = from_source_.parent[cur];
+  }
+  return cur;
+}
+
+std::uint32_t TreeModel::hybrid_length(NodeId receiver) const {
+  const NodeId join = branch_join(receiver);
+  std::uint32_t via_branch;
+  if (join == scenario_.source) {
+    // The branch reached the source domain: a pure shortest path.
+    via_branch = from_source_.dist[receiver];
+  } else {
+    // Data: source → entry → (tree) → join → (branch) → receiver. The
+    // branch segment length is the distance along the receiver's
+    // shortest path to the source: d_S(receiver) - d_S(join).
+    via_branch = source_to_entry_ + root_tree_.distance(entry_, join) +
+                 (from_source_.dist[receiver] - from_source_.dist[join]);
+  }
+  // A receiver whose shared-tree path is already at least as good keeps
+  // it (§5.3: branches are built where the shortest path "does not
+  // coincide with the bidirectional tree" and improves matters).
+  return std::min(via_branch, bidirectional_length(receiver));
+}
+
+std::vector<std::uint32_t> TreeModel::path_lengths(TreeType type) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(scenario_.receivers.size());
+  for (const NodeId r : scenario_.receivers) {
+    switch (type) {
+      case TreeType::kShortestPath:
+        out.push_back(from_source_.dist[r]);
+        break;
+      case TreeType::kUnidirectional:
+        // Data goes up to the RP (root) and down the reverse-SPT.
+        out.push_back(from_root_.dist[scenario_.source] +
+                      from_root_.dist[r]);
+        break;
+      case TreeType::kBidirectional:
+        out.push_back(bidirectional_length(r));
+        break;
+      case TreeType::kHybrid:
+        out.push_back(hybrid_length(r));
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t TreeModel::tree_edges(TreeType type) const {
+  switch (type) {
+    case TreeType::kShortestPath: {
+      // Union of source→receiver BFS paths.
+      std::set<NodeId> nodes{scenario_.source};
+      for (const NodeId r : scenario_.receivers) {
+        for (NodeId cur = r; !nodes.contains(cur);
+             cur = from_source_.parent[cur]) {
+          nodes.insert(cur);
+          if (cur == scenario_.source) break;
+        }
+      }
+      return nodes.size() - 1;
+    }
+    case TreeType::kUnidirectional: {
+      // Union of root→receiver paths plus the source→root injection path.
+      std::set<NodeId> nodes{scenario_.root};
+      for (const NodeId r : scenario_.receivers) {
+        for (NodeId cur = r; !nodes.contains(cur);
+             cur = from_root_.parent[cur]) {
+          nodes.insert(cur);
+          if (cur == scenario_.root) break;
+        }
+      }
+      return nodes.size() - 1 + from_root_.dist[scenario_.source];
+    }
+    case TreeType::kBidirectional:
+      return tree_nodes_.size() - 1 + source_to_entry_;
+    case TreeType::kHybrid: {
+      // Bidirectional tree + injection + the branch segments.
+      std::size_t edges = tree_nodes_.size() - 1 + source_to_entry_;
+      std::set<NodeId> branch_nodes;
+      for (const NodeId r : scenario_.receivers) {
+        const NodeId join = branch_join(r);
+        if (join == r) continue;  // receiver already on a good path
+        for (NodeId cur = r; cur != join; cur = from_source_.parent[cur]) {
+          if (branch_nodes.insert(cur).second &&
+              !tree_nodes_.contains(cur)) {
+            ++edges;
+          }
+        }
+      }
+      return edges;
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+TreeModel::Edge make_edge(NodeId a, NodeId b) {
+  return a < b ? TreeModel::Edge{a, b} : TreeModel::Edge{b, a};
+}
+
+// Walks parent pointers of `tree` from `from` until hitting `stop_set`,
+// loading each traversed edge.
+void load_path(const topology::BfsTree& tree, NodeId from,
+               const std::set<NodeId>& stop_set,
+               std::map<TreeModel::Edge, int>& loads) {
+  NodeId cur = from;
+  while (!stop_set.contains(cur)) {
+    const NodeId up = tree.parent[cur];
+    ++loads[make_edge(cur, up)];
+    cur = up;
+  }
+}
+
+}  // namespace
+
+void TreeModel::accumulate_link_loads(TreeType type,
+                                      std::map<Edge, int>& loads) const {
+  switch (type) {
+    case TreeType::kShortestPath: {
+      // One packet crosses each edge of the source's SPT once.
+      std::set<NodeId> covered{scenario_.source};
+      for (const NodeId r : scenario_.receivers) {
+        load_path(from_source_, r, covered, loads);
+        for (NodeId cur = r; !covered.contains(cur);
+             cur = from_source_.parent[cur]) {
+          covered.insert(cur);
+        }
+      }
+      return;
+    }
+    case TreeType::kUnidirectional: {
+      // Injection path source->root, then the whole reverse-SPT.
+      load_path(from_root_, scenario_.source, {scenario_.root}, loads);
+      std::set<NodeId> covered{scenario_.root};
+      for (const NodeId r : scenario_.receivers) {
+        load_path(from_root_, r, covered, loads);
+        for (NodeId cur = r; !covered.contains(cur);
+             cur = from_root_.parent[cur]) {
+          covered.insert(cur);
+        }
+      }
+      return;
+    }
+    case TreeType::kBidirectional:
+    case TreeType::kHybrid: {
+      // Entry path, then every tree edge carries the packet once.
+      load_path(from_root_, scenario_.source, tree_nodes_, loads);
+      for (const NodeId n : tree_nodes_) {
+        if (n == scenario_.root) continue;
+        ++loads[make_edge(n, from_root_.parent[n])];
+      }
+      if (type == TreeType::kHybrid) {
+        // Branch segments additionally carry the packet toward receivers
+        // whose branch beats the tree.
+        const auto bidir = path_lengths(TreeType::kBidirectional);
+        const auto hyb = path_lengths(TreeType::kHybrid);
+        for (std::size_t i = 0; i < scenario_.receivers.size(); ++i) {
+          if (hyb[i] >= bidir[i]) continue;
+          const NodeId r = scenario_.receivers[i];
+          const NodeId join = branch_join(r);
+          for (NodeId cur = r; cur != join;
+               cur = from_source_.parent[cur]) {
+            ++loads[make_edge(cur, from_source_.parent[cur])];
+          }
+        }
+      }
+      return;
+    }
+  }
+}
+
+LinkLoad traffic_concentration(const topology::Graph& graph,
+                               topology::NodeId root,
+                               const std::vector<topology::NodeId>& members,
+                               TreeType type) {
+  std::map<TreeModel::Edge, int> loads;
+  for (const topology::NodeId sender : members) {
+    GroupScenario scenario;
+    scenario.root = root;
+    scenario.source = sender;
+    scenario.receivers = members;
+    // On a unidirectional shared tree the RP forwards down every member
+    // branch — including the sender's own (the bounce-back inefficiency
+    // §5.2 holds against PIM-SM-style trees). The other types never push
+    // a packet back toward its sender.
+    if (type != TreeType::kUnidirectional) {
+      std::erase(scenario.receivers, sender);
+    }
+    if (scenario.receivers.empty()) continue;
+    const TreeModel model(graph, scenario);
+    model.accumulate_link_loads(type, loads);
+  }
+  LinkLoad out;
+  out.links_used = loads.size();
+  long long total = 0;
+  for (const auto& [edge, load] : loads) {
+    (void)edge;
+    out.max_load = std::max(out.max_load, load);
+    total += load;
+  }
+  if (!loads.empty()) {
+    out.mean_load = static_cast<double>(total) /
+                    static_cast<double>(loads.size());
+  }
+  return out;
+}
+
+PathLengthRatios ratios_vs_spt(const std::vector<std::uint32_t>& spt,
+                               const std::vector<std::uint32_t>& tree) {
+  if (spt.size() != tree.size()) {
+    throw std::invalid_argument("ratios_vs_spt: size mismatch");
+  }
+  PathLengthRatios out;
+  if (spt.empty()) return out;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < spt.size(); ++i) {
+    const double base = std::max<std::uint32_t>(spt[i], 1);
+    const double ratio = static_cast<double>(tree[i]) / base;
+    sum += ratio;
+    out.maximum = std::max(out.maximum, ratio);
+  }
+  out.average = sum / static_cast<double>(spt.size());
+  return out;
+}
+
+}  // namespace eval

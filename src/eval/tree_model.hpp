@@ -1,0 +1,142 @@
+// Closed-form, graph-level models of the four inter-domain distribution
+// tree types compared in §5.4 / Figure 4:
+//
+//  * shortest-path trees (DVMRP / PIM-DM / MOSPF — the SPT baseline);
+//  * unidirectional shared trees (PIM-SM: data detours via the RP/root);
+//  * bidirectional shared trees (CBT / BGMP without branches);
+//  * hybrid trees (BGMP: bidirectional tree + source-specific branches).
+//
+// Path lengths are inter-domain hop counts, exactly the paper's metric.
+// The models mirror the protocol mechanics: joins follow BFS (= BGP
+// shortest AS path) toward the root; a non-member source sends toward the
+// root until its packet hits the tree; a source-specific branch follows
+// the receiver's shortest path toward the source until it reaches the
+// shared tree or the source domain. The test suite verifies these models
+// against trees built by the real BGMP implementation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "topology/paths.hpp"
+
+namespace eval {
+
+enum class TreeType : std::uint8_t {
+  kShortestPath,
+  kUnidirectional,
+  kBidirectional,
+  kHybrid,
+};
+
+[[nodiscard]] constexpr const char* to_string(TreeType t) {
+  switch (t) {
+    case TreeType::kShortestPath: return "shortest-path";
+    case TreeType::kUnidirectional: return "unidirectional";
+    case TreeType::kBidirectional: return "bidirectional";
+    case TreeType::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+/// One group instance: root domain (the group's MASC-derived root, also
+/// the PIM-SM RP / CBT core for the shared-tree types), one source and
+/// the receiver set.
+struct GroupScenario {
+  topology::NodeId root = 0;
+  topology::NodeId source = 0;
+  std::vector<topology::NodeId> receivers;
+};
+
+/// Precomputed per-scenario state reused across tree types.
+class TreeModel {
+ public:
+  TreeModel(const topology::Graph& graph, GroupScenario scenario);
+
+  /// Variant with externally supplied routing trees: `from_root` must be
+  /// rooted at scenario.root and `from_source` at scenario.source. Used to
+  /// cross-check against the protocol implementation with the *exact*
+  /// next hops its BGP speakers converged on (equal-cost tie-breaks may
+  /// differ from plain BFS without changing path lengths).
+  TreeModel(const topology::Graph& graph, GroupScenario scenario,
+            topology::BfsTree from_root, topology::BfsTree from_source);
+
+  /// Hop count from the source to each receiver (scenario order) on the
+  /// given tree type.
+  [[nodiscard]] std::vector<std::uint32_t> path_lengths(TreeType type) const;
+
+
+  /// Number of distinct inter-domain links the tree occupies (the
+  /// bandwidth-cost metric of ablation A3): tree edges plus, for the
+  /// shared-tree types, the source's injection path.
+  [[nodiscard]] std::size_t tree_edges(TreeType type) const;
+
+  /// An undirected inter-domain link, nodes ordered.
+  using Edge = std::pair<topology::NodeId, topology::NodeId>;
+
+  /// Adds one packet's link traversals from this scenario's source to
+  /// `loads` — the §5.3 "traffic concentration" accounting. Shared-tree
+  /// types load every tree edge once per packet (the whole bidirectional
+  /// tree carries each packet) plus the injection path; SPT loads only
+  /// the source's own tree.
+  void accumulate_link_loads(TreeType type,
+                             std::map<Edge, int>& loads) const;
+
+  /// The node set of the bidirectional shared tree (receivers' BFS paths
+  /// to the root). Exposed for protocol cross-checks.
+  [[nodiscard]] const std::set<topology::NodeId>& shared_tree_nodes() const {
+    return tree_nodes_;
+  }
+
+  /// The entry node where the source's rootward path meets the shared
+  /// tree (= source itself if the source domain is on the tree).
+  [[nodiscard]] topology::NodeId source_entry() const { return entry_; }
+
+  /// For one receiver: the node where its source-specific branch reaches
+  /// the shared tree, or the source if it gets there first (§5.3).
+  [[nodiscard]] topology::NodeId branch_join(topology::NodeId receiver) const;
+
+ private:
+  [[nodiscard]] std::uint32_t bidirectional_length(
+      topology::NodeId receiver) const;
+  [[nodiscard]] std::uint32_t hybrid_length(topology::NodeId receiver) const;
+
+  const topology::Graph& graph_;
+  GroupScenario scenario_;
+  topology::BfsTree from_root_;
+  topology::BfsTree from_source_;
+  topology::RootedTree root_tree_;
+  std::set<topology::NodeId> tree_nodes_;
+  topology::NodeId entry_;
+  std::uint32_t source_to_entry_ = 0;
+};
+
+/// Aggregates for one Figure-4 point: average and maximum ratio of tree
+/// path length to the shortest-path length, over receivers (ratios use
+/// max(spt,1) to avoid dividing by zero when receiver == source domain).
+struct PathLengthRatios {
+  double average = 0.0;
+  double maximum = 0.0;
+};
+
+[[nodiscard]] PathLengthRatios ratios_vs_spt(
+    const std::vector<std::uint32_t>& spt,
+    const std::vector<std::uint32_t>& tree);
+
+/// Traffic concentration for a conferencing workload: every receiver also
+/// sends one packet. Returns the maximum and mean per-link load over the
+/// links any packet crossed.
+struct LinkLoad {
+  int max_load = 0;
+  double mean_load = 0.0;
+  std::size_t links_used = 0;
+};
+[[nodiscard]] LinkLoad traffic_concentration(
+    const topology::Graph& graph, topology::NodeId root,
+    const std::vector<topology::NodeId>& members, TreeType type);
+
+}  // namespace eval

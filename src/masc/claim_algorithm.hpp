@@ -1,0 +1,58 @@
+// The MASC claim algorithm (§4.3.3).
+//
+// "When a domain desires a new prefix, it looks at its local record of
+//  those prefixes that have already been claimed by its siblings. After
+//  removing these from consideration, it finds all the remaining prefixes
+//  of the shortest possible mask length, and randomly chooses one of them.
+//  The prefix it then claims is the first sub-prefix of the desired size
+//  within the chosen space."
+//
+// The functions here are pure given a registry snapshot; both the
+// allocation-level Figure-2 simulation and the message-level protocol node
+// call them, so the two layers cannot drift apart.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "net/rng.hpp"
+#include "net/time.hpp"
+#include "masc/registry.hpp"
+#include "masc/types.hpp"
+
+namespace masc {
+
+/// The free prefixes of shortest mask length across the given spaces
+/// (parent's advertised ranges), after removing live claims. E.g. with
+/// 224.0.1/24 and 239/8 claimed out of 224/4, returns {228/6, 232/6}.
+[[nodiscard]] std::vector<net::Prefix> shortest_free_prefixes(
+    std::span<const net::Prefix> spaces, const ClaimRegistry& registry,
+    net::SimTime now);
+
+/// Picks the prefix to claim for `desired_len`, per `strategy`. Returns
+/// nullopt when no free block of at least the desired size exists.
+[[nodiscard]] std::optional<net::Prefix> choose_claim(
+    std::span<const net::Prefix> spaces, const ClaimRegistry& registry,
+    int desired_len, net::SimTime now, net::Rng& rng,
+    ClaimStrategy strategy = ClaimStrategy::kRandomBlockFirstSub);
+
+/// Claim choice for expansion top-ups: prefers free space adjacent to the
+/// domain's existing prefixes, so that successive claims fill an aligned
+/// block and CIDR-aggregate into few group routes (§4.3.2: "the address
+/// prefixes claimed by a domain should be aggregatable so that the number
+/// of group routes injected by the domain into BGP is minimal"). Falls
+/// back to choose_claim when no adjacent space exists.
+[[nodiscard]] std::optional<net::Prefix> choose_claim_near(
+    std::span<const net::Prefix> own, std::span<const net::Prefix> spaces,
+    const ClaimRegistry& registry, int desired_len, net::SimTime now,
+    net::Rng& rng, ClaimStrategy strategy = ClaimStrategy::kRandomBlockFirstSub);
+
+/// True if `prefix` can be doubled: its sibling is free and the doubled
+/// prefix still fits inside one of the spaces.
+[[nodiscard]] bool can_double(const net::Prefix& prefix,
+                              std::span<const net::Prefix> spaces,
+                              const ClaimRegistry& registry, net::SimTime now);
+
+}  // namespace masc

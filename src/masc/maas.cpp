@@ -1,0 +1,152 @@
+#include "masc/maas.hpp"
+
+#include <algorithm>
+
+namespace masc {
+
+Maas::Maas(DomainPool& pool, Params params,
+           std::function<bool(std::uint64_t)> need_more_space)
+    : pool_(pool),
+      params_(params),
+      need_more_space_(std::move(need_more_space)) {}
+
+std::optional<net::Ipv4Addr> Maas::next_free(net::SimTime now,
+                                             bool short_lived) {
+  auto& free_list = short_lived ? short_free_list_ : free_list_;
+  while (!free_list.empty()) {
+    const net::Ipv4Addr addr = free_list.back();
+    free_list.pop_back();
+    // The address's block must still be live.
+    const bool live = std::any_of(
+        blocks_.begin(), blocks_.end(), [&](const HeldBlock& held) {
+          return held.block.expires > now && held.block.range.contains(addr);
+        });
+    if (live) return addr;
+  }
+  for (HeldBlock& held : blocks_) {
+    if (held.short_lived != short_lived || held.block.expires <= now) {
+      continue;
+    }
+    if (held.next_offset < held.block.range.size()) {
+      const net::Ipv4Addr addr{static_cast<std::uint32_t>(
+          held.block.range.base().value() + held.next_offset)};
+      ++held.next_offset;
+      return addr;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<AddressLease> Maas::allocate(net::SimTime now,
+                                           net::SimTime lifetime) {
+  // §4.3.1's two-pool policy: day-scale leases draw from day-scale blocks,
+  // everything else from the month-scale pool.
+  const bool short_lived = lifetime <= params_.short_lease_threshold;
+  const net::SimTime block_lifetime =
+      short_lived ? params_.short_block_lifetime : params_.block_lifetime;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (const auto addr = next_free(now, short_lived)) {
+      // Lease bounded by the containing block's lifetime (§4.3.1: the
+      // application "may obtain a multicast address that has a shorter
+      // lifetime than needed … cope … by explicitly renewing").
+      net::SimTime block_expiry = net::kTimeInfinity;
+      for (const HeldBlock& held : blocks_) {
+        if (held.block.range.contains(*addr)) {
+          block_expiry = held.block.expires;
+          break;
+        }
+      }
+      const net::SimTime expires = std::min(now + lifetime, block_expiry);
+      leases_[*addr] = expires;
+      return AddressLease{*addr, expires};
+    }
+    // Out of addresses in this class: lease another block from the pool.
+    if (auto block =
+            pool_.request_block(params_.block_size, now, block_lifetime)) {
+      blocks_.push_back(HeldBlock{*block, short_lived, 0});
+      continue;
+    }
+    // Pool dry too: escalate to MASC. Retry only on synchronous success.
+    if (!need_more_space_ || !need_more_space_(params_.block_size)) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<AddressLease> Maas::renew(net::Ipv4Addr address,
+                                        net::SimTime now,
+                                        net::SimTime lifetime) {
+  const auto it = leases_.find(address);
+  if (it == leases_.end()) return std::nullopt;
+  net::SimTime block_expiry;
+  bool found = false;
+  for (const HeldBlock& held : blocks_) {
+    if (held.block.range.contains(address)) {
+      block_expiry = held.block.expires;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return std::nullopt;
+  it->second = std::min(now + lifetime, block_expiry);
+  return AddressLease{address, it->second};
+}
+
+bool Maas::release(net::Ipv4Addr address) {
+  const auto it = leases_.find(address);
+  if (it == leases_.end()) return false;
+  leases_.erase(it);
+  for (const HeldBlock& held : blocks_) {
+    if (held.block.range.contains(address)) {
+      (held.short_lived ? short_free_list_ : free_list_).push_back(address);
+      return true;
+    }
+  }
+  return true;  // block already gone; nothing to recycle into
+}
+
+void Maas::age(net::SimTime now) {
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second <= now) {
+      for (const HeldBlock& held : blocks_) {
+        if (held.block.expires > now &&
+            held.block.range.contains(it->first)) {
+          (held.short_lived ? short_free_list_ : free_list_)
+              .push_back(it->first);
+          break;
+        }
+      }
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Return fully drained, expired blocks to the pool.
+  std::erase_if(blocks_, [&](const HeldBlock& held) {
+    if (held.block.expires > now) return false;
+    const bool in_use = std::any_of(
+        leases_.begin(), leases_.end(), [&](const auto& lease) {
+          return held.block.range.contains(lease.first);
+        });
+    if (in_use) return false;
+    pool_.release_block(held.block.id);
+    return true;
+  });
+}
+
+std::size_t Maas::long_block_count(net::SimTime now) const {
+  return static_cast<std::size_t>(std::count_if(
+      blocks_.begin(), blocks_.end(), [&](const HeldBlock& b) {
+        return !b.short_lived && b.block.expires > now;
+      }));
+}
+
+std::size_t Maas::short_block_count(net::SimTime now) const {
+  return static_cast<std::size_t>(std::count_if(
+      blocks_.begin(), blocks_.end(), [&](const HeldBlock& b) {
+        return b.short_lived && b.block.expires > now;
+      }));
+}
+
+}  // namespace masc

@@ -1,0 +1,102 @@
+// MAAS — the per-domain Multicast Address Allocation Server (§4, [13]).
+//
+// MAASes "assign unique multicast addresses to clients in their domain from
+// address ranges provided, and … monitor the domain's address space
+// utilization". This implementation leases individual group addresses out
+// of the blocks it obtains from the domain's pool, with per-address
+// lifetimes, and escalates to MASC (via the owner's hook) when the pool
+// runs dry — the "communicate to the MASC nodes the need for more address
+// space" path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/ip.hpp"
+#include "net/time.hpp"
+#include "masc/pool.hpp"
+
+namespace masc {
+
+struct AddressLease {
+  net::Ipv4Addr address;
+  net::SimTime expires;
+};
+
+class Maas {
+ public:
+  struct Params {
+    /// Block size requested from the pool when MAAS runs out (the Figure-2
+    /// workload uses 256).
+    std::uint64_t block_size = 256;
+    /// §4.3.1: "at least two pools of multicast addresses with different
+    /// lifetimes — one associated with lifetimes on the order of months
+    /// and the other with lifetimes on the order of days. The former …
+    /// for the steady-state demand … the latter … short-term increases."
+    /// Leases longer than `short_lease_threshold` come from long-lifetime
+    /// blocks; shorter ones from short-lifetime blocks, which drain fast
+    /// so a demand spike does not inflate the domain's claim for a month.
+    net::SimTime block_lifetime = net::SimTime::days(30);
+    net::SimTime short_block_lifetime = net::SimTime::days(3);
+    net::SimTime short_lease_threshold = net::SimTime::days(1);
+  };
+
+  /// `need_more_space(addresses)` is invoked when even a fresh block cannot
+  /// be obtained; it should trigger MASC claiming and return true if the
+  /// pool gained capacity synchronously (the allocation then retries once).
+  /// Asynchronous acquisition (the 48-hour claim wait) returns false and
+  /// the client retries later — the paper's best-effort model.
+  Maas(DomainPool& pool, Params params,
+       std::function<bool(std::uint64_t addresses)> need_more_space);
+
+  /// Leases one group address for at most `lifetime` (§4.3.1: the granted
+  /// lease may be shorter if only shorter-lived space is available;
+  /// "applications should be prepared to cope" by renewing).
+  [[nodiscard]] std::optional<AddressLease> allocate(net::SimTime now,
+                                                     net::SimTime lifetime);
+
+  /// Renews an existing lease. Returns the new lease, or nullopt if the
+  /// address is not currently leased.
+  [[nodiscard]] std::optional<AddressLease> renew(net::Ipv4Addr address,
+                                                  net::SimTime now,
+                                                  net::SimTime lifetime);
+
+  /// Returns an address before its lease ends. False if not leased.
+  bool release(net::Ipv4Addr address);
+
+  /// Drops expired leases and returns drained blocks to the pool.
+  void age(net::SimTime now);
+
+  [[nodiscard]] std::size_t leased_count() const { return leases_.size(); }
+  [[nodiscard]] bool is_leased(net::Ipv4Addr address) const {
+    return leases_.contains(address);
+  }
+
+  /// Live blocks currently held per lifetime class (diagnostics).
+  [[nodiscard]] std::size_t long_block_count(net::SimTime now) const;
+  [[nodiscard]] std::size_t short_block_count(net::SimTime now) const;
+
+ private:
+  struct HeldBlock {
+    Block block;
+    bool short_lived = false;
+    std::uint64_t next_offset = 0;  // bump allocator within the block
+  };
+
+  [[nodiscard]] std::optional<net::Ipv4Addr> next_free(net::SimTime now,
+                                                       bool short_lived);
+
+  DomainPool& pool_;
+  Params params_;
+  std::function<bool(std::uint64_t)> need_more_space_;
+  std::vector<HeldBlock> blocks_;
+  std::map<net::Ipv4Addr, net::SimTime> leases_;
+  /// Addresses released early, reusable before their block drains, per
+  /// lifetime class.
+  std::vector<net::Ipv4Addr> free_list_;
+  std::vector<net::Ipv4Addr> short_free_list_;
+};
+
+}  // namespace masc

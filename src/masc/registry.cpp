@@ -1,0 +1,130 @@
+#include "masc/registry.hpp"
+
+#include <stdexcept>
+
+namespace masc {
+
+namespace {
+
+bool is_live(const ClaimRegistry::Entry& entry, net::SimTime now) {
+  return entry.expires > now;
+}
+
+}  // namespace
+
+bool ClaimRegistry::live_overlap_exists(const net::Prefix& prefix,
+                                        net::SimTime now) const {
+  // An overlap is an ancestor (on the path to the prefix) or any descendant.
+  bool found = false;
+  const auto ancestor = trie_.longest_match(prefix);
+  if (ancestor && is_live(*ancestor->second, now)) return true;
+  trie_.for_each_within(prefix, [&](const net::Prefix&, const Entry& e) {
+    if (is_live(e, now)) found = true;
+  });
+  return found;
+}
+
+bool ClaimRegistry::claim(const net::Prefix& prefix, DomainId owner,
+                          net::SimTime expires, net::SimTime now) {
+  if (expires <= now) {
+    throw std::invalid_argument("ClaimRegistry::claim: already expired");
+  }
+  // Collect live overlapping claims; any foreign one is a collision.
+  std::vector<net::Prefix> own_overlaps;
+  bool foreign = false;
+  const auto consider = [&](const net::Prefix& p, const Entry& e) {
+    if (!is_live(e, now)) return;
+    if (e.owner == owner) {
+      own_overlaps.push_back(p);
+    } else {
+      foreign = true;
+    }
+  };
+  const auto ancestor = trie_.longest_match(prefix);
+  if (ancestor) consider(ancestor->first, *ancestor->second);
+  trie_.for_each_within(prefix, [&](const net::Prefix& p, const Entry& e) {
+    if (p != (ancestor ? ancestor->first : net::Prefix{}) || !ancestor) {
+      consider(p, e);
+    }
+  });
+  if (foreign) return false;
+  // Doubling/renewal: own claims covered by (or covering) the new prefix
+  // are folded into it.
+  for (const net::Prefix& p : own_overlaps) trie_.erase(p);
+  trie_.insert(prefix, Entry{owner, expires});
+  return true;
+}
+
+void ClaimRegistry::release(const net::Prefix& prefix) {
+  trie_.erase(prefix);
+}
+
+bool ClaimRegistry::is_free(const net::Prefix& prefix,
+                            net::SimTime now) const {
+  return !live_overlap_exists(prefix, now);
+}
+
+std::optional<std::pair<net::Prefix, ClaimRegistry::Entry>>
+ClaimRegistry::conflicting(const net::Prefix& prefix, net::SimTime now) const {
+  const auto ancestor = trie_.longest_match(prefix);
+  if (ancestor && is_live(*ancestor->second, now)) {
+    return {{ancestor->first, *ancestor->second}};
+  }
+  std::optional<std::pair<net::Prefix, Entry>> hit;
+  trie_.for_each_within(prefix, [&](const net::Prefix& p, const Entry& e) {
+    if (!hit && is_live(e, now)) hit = {{p, e}};
+  });
+  return hit;
+}
+
+std::optional<DomainId> ClaimRegistry::owner_of(const net::Prefix& prefix,
+                                                net::SimTime now) const {
+  const Entry* entry = trie_.find(prefix);
+  if (entry == nullptr || !is_live(*entry, now)) return std::nullopt;
+  return entry->owner;
+}
+
+void ClaimRegistry::purge_expired(net::SimTime now) {
+  std::vector<net::Prefix> dead;
+  trie_.for_each([&](const net::Prefix& p, const Entry& e) {
+    if (!is_live(e, now)) dead.push_back(p);
+  });
+  for (const net::Prefix& p : dead) trie_.erase(p);
+}
+
+void ClaimRegistry::free_decompose(const net::Prefix& space, net::SimTime now,
+                                   std::vector<net::Prefix>& out) const {
+  if (!live_overlap_exists(space, now)) {
+    out.push_back(space);
+    return;
+  }
+  // Some live claim overlaps. If a live claim covers the whole space (or
+  // equals it), nothing is free here; otherwise split and recurse.
+  const auto ancestor = trie_.longest_match(space);
+  if (ancestor && is_live(*ancestor->second, now)) return;  // covered
+  if (const Entry* exact = trie_.find(space);
+      exact != nullptr && is_live(*exact, now)) {
+    return;
+  }
+  if (space.length() == 32) return;
+  free_decompose(space.left_child(), now, out);
+  free_decompose(space.right_child(), now, out);
+}
+
+std::vector<net::Prefix> ClaimRegistry::free_prefixes(
+    const net::Prefix& space, net::SimTime now) const {
+  std::vector<net::Prefix> out;
+  free_decompose(space, now, out);
+  return out;
+}
+
+std::vector<std::pair<net::Prefix, ClaimRegistry::Entry>>
+ClaimRegistry::claims(net::SimTime now) const {
+  std::vector<std::pair<net::Prefix, Entry>> out;
+  trie_.for_each([&](const net::Prefix& p, const Entry& e) {
+    if (is_live(e, now)) out.emplace_back(p, e);
+  });
+  return out;
+}
+
+}  // namespace masc

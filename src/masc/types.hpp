@@ -1,0 +1,84 @@
+// Shared MASC types: strategies, parameters, claimed-prefix records.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/prefix.hpp"
+#include "net/time.hpp"
+
+namespace masc {
+
+using DomainId = std::uint32_t;
+
+/// How a claimant picks a prefix among the free space (§4.3.3 and the A1
+/// ablation variants).
+enum class ClaimStrategy : std::uint8_t {
+  /// The paper's algorithm: among the free prefixes of shortest mask
+  /// length, pick one uniformly at random, then claim the FIRST sub-prefix
+  /// of the desired size ("allows the greatest potential for future
+  /// growth").
+  kRandomBlockFirstSub,
+  /// Deterministic first-fit: always the lowest free block, first
+  /// sub-prefix. Higher collision odds under simultaneous claims.
+  kFirstFit,
+  /// Random block AND a random (rather than first) sub-prefix inside it —
+  /// sacrifices doubling headroom; ablation A1 measures the cost.
+  kRandomBlockRandomSub,
+};
+
+[[nodiscard]] constexpr const char* to_string(ClaimStrategy s) {
+  switch (s) {
+    case ClaimStrategy::kRandomBlockFirstSub: return "random-first";
+    case ClaimStrategy::kFirstFit: return "first-fit";
+    case ClaimStrategy::kRandomBlockRandomSub: return "random-random";
+  }
+  return "?";
+}
+
+/// Which expansion moves a domain may use when demand outgrows its space
+/// (§4.3.3's simulation rules and the A1 ablation variants).
+enum class ExpansionPolicy : std::uint8_t {
+  kPaper,          ///< double if post-double utilization >= target, else new prefix
+  kDoubleOnly,     ///< never claim additional prefixes, only double
+  kNewPrefixOnly,  ///< never double, always claim additional prefixes
+};
+
+[[nodiscard]] constexpr const char* to_string(ExpansionPolicy p) {
+  switch (p) {
+    case ExpansionPolicy::kPaper: return "paper";
+    case ExpansionPolicy::kDoubleOnly: return "double-only";
+    case ExpansionPolicy::kNewPrefixOnly: return "new-prefix-only";
+  }
+  return "?";
+}
+
+struct PoolParams {
+  /// Target occupancy of the domain's claimed space (§4.3.3: "Our target
+  /// occupancy for a domain's address space is 75% or greater").
+  double occupancy_target = 0.75;
+  /// "We attempt to keep the number of prefixes per domain to no more than
+  /// two."
+  int max_prefixes = 2;
+  /// Lifetime attached to claimed prefixes; renewed while still in use.
+  net::SimTime prefix_lifetime = net::SimTime::days(30);
+  ClaimStrategy strategy = ClaimStrategy::kRandomBlockFirstSub;
+  ExpansionPolicy expansion = ExpansionPolicy::kPaper;
+};
+
+/// One address range held by a domain.
+struct ClaimedPrefix {
+  net::Prefix prefix;
+  net::SimTime expires;
+  /// Active prefixes serve new allocations; inactive ones only drain
+  /// (§4.3.3: old prefixes "are made inactive and will timeout when the
+  /// currently allocated addresses timeout").
+  bool active = true;
+};
+
+/// Smallest mask length whose prefix holds at least `addresses`.
+/// E.g. 1024 addresses → /22 (the §4.3.3 example); 1 → /32; 0 is invalid.
+[[nodiscard]] int mask_length_for(std::uint64_t addresses);
+
+}  // namespace masc

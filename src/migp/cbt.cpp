@@ -1,0 +1,52 @@
+#include "migp/cbt.hpp"
+
+namespace migp {
+
+CbtMigp::CbtMigp(topology::Graph graph, std::vector<RouterId> borders,
+                 RpfExitFn rpf_exit)
+    : MigpBase(std::move(graph), std::move(borders), std::move(rpf_exit)) {}
+
+void CbtMigp::set_core(Group group, RouterId core) {
+  check_router(core);
+  core_override_[group] = core;
+}
+
+RouterId CbtMigp::core_for(Group group) const {
+  const auto it = core_override_.find(group);
+  if (it != core_override_.end()) return it->second;
+  return static_cast<RouterId>(group.value() % router_count());
+}
+
+DataDelivery CbtMigp::inject(RouterId at, net::Ipv4Addr source, Group group,
+                             bool source_is_external) {
+  check_router(at);
+  (void)source;
+  (void)source_is_external;  // bidirectional trees RPF against the core only
+  DataDelivery out;
+  const RouterId core = core_for(group);
+  const topology::BfsTree& core_tree = tree_from(core);
+  const std::set<RouterId> interested = interested_routers(group);
+
+  // The shared tree: union of member→core paths.
+  std::set<RouterId> on_tree{core};
+  for (const RouterId t : interested) {
+    for (RouterId cur = t; !on_tree.contains(cur);
+         cur = core_tree.parent[cur]) {
+      on_tree.insert(cur);
+      if (cur == core) break;
+    }
+  }
+  // A non-member sender forwards toward the core until hitting the tree.
+  RouterId entry = at;
+  while (!on_tree.contains(entry)) {
+    entry = core_tree.parent[entry];
+    ++out.internal_hops;
+  }
+  // Bidirectional flow: from the entry point the packet traverses the
+  // whole tree (every branch carries it exactly once).
+  out.internal_hops += static_cast<int>(on_tree.size()) - 1;
+  for (const RouterId r : on_tree) classify(r, group, at, out);
+  return out;
+}
+
+}  // namespace migp

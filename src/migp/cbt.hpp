@@ -1,0 +1,35 @@
+// CBT (Core Based Trees): bidirectional shared trees rooted at a core.
+//
+// Member routers (and BGMP-joined borders) join a single bidirectional
+// tree toward the group's core. Data from any sender enters the tree at
+// the nearest on-tree router and flows along every tree branch — the
+// intra-domain ancestor of BGMP's inter-domain bidirectional trees (§5.2:
+// "BGMP, like CBT, builds bidirectional group-shared trees").
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "migp/migp_base.hpp"
+
+namespace migp {
+
+class CbtMigp final : public MigpBase {
+ public:
+  CbtMigp(topology::Graph graph, std::vector<RouterId> borders,
+          RpfExitFn rpf_exit);
+
+  [[nodiscard]] std::string protocol_name() const override { return "CBT"; }
+
+  /// Pins the core for a group; defaults to a deterministic hash.
+  void set_core(Group group, RouterId core);
+  [[nodiscard]] RouterId core_for(Group group) const;
+
+  DataDelivery inject(RouterId at, net::Ipv4Addr source, Group group,
+                      bool source_is_external) override;
+
+ private:
+  std::map<Group, RouterId> core_override_;
+};
+
+}  // namespace migp

@@ -1,0 +1,51 @@
+#include "migp/factory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "migp/cbt.hpp"
+#include "migp/flood_prune.hpp"
+#include "migp/mospf.hpp"
+#include "migp/pim_sm.hpp"
+
+namespace migp {
+
+Protocol parse_protocol(std::string_view name) {
+  if (name == "dvmrp") return Protocol::kDvmrp;
+  if (name == "pim-dm") return Protocol::kPimDm;
+  if (name == "pim-sm") return Protocol::kPimSm;
+  if (name == "cbt") return Protocol::kCbt;
+  if (name == "mospf") return Protocol::kMospf;
+  throw std::invalid_argument("parse_protocol: unknown MIGP '" +
+                              std::string(name) + "'");
+}
+
+std::unique_ptr<Migp> make_migp(Protocol protocol, topology::Graph graph,
+                                std::vector<RouterId> borders,
+                                Migp::RpfExitFn rpf_exit) {
+  switch (protocol) {
+    case Protocol::kDvmrp:
+      return std::make_unique<FloodPruneMigp>(FloodPruneMigp::Flavor::kDvmrp,
+                                              std::move(graph),
+                                              std::move(borders),
+                                              std::move(rpf_exit));
+    case Protocol::kPimDm:
+      return std::make_unique<FloodPruneMigp>(FloodPruneMigp::Flavor::kPimDm,
+                                              std::move(graph),
+                                              std::move(borders),
+                                              std::move(rpf_exit));
+    case Protocol::kPimSm:
+      return std::make_unique<PimSmMigp>(std::move(graph), std::move(borders),
+                                         std::move(rpf_exit));
+    case Protocol::kCbt:
+      return std::make_unique<CbtMigp>(std::move(graph), std::move(borders),
+                                       std::move(rpf_exit));
+    case Protocol::kMospf:
+      return std::make_unique<MospfMigp>(std::move(graph),
+                                         std::move(borders),
+                                         std::move(rpf_exit));
+  }
+  throw std::logic_error("make_migp: unreachable");
+}
+
+}  // namespace migp

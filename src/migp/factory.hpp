@@ -1,0 +1,24 @@
+// Construction of MIGP instances by protocol name — the per-domain choice
+// the architecture leaves free (§3: "allows each domain the choice of
+// which multicast routing protocol to run inside the domain").
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "migp/migp.hpp"
+#include "topology/graph.hpp"
+
+namespace migp {
+
+enum class Protocol { kDvmrp, kPimDm, kPimSm, kCbt, kMospf };
+
+/// Parses "dvmrp", "pim-dm", "pim-sm", "cbt", "mospf" (case-sensitive).
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] Protocol parse_protocol(std::string_view name);
+
+[[nodiscard]] std::unique_ptr<Migp> make_migp(
+    Protocol protocol, topology::Graph graph,
+    std::vector<RouterId> borders, Migp::RpfExitFn rpf_exit);
+
+}  // namespace migp

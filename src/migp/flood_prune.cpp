@@ -1,0 +1,47 @@
+#include "migp/flood_prune.hpp"
+
+namespace migp {
+
+FloodPruneMigp::FloodPruneMigp(Flavor flavor, topology::Graph graph,
+                               std::vector<RouterId> borders,
+                               RpfExitFn rpf_exit)
+    : MigpBase(std::move(graph), std::move(borders), std::move(rpf_exit)),
+      flavor_(flavor) {}
+
+DataDelivery FloodPruneMigp::inject(RouterId at, net::Ipv4Addr source,
+                                    Group group, bool source_is_external) {
+  check_router(at);
+  DataDelivery out;
+  // RPF: internal routers only accept a packet for `source` from their
+  // neighbor toward the source. For an external source that means the
+  // packet must enter at the best exit router toward it.
+  if (source_is_external && at != rpf_exit_for(source)) {
+    out.rpf_accepted = false;
+    return out;
+  }
+  const SourceGroup key{source, group};
+  if (!established_.contains(key)) {
+    // First packet: RPF broadcast. Every router receives it once (each
+    // edge of the broadcast tree crossed once; off-tree edges carry the
+    // duplicate that triggers the prune — counted as traversals too).
+    established_.insert(key);
+    ++floods_;
+    out.flooded = true;
+    out.internal_hops = static_cast<int>(graph_.edge_count());
+    for (RouterId r = 0; r < router_count(); ++r) {
+      if (router_has_members(r, group) ) {
+        out.member_routers.push_back(r);
+      }
+      // Floods reach every border router's MIGP component; prunes follow
+      // from the ones without interest.
+      if (r != at && is_border(r)) out.border_routers.push_back(r);
+    }
+    return out;
+  }
+  // Pruned state: data follows the source-rooted shortest-path tree to the
+  // routers that still have downstream interest.
+  deliver_along_paths(at, interested_routers(group), group, at, out);
+  return out;
+}
+
+}  // namespace migp

@@ -1,0 +1,50 @@
+// DVMRP and PIM-DM: flood-and-prune ("broadcast and prune") protocols.
+//
+// The first packet of each (source, group) pair is flooded over the
+// domain's RPF broadcast tree and reaches every router — including every
+// border router, which is how BGMP exit routers first learn of local
+// senders (§5: "data packets are initially flooded throughout the domain
+// and so reach all the border routers"). Routers without downstream
+// interest then prune, leaving a source-rooted shortest-path tree serving
+// member routers and BGMP-joined borders. Joins re-graft (modelled as
+// recomputation: prune state keys on membership, not time).
+//
+// External data is RPF-checked: a packet entering at a border router that
+// is not the domain's best exit toward the source is rejected, which is
+// what forces BGMP to encapsulate between border routers (§5.3).
+#pragma once
+
+#include <set>
+#include <utility>
+
+#include "migp/migp_base.hpp"
+
+namespace migp {
+
+class FloodPruneMigp final : public MigpBase {
+ public:
+  enum class Flavor { kDvmrp, kPimDm };
+
+  FloodPruneMigp(Flavor flavor, topology::Graph graph,
+                 std::vector<RouterId> borders, RpfExitFn rpf_exit);
+
+  [[nodiscard]] std::string protocol_name() const override {
+    return flavor_ == Flavor::kDvmrp ? "DVMRP" : "PIM-DM";
+  }
+
+  DataDelivery inject(RouterId at, net::Ipv4Addr source, Group group,
+                      bool source_is_external) override;
+
+  /// Number of domain-wide floods so far (control/traffic overhead metric).
+  [[nodiscard]] int flood_count() const { return floods_; }
+
+ private:
+  using SourceGroup = std::pair<net::Ipv4Addr, Group>;
+
+  Flavor flavor_;
+  /// (S,G) pairs whose prune state is established (first flood done).
+  std::set<SourceGroup> established_;
+  int floods_ = 0;
+};
+
+}  // namespace migp

@@ -1,0 +1,30 @@
+#include "migp/mospf.hpp"
+
+namespace migp {
+
+MospfMigp::MospfMigp(topology::Graph graph, std::vector<RouterId> borders,
+                     RpfExitFn rpf_exit)
+    : MigpBase(std::move(graph), std::move(borders), std::move(rpf_exit)) {}
+
+void MospfMigp::host_join(RouterId at, Group group) {
+  MigpBase::host_join(at, group);
+  // Each membership change floods an LSA over every link.
+  flood_cost_ += static_cast<int>(graph_.edge_count());
+}
+
+void MospfMigp::host_leave(RouterId at, Group group) {
+  MigpBase::host_leave(at, group);
+  flood_cost_ += static_cast<int>(graph_.edge_count());
+}
+
+DataDelivery MospfMigp::inject(RouterId at, net::Ipv4Addr source, Group group,
+                               bool source_is_external) {
+  check_router(at);
+  (void)source;
+  (void)source_is_external;  // SPF from the entry point: no RPF rejection
+  DataDelivery out;
+  deliver_along_paths(at, interested_routers(group), group, at, out);
+  return out;
+}
+
+}  // namespace migp

@@ -1,0 +1,35 @@
+// MOSPF: link-state multicast — membership is flooded to every router, and
+// data follows per-source shortest-path trees computed on demand (§1:
+// "MOSPF floods group membership information to all the routers so that
+// they can build multicast distribution trees").
+//
+// Because every router knows the full topology and membership, there is no
+// data flooding and no prune state; the cost is the membership-flooding
+// control traffic, tracked here per membership change.
+#pragma once
+
+#include "migp/migp_base.hpp"
+
+namespace migp {
+
+class MospfMigp final : public MigpBase {
+ public:
+  MospfMigp(topology::Graph graph, std::vector<RouterId> borders,
+            RpfExitFn rpf_exit);
+
+  [[nodiscard]] std::string protocol_name() const override { return "MOSPF"; }
+
+  void host_join(RouterId at, Group group) override;
+  void host_leave(RouterId at, Group group) override;
+
+  DataDelivery inject(RouterId at, net::Ipv4Addr source, Group group,
+                      bool source_is_external) override;
+
+  /// Link traversals spent flooding membership LSAs so far.
+  [[nodiscard]] int membership_flood_cost() const { return flood_cost_; }
+
+ private:
+  int flood_cost_ = 0;
+};
+
+}  // namespace migp

@@ -1,0 +1,47 @@
+#include "migp/pim_sm.hpp"
+
+namespace migp {
+
+PimSmMigp::PimSmMigp(topology::Graph graph, std::vector<RouterId> borders,
+                     RpfExitFn rpf_exit, bool spt_switchover)
+    : MigpBase(std::move(graph), std::move(borders), std::move(rpf_exit)),
+      spt_switchover_(spt_switchover) {}
+
+void PimSmMigp::set_rp(Group group, RouterId rp) {
+  check_router(rp);
+  rp_override_[group] = rp;
+}
+
+RouterId PimSmMigp::rp_for(Group group) const {
+  const auto it = rp_override_.find(group);
+  if (it != rp_override_.end()) return it->second;
+  // Deterministic hash of the group address over the candidate routers —
+  // the intra-domain load-sharing choice §5.1 describes.
+  return static_cast<RouterId>(group.value() % router_count());
+}
+
+DataDelivery PimSmMigp::inject(RouterId at, net::Ipv4Addr source, Group group,
+                               bool source_is_external) {
+  check_router(at);
+  (void)source_is_external;  // registers tunnel: no RPF rejection at entry
+  DataDelivery out;
+  const std::set<RouterId> interested = interested_routers(group);
+  const std::pair<net::Ipv4Addr, Group> key{source, group};
+  if (spt_switchover_ && spt_active_.contains(key)) {
+    // Receivers joined the source tree: data flows directly.
+    deliver_along_paths(at, interested, group, at, out);
+    return out;
+  }
+  // Register-encapsulate to the RP (unicast hops), then down the
+  // unidirectional shared tree.
+  const RouterId rp = rp_for(group);
+  if (at != rp) {
+    out.internal_hops += unicast_hops(at, rp);
+    ++registers_;
+  }
+  deliver_along_paths(rp, interested, group, at, out);
+  if (spt_switchover_ && !interested.empty()) spt_active_.insert(key);
+  return out;
+}
+
+}  // namespace migp

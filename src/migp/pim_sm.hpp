@@ -1,0 +1,52 @@
+// PIM Sparse Mode: explicit-join unidirectional shared trees rooted at a
+// Rendezvous Point.
+//
+// Receivers' routers join a (*,G) tree toward the RP; senders' first-hop
+// routers register-encapsulate data to the RP, which forwards it down the
+// shared tree. Data therefore detours via the RP — the unidirectional-tree
+// cost that §5.2 contrasts with BGMP's bidirectional trees. Receivers may
+// optionally switch to source-specific shortest-path trees after the first
+// packet (the PIM-SM SPT switchover).
+//
+// Per §5's example, the domain glue may pin a group's RP to the best exit
+// border router ("it might make exit router A3 the Rendezvous-Point"); by
+// default the RP is a deterministic hash of the group over the routers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "migp/migp_base.hpp"
+
+namespace migp {
+
+class PimSmMigp final : public MigpBase {
+ public:
+  PimSmMigp(topology::Graph graph, std::vector<RouterId> borders,
+            RpfExitFn rpf_exit, bool spt_switchover = false);
+
+  [[nodiscard]] std::string protocol_name() const override {
+    return "PIM-SM";
+  }
+
+  /// Pins the RP for a group (e.g. to the group's best exit router).
+  void set_rp(Group group, RouterId rp);
+  [[nodiscard]] RouterId rp_for(Group group) const;
+
+  DataDelivery inject(RouterId at, net::Ipv4Addr source, Group group,
+                      bool source_is_external) override;
+
+  /// Register-encapsulations performed (sender-side tunnelling overhead).
+  [[nodiscard]] int register_count() const { return registers_; }
+
+ private:
+  std::map<Group, RouterId> rp_override_;
+  /// (S,G) pairs for which receivers have switched to the shortest-path
+  /// tree (only populated when spt_switchover_ is on).
+  std::set<std::pair<net::Ipv4Addr, Group>> spt_active_;
+  bool spt_switchover_;
+  int registers_ = 0;
+};
+
+}  // namespace migp

@@ -1,0 +1,82 @@
+#include "net/event.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace net {
+
+EventId EventQueue::schedule_at(SimTime at, Action action) {
+  if (at < now_) {
+    throw std::invalid_argument("EventQueue: scheduling in the past (" +
+                                at.to_string() + " < " + now_.to_string() +
+                                ")");
+  }
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{at, seq, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end());
+  pending_.insert(seq);
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto seq = static_cast<std::uint64_t>(id);
+  // Only mark if still pending; a stale id for an already-run event is a
+  // no-op rather than poisoning a future seq (seqs are never reused).
+  if (!pending_.contains(seq) || cancelled_.contains(seq)) return false;
+  cancelled_.insert(seq);
+  return true;
+}
+
+bool EventQueue::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    pending_.erase(entry.seq);
+    if (cancelled_.erase(entry.seq) > 0) continue;
+    out = std::move(entry);
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::step() {
+  Entry entry;
+  if (!pop_next(entry)) return false;
+  now_ = entry.at;
+  ++events_run_;
+  entry.action();
+  return true;
+}
+
+void EventQueue::run_until(SimTime deadline) {
+  Entry entry;
+  while (true) {
+    if (heap_.empty()) break;
+    // Peek: the heap front is the earliest entry, but it may be cancelled;
+    // pop_next handles that, so pop and possibly re-push.
+    if (!pop_next(entry)) break;
+    if (entry.at > deadline) {
+      // Not due yet; put it back.
+      pending_.insert(entry.seq);
+      heap_.push_back(std::move(entry));
+      std::push_heap(heap_.begin(), heap_.end());
+      break;
+    }
+    now_ = entry.at;
+    ++events_run_;
+    entry.action();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (step()) {
+    if (++fired > max_events) {
+      throw std::runtime_error("EventQueue::run: exceeded max_events");
+    }
+  }
+}
+
+}  // namespace net

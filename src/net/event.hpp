@@ -1,0 +1,77 @@
+// Deterministic discrete-event scheduler — the heart of the ns-style
+// simulation. Events at equal timestamps fire in scheduling order, so a run
+// is a pure function of its inputs and seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "net/time.hpp"
+
+namespace net {
+
+/// Handle for cancelling a scheduled event.
+enum class EventId : std::uint64_t {};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` to run at absolute time `at` (must be >= now()).
+  /// Throws std::invalid_argument on attempts to schedule in the past.
+  EventId schedule_at(SimTime at, Action action);
+
+  /// Schedules `action` to run `delay` from now.
+  EventId schedule_in(SimTime delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// cancelled. Cancellation is O(1); the slot is skipped at pop time.
+  bool cancel(EventId id);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const {
+    return heap_.size() - cancelled_.size();
+  }
+  [[nodiscard]] bool empty() const { return pending() == 0; }
+  [[nodiscard]] std::uint64_t events_run() const { return events_run_; }
+
+  /// Runs the next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs events with timestamp <= `deadline`, then advances now() to
+  /// `deadline` (even if the queue drained earlier), so periodic processes
+  /// see consistent time.
+  void run_until(SimTime deadline);
+
+  /// Runs all events to exhaustion. Throws std::runtime_error if more than
+  /// `max_events` fire (runaway-loop guard).
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq = 0;  // tie-break: FIFO among equal timestamps
+    Action action;
+    // std::push_heap builds a max-heap; invert so the earliest event wins.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the earliest non-cancelled entry; false when drained.
+  bool pop_next(Entry& out);
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_run_ = 0;
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;  // seqs currently in heap_
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace net

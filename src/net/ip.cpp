@@ -1,0 +1,60 @@
+#include "net/ip.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+namespace net {
+
+namespace {
+
+// Parses one decimal octet in [0,255] from the front of `text`, advancing it.
+std::uint32_t parse_octet(std::string_view& text) {
+  unsigned value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || value > 255 || ptr == text.data()) {
+    throw std::invalid_argument("Ipv4Addr::parse: bad octet in '" +
+                                std::string(text) + "'");
+  }
+  text.remove_prefix(static_cast<std::size_t>(ptr - text.data()));
+  return value;
+}
+
+}  // namespace
+
+Ipv4Addr Ipv4Addr::parse(std::string_view text) {
+  std::string_view rest = text;
+  std::uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (rest.empty() || rest.front() != '.') {
+        throw std::invalid_argument("Ipv4Addr::parse: expected '.' in '" +
+                                    std::string(text) + "'");
+      }
+      rest.remove_prefix(1);
+    }
+    bits = (bits << 8) | parse_octet(rest);
+  }
+  if (!rest.empty()) {
+    throw std::invalid_argument("Ipv4Addr::parse: trailing garbage in '" +
+                                std::string(text) + "'");
+  }
+  return Ipv4Addr{bits};
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((bits_ >> shift) & 0xFF);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Addr addr) {
+  return os << addr.to_string();
+}
+
+}  // namespace net

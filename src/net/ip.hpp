@@ -1,0 +1,63 @@
+// IPv4 address value type used throughout the library.
+//
+// The paper's architecture operates on the IPv4 multicast address space
+// 224.0.0.0/4 ("class D"); this header provides the address arithmetic the
+// MASC claim algorithm and the BGP/BGMP routing machinery build on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace net {
+
+/// An IPv4 address as a host-order 32-bit value.
+///
+/// A plain value type: totally ordered, hashable, cheap to copy. Arithmetic
+/// (offset within a block, distance between addresses) is done on the raw
+/// `value()` by callers that know what they are doing (e.g. the MASC pool).
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : bits_(host_order) {}
+
+  /// Builds an address from its four dotted-quad octets.
+  static constexpr Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b,
+                                        std::uint8_t c, std::uint8_t d) {
+    return Ipv4Addr{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | std::uint32_t{d}};
+  }
+
+  /// Parses "a.b.c.d". Throws std::invalid_argument on malformed input.
+  static Ipv4Addr parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return bits_; }
+
+  /// True for 224.0.0.0/4, the IPv4 multicast ("class D") space.
+  [[nodiscard]] constexpr bool is_multicast() const {
+    return (bits_ >> 28) == 0xE;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4Addr addr);
+
+/// The whole IPv4 multicast address space, 224.0.0.0.
+inline constexpr Ipv4Addr kMulticastBase = Ipv4Addr::from_octets(224, 0, 0, 0);
+
+}  // namespace net
+
+template <>
+struct std::hash<net::Ipv4Addr> {
+  std::size_t operator()(net::Ipv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,10 @@
+#include "net/log.hpp"
+
+namespace net {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+
+}  // namespace net

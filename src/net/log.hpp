@@ -1,0 +1,42 @@
+// Minimal leveled logging for protocol traces.
+//
+// Off by default; examples turn on kInfo to narrate the Figure 1/3
+// walk-throughs, tests leave it off.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace net {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2 };
+
+/// Global log threshold (single-threaded simulation; no synchronization).
+LogLevel& log_level();
+
+namespace detail {
+inline void log_line(std::string_view tag, const std::string& text) {
+  std::clog << "[" << tag << "] " << text << '\n';
+}
+}  // namespace detail
+
+/// Logs at kInfo. `tag` identifies the protocol/node; the callable receives
+/// an ostream so argument formatting is skipped entirely when disabled.
+template <typename Fn>
+void log_info(std::string_view tag, Fn&& fill) {
+  if (log_level() < LogLevel::kInfo) return;
+  std::ostringstream os;
+  fill(os);
+  detail::log_line(tag, os.str());
+}
+
+template <typename Fn>
+void log_debug(std::string_view tag, Fn&& fill) {
+  if (log_level() < LogLevel::kDebug) return;
+  std::ostringstream os;
+  fill(os);
+  detail::log_line(tag, os.str());
+}
+
+}  // namespace net

@@ -1,0 +1,108 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/log.hpp"
+
+namespace net {
+
+ChannelId Network::connect(Endpoint& a, Endpoint& b, SimTime one_way_latency) {
+  if (&a == &b) {
+    throw std::invalid_argument("Network::connect: endpoint peered to itself");
+  }
+  channels_.emplace_back(&a, &b, one_way_latency);
+  return ChannelId{static_cast<std::uint32_t>(channels_.size() - 1)};
+}
+
+Network::Channel& Network::channel(ChannelId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= channels_.size()) {
+    throw std::out_of_range("Network: bad channel id");
+  }
+  return channels_[idx];
+}
+
+const Network::Channel& Network::channel(ChannelId id) const {
+  return const_cast<Network*>(this)->channel(id);
+}
+
+void Network::send(ChannelId id, const Endpoint& from,
+                   std::unique_ptr<Message> msg) {
+  Channel& ch = channel(id);
+  Endpoint* to = nullptr;
+  if (ch.a == &from) {
+    to = ch.b;
+  } else if (ch.b == &from) {
+    to = ch.a;
+  } else {
+    throw std::invalid_argument("Network::send: endpoint not on channel");
+  }
+  ++sent_;
+  log_debug("net", [&](auto& os) {
+    os << from.name() << " -> " << to->name() << ": " << msg->describe();
+  });
+  if (!ch.up) {
+    if (ch.drop_when_down) {
+      ++dropped_;
+    } else {
+      ch.held.push_back(QueuedMsg{to, std::move(msg)});
+    }
+    return;
+  }
+  // Fixed per-channel latency plus FIFO event ordering keeps each direction
+  // in order — the reliable in-order property BGP/BGMP expect from TCP.
+  // std::function requires copyable captures, so the unique_ptr rides in a
+  // shared_ptr wrapper until delivery.
+  auto shared = std::make_shared<std::unique_ptr<Message>>(std::move(msg));
+  events_.schedule_in(ch.latency, [this, id, to, shared]() {
+    deliver(id, *to, std::move(*shared));
+  });
+}
+
+void Network::deliver(ChannelId id, Endpoint& to,
+                      std::unique_ptr<Message> msg) {
+  ++delivered_;
+  to.on_message(id, std::move(msg));
+}
+
+void Network::set_up(ChannelId id, bool up) {
+  Channel& ch = channel(id);
+  if (ch.up == up) return;
+  ch.up = up;
+  if (up) {
+    // Flush held messages in their original order.
+    while (!ch.held.empty()) {
+      QueuedMsg queued = std::move(ch.held.front());
+      ch.held.pop_front();
+      auto shared =
+          std::make_shared<std::unique_ptr<Message>>(std::move(queued.msg));
+      Endpoint* to = queued.to;
+      events_.schedule_in(ch.latency, [this, id, to, shared]() {
+        deliver(id, *to, std::move(*shared));
+      });
+    }
+    ch.a->on_channel_up(id);
+    ch.b->on_channel_up(id);
+  } else {
+    ch.a->on_channel_down(id);
+    ch.b->on_channel_down(id);
+  }
+}
+
+bool Network::is_up(ChannelId id) const { return channel(id).up; }
+
+void Network::set_drop_when_down(ChannelId id, bool drop) {
+  channel(id).drop_when_down = drop;
+}
+
+Endpoint& Network::peer_of(ChannelId id, const Endpoint& self) const {
+  const Channel& ch = channel(id);
+  if (ch.a == &self) return *ch.b;
+  if (ch.b == &self) return *ch.a;
+  throw std::invalid_argument("Network::peer_of: endpoint not on channel");
+}
+
+SimTime Network::latency(ChannelId id) const { return channel(id).latency; }
+
+}  // namespace net

@@ -1,0 +1,127 @@
+// Point-to-point message transport between protocol endpoints.
+//
+// BGP and BGMP peers exchange control messages over persistent TCP
+// connections (§2, §5.2); MASC nodes exchange claims/collisions with parents
+// and siblings. The `Network` models each peering as a full-duplex reliable
+// in-order channel with a fixed one-way latency. Channels can be taken down
+// to model network partitions (§4.1's waiting period exists precisely to
+// span them); while a channel is down, messages queue and are delivered when
+// it heals — the behaviour of TCP retransmission across an outage shorter
+// than the session's hold time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/event.hpp"
+#include "net/time.hpp"
+
+namespace net {
+
+/// Base class for every protocol message carried by the network.
+struct Message {
+  virtual ~Message() = default;
+  /// One-line rendering for traces.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+enum class ChannelId : std::uint32_t {};
+
+/// A protocol entity attached to channels (a BGP speaker, a BGMP component,
+/// a MASC node, a host agent…).
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Called when a message arrives on `channel`. Ownership transfers.
+  virtual void on_message(ChannelId channel, std::unique_ptr<Message> msg) = 0;
+
+  /// Channel state transitions (partition start/heal). Default: ignore.
+  virtual void on_channel_up(ChannelId /*channel*/) {}
+  virtual void on_channel_down(ChannelId /*channel*/) {}
+
+  /// Short name used in traces.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Owns all channels and drives delivery through the event queue.
+class Network {
+ public:
+  explicit Network(EventQueue& events) : events_(events) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Creates a full-duplex channel between two endpoints. Both endpoints
+  /// must outlive the network.
+  ChannelId connect(Endpoint& a, Endpoint& b,
+                    SimTime one_way_latency = SimTime::milliseconds(10));
+
+  /// Sends `msg` from `from` to its peer on `channel`. Delivery happens
+  /// `latency` later via the event queue; messages queue while the channel
+  /// is down and flush in order when it comes back up.
+  void send(ChannelId channel, const Endpoint& from,
+            std::unique_ptr<Message> msg);
+
+  /// Partition control. Transition notifications go to both endpoints.
+  void set_up(ChannelId channel, bool up);
+  [[nodiscard]] bool is_up(ChannelId channel) const;
+
+  /// Loss semantics while down: by default messages queue and flush on
+  /// heal (TCP retransmission across a short outage — what MASC's waiting
+  /// period is designed to span). With drop-when-down, messages sent while
+  /// the channel is down are lost (a reset transport session — BGP/BGMP
+  /// peerings, which resynchronize explicitly on re-establishment).
+  void set_drop_when_down(ChannelId channel, bool drop);
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+
+  /// The endpoint on the far side of `channel` from `self`.
+  [[nodiscard]] Endpoint& peer_of(ChannelId channel,
+                                  const Endpoint& self) const;
+
+  [[nodiscard]] SimTime latency(ChannelId channel) const;
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+
+  /// Total messages handed to `send` / delivered to endpoints.
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+
+  [[nodiscard]] EventQueue& events() { return events_; }
+
+ private:
+  struct QueuedMsg {
+    Endpoint* to;
+    std::unique_ptr<Message> msg;
+  };
+  struct Channel {
+    Channel(Endpoint* a_in, Endpoint* b_in, SimTime latency_in)
+        : a(a_in), b(b_in), latency(latency_in) {}
+    // Move-only: held messages are unique_ptrs, and vector reallocation
+    // must move rather than attempt a copy.
+    Channel(Channel&&) noexcept = default;
+    Channel& operator=(Channel&&) noexcept = default;
+
+    Endpoint* a;
+    Endpoint* b;
+    SimTime latency;
+    bool up = true;
+    bool drop_when_down = false;
+    // Messages held during a partition, per destination order of send.
+    std::deque<QueuedMsg> held;
+  };
+
+  Channel& channel(ChannelId id);
+  const Channel& channel(ChannelId id) const;
+  void deliver(ChannelId id, Endpoint& to, std::unique_ptr<Message> msg);
+
+  EventQueue& events_;
+  std::vector<Channel> channels_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace net

@@ -1,0 +1,131 @@
+#include "net/prefix.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+namespace net {
+
+namespace {
+
+// All-ones network mask for a given prefix length; 0 for /0.
+constexpr std::uint32_t mask_bits(int len) {
+  return len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+}
+
+}  // namespace
+
+Prefix::Prefix(Ipv4Addr base, int len) : base_(base), len_(len) {
+  if (len < 0 || len > 32) {
+    throw std::invalid_argument("Prefix: mask length out of range: " +
+                                std::to_string(len));
+  }
+  if ((base.value() & ~mask_bits(len)) != 0) {
+    throw std::invalid_argument("Prefix: host bits set in " +
+                                base.to_string() + "/" + std::to_string(len));
+  }
+}
+
+Prefix Prefix::containing(Ipv4Addr addr, int len) {
+  if (len < 0 || len > 32) {
+    throw std::invalid_argument("Prefix::containing: bad length " +
+                                std::to_string(len));
+  }
+  return Prefix{Ipv4Addr{addr.value() & mask_bits(len)}, len};
+}
+
+Prefix Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    throw std::invalid_argument("Prefix::parse: missing '/' in '" +
+                                std::string(text) + "'");
+  }
+  const Ipv4Addr base = Ipv4Addr::parse(text.substr(0, slash));
+  const std::string_view len_text = text.substr(slash + 1);
+  int len = -1;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) {
+    throw std::invalid_argument("Prefix::parse: bad length in '" +
+                                std::string(text) + "'");
+  }
+  return Prefix{base, len};
+}
+
+Ipv4Addr Prefix::last() const {
+  return Ipv4Addr{base_.value() | ~mask_bits(len_)};
+}
+
+bool Prefix::contains(Ipv4Addr addr) const {
+  return (addr.value() & mask_bits(len_)) == base_.value();
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  return other.len_ >= len_ && contains(other.base_);
+}
+
+bool Prefix::overlaps(const Prefix& other) const {
+  return contains(other) || other.contains(*this);
+}
+
+std::optional<Prefix> Prefix::parent() const {
+  if (len_ == 0) return std::nullopt;
+  return Prefix::containing(base_, len_ - 1);
+}
+
+Prefix Prefix::left_child() const {
+  if (len_ == 32) throw std::logic_error("Prefix::left_child of a /32");
+  return Prefix{base_, len_ + 1};
+}
+
+Prefix Prefix::right_child() const {
+  if (len_ == 32) throw std::logic_error("Prefix::right_child of a /32");
+  return Prefix{Ipv4Addr{base_.value() | (1u << (31 - len_))}, len_ + 1};
+}
+
+std::optional<Prefix> Prefix::sibling() const {
+  if (len_ == 0) return std::nullopt;
+  return Prefix{Ipv4Addr{base_.value() ^ (1u << (32 - len_))}, len_};
+}
+
+Prefix Prefix::first_subprefix(int len) const {
+  if (len < len_ || len > 32) {
+    throw std::invalid_argument("Prefix::first_subprefix: bad length " +
+                                std::to_string(len) + " for " + to_string());
+  }
+  return Prefix{base_, len};
+}
+
+Prefix Prefix::subprefix_at(int len, std::uint64_t index) const {
+  if (len < len_ || len > 32) {
+    throw std::invalid_argument("Prefix::subprefix_at: bad length " +
+                                std::to_string(len) + " for " + to_string());
+  }
+  const std::uint64_t count = std::uint64_t{1} << (len - len_);
+  if (index >= count) {
+    throw std::out_of_range("Prefix::subprefix_at: index " +
+                            std::to_string(index) + " out of " +
+                            std::to_string(count));
+  }
+  const std::uint32_t offset =
+      static_cast<std::uint32_t>(index << (32 - len));
+  return Prefix{Ipv4Addr{base_.value() | offset}, len};
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(len_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& p) {
+  return os << p.to_string();
+}
+
+std::optional<Prefix> aggregate(const Prefix& a, const Prefix& b) {
+  if (a.length() != b.length() || a.length() == 0) return std::nullopt;
+  if (a.sibling() != b) return std::nullopt;
+  return a.parent();
+}
+
+Prefix multicast_space() { return Prefix{kMulticastBase, 4}; }
+
+}  // namespace net

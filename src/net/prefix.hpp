@@ -1,0 +1,101 @@
+// CIDR prefixes and the prefix algebra the MASC claim algorithm relies on.
+//
+// MASC manipulates address *ranges* expressed as contiguous-mask prefixes
+// (§4.3.3 of the paper): a domain finds the free prefixes of shortest mask
+// length inside its parent's space, claims the first sub-prefix of the
+// desired size, doubles a prefix by moving to its parent, and so on. All of
+// those operations live here as total, exception-checked value semantics.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip.hpp"
+
+namespace net {
+
+/// A CIDR address prefix: a base address plus a mask length in [0,32].
+///
+/// Invariant: all host bits below the mask are zero (enforced at
+/// construction; violating inputs throw std::invalid_argument).
+class Prefix {
+ public:
+  /// 0.0.0.0/0 — the whole address space.
+  constexpr Prefix() = default;
+
+  /// Throws std::invalid_argument if `len > 32` or `base` has host bits set.
+  Prefix(Ipv4Addr base, int len);
+
+  /// Builds the prefix of length `len` containing `addr` (host bits zeroed).
+  static Prefix containing(Ipv4Addr addr, int len);
+
+  /// Parses "a.b.c.d/len". Throws std::invalid_argument on malformed input.
+  static Prefix parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4Addr base() const { return base_; }
+  [[nodiscard]] constexpr int length() const { return len_; }
+
+  /// Number of addresses covered. /0 covers 2^32, which still fits uint64.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - len_);
+  }
+
+  /// The last (highest) address in the prefix.
+  [[nodiscard]] Ipv4Addr last() const;
+
+  [[nodiscard]] bool contains(Ipv4Addr addr) const;
+  /// True if `other` is a (non-strict) sub-prefix of this prefix.
+  [[nodiscard]] bool contains(const Prefix& other) const;
+  [[nodiscard]] bool overlaps(const Prefix& other) const;
+
+  /// The enclosing prefix one bit shorter. Empty for /0.
+  [[nodiscard]] std::optional<Prefix> parent() const;
+
+  /// The two halves one bit longer. Throws std::logic_error for /32.
+  [[nodiscard]] Prefix left_child() const;
+  [[nodiscard]] Prefix right_child() const;
+
+  /// The other half of this prefix's parent. Empty for /0.
+  [[nodiscard]] std::optional<Prefix> sibling() const;
+
+  /// First sub-prefix of length `len` (>= length()). This is the choice the
+  /// MASC claim algorithm makes inside a chosen free block ("the prefix it
+  /// then claims is the first sub-prefix of the desired size").
+  [[nodiscard]] Prefix first_subprefix(int len) const;
+
+  /// Sub-prefix of length `len` at position `index` (0-based from the left).
+  /// Throws std::out_of_range if the index does not fit.
+  [[nodiscard]] Prefix subprefix_at(int len, std::uint64_t index) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Addr base_;
+  int len_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Prefix& p);
+
+/// If `a` and `b` are siblings (differ only in their last significant bit),
+/// returns their common parent — the CIDR aggregation step. Empty otherwise.
+[[nodiscard]] std::optional<Prefix> aggregate(const Prefix& a,
+                                              const Prefix& b);
+
+/// The IPv4 multicast space 224.0.0.0/4 that MASC allocates from.
+[[nodiscard]] Prefix multicast_space();
+
+}  // namespace net
+
+template <>
+struct std::hash<net::Prefix> {
+  std::size_t operator()(const net::Prefix& p) const noexcept {
+    const std::size_t h = std::hash<std::uint32_t>{}(p.base().value());
+    return h * 37u + static_cast<std::size_t>(p.length());
+  }
+};

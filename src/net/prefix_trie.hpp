@@ -1,0 +1,200 @@
+// Binary radix trie keyed by CIDR prefixes.
+//
+// This is the workhorse behind every routing table in the library: the BGP
+// RIB/G-RIB longest-prefix match (§4.2 — "uses its more specific G-RIB entry
+// … to direct packets to the root domain"), the MASC bookkeeping of claimed
+// ranges, and the free-space search of the claim algorithm (§4.3.3).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace net {
+
+/// Maps CIDR prefixes to values with exact lookup, longest-prefix match and
+/// ordered traversal. One node per distinct bit-path; O(32) per operation.
+template <typename T>
+class PrefixTrie {
+ public:
+  /// Inserts or overwrites the value at `key`. Returns true if newly added.
+  bool insert(const Prefix& key, T value) {
+    Node* node = descend_or_create(key);
+    const bool added = !node->value.has_value();
+    node->value = std::move(value);
+    if (added) ++size_;
+    return added;
+  }
+
+  /// Removes `key`. Returns true if it was present.
+  bool erase(const Prefix& key) {
+    Node* node = descend(key);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    prune_from(key);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const Prefix& key) const {
+    const Node* node = descend(key);
+    return node != nullptr && node->value.has_value();
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const T* find(const Prefix& key) const {
+    const Node* node = descend(key);
+    return (node != nullptr && node->value.has_value()) ? &*node->value
+                                                        : nullptr;
+  }
+  [[nodiscard]] T* find(const Prefix& key) {
+    return const_cast<T*>(std::as_const(*this).find(key));
+  }
+
+  /// Longest stored prefix containing `addr`, with its value.
+  [[nodiscard]] std::optional<std::pair<Prefix, const T*>> longest_match(
+      Ipv4Addr addr) const {
+    const Node* node = &root_;
+    std::optional<std::pair<Prefix, const T*>> best;
+    for (int depth = 0;; ++depth) {
+      if (node->value.has_value()) {
+        best = {Prefix::containing(addr, depth), &*node->value};
+      }
+      if (depth == 32) break;
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      const Node* child = node->children[bit].get();
+      if (child == nullptr) break;
+      node = child;
+    }
+    return best;
+  }
+
+  /// Longest stored prefix that (non-strictly) contains `key`.
+  [[nodiscard]] std::optional<std::pair<Prefix, const T*>> longest_match(
+      const Prefix& key) const {
+    const Node* node = &root_;
+    std::optional<std::pair<Prefix, const T*>> best;
+    for (int depth = 0;; ++depth) {
+      if (node->value.has_value()) {
+        best = {Prefix::containing(key.base(), depth), &*node->value};
+      }
+      if (depth == key.length()) break;
+      const int bit = (key.base().value() >> (31 - depth)) & 1;
+      const Node* child = node->children[bit].get();
+      if (child == nullptr) break;
+      node = child;
+    }
+    return best;
+  }
+
+  /// True if any stored prefix overlaps `key` (contains it or is contained).
+  [[nodiscard]] bool overlaps_any(const Prefix& key) const {
+    const Node* node = &root_;
+    for (int depth = 0; depth < key.length(); ++depth) {
+      if (node->value.has_value()) return true;  // an ancestor is stored
+      const int bit = (key.base().value() >> (31 - depth)) & 1;
+      const Node* child = node->children[bit].get();
+      if (child == nullptr) return false;
+      node = child;
+    }
+    return subtree_nonempty(*node);  // key itself or any descendant stored
+  }
+
+  /// Calls `fn(prefix, value)` for every entry, in trie (address) order.
+  void for_each(
+      const std::function<void(const Prefix&, const T&)>& fn) const {
+    visit(root_, Prefix{}, fn);
+  }
+
+  /// Calls `fn` for every stored entry contained within `within`.
+  void for_each_within(
+      const Prefix& within,
+      const std::function<void(const Prefix&, const T&)>& fn) const {
+    const Node* node = descend(within);
+    if (node != nullptr) visit(*node, within, fn);
+  }
+
+  /// All entries, in address order. Convenience for tests and snapshots.
+  [[nodiscard]] std::vector<std::pair<Prefix, T>> entries() const {
+    std::vector<std::pair<Prefix, T>> out;
+    out.reserve(size_);
+    for_each([&](const Prefix& p, const T& v) { out.emplace_back(p, v); });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  void clear() {
+    root_ = Node{};
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  [[nodiscard]] const Node* descend(const Prefix& key) const {
+    const Node* node = &root_;
+    for (int depth = 0; depth < key.length(); ++depth) {
+      const int bit = (key.base().value() >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node;
+  }
+  [[nodiscard]] Node* descend(const Prefix& key) {
+    return const_cast<Node*>(std::as_const(*this).descend(key));
+  }
+
+  Node* descend_or_create(const Prefix& key) {
+    Node* node = &root_;
+    for (int depth = 0; depth < key.length(); ++depth) {
+      const int bit = (key.base().value() >> (31 - depth)) & 1;
+      if (!node->children[bit]) node->children[bit] = std::make_unique<Node>();
+      node = node->children[bit].get();
+    }
+    return node;
+  }
+
+  static bool subtree_nonempty(const Node& node) {
+    if (node.value.has_value()) return true;
+    for (const auto& child : node.children) {
+      if (child && subtree_nonempty(*child)) return true;
+    }
+    return false;
+  }
+
+  // Removes now-useless interior nodes on the path to `key`.
+  void prune_from(const Prefix& key) {
+    prune_recursive(root_, key, 0);
+  }
+  // Returns true if `node` can be deleted by its parent.
+  static bool prune_recursive(Node& node, const Prefix& key, int depth) {
+    if (depth < key.length()) {
+      const int bit = (key.base().value() >> (31 - depth)) & 1;
+      auto& child = node.children[bit];
+      if (child && prune_recursive(*child, key, depth + 1)) child.reset();
+    }
+    return !node.value.has_value() && !node.children[0] && !node.children[1];
+  }
+
+  static void visit(const Node& node, const Prefix& at,
+                    const std::function<void(const Prefix&, const T&)>& fn) {
+    if (node.value.has_value()) fn(at, *node.value);
+    if (at.length() == 32) return;
+    if (node.children[0]) visit(*node.children[0], at.left_child(), fn);
+    if (node.children[1]) visit(*node.children[1], at.right_child(), fn);
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace net

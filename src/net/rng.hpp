@@ -1,0 +1,66 @@
+// Seeded random number generation.
+//
+// Every stochastic element of the simulations draws from an explicitly
+// seeded engine so that a run is reproducible from its printed seeds.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+
+#include "net/time.hpp"
+
+namespace net {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Uniform index in [0, n).
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::index: empty range");
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) {
+    return items[index(items.size())];
+  }
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& items) {
+    return items[index(items.size())];
+  }
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double p) {
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+  /// Uniform duration in [lo, hi].
+  [[nodiscard]] SimTime uniform_time(SimTime lo, SimTime hi) {
+    return SimTime::nanoseconds(uniform_int(lo.ns(), hi.ns()));
+  }
+
+  /// Derives an independent child generator (for splitting streams between
+  /// e.g. topology construction and workload arrivals).
+  [[nodiscard]] Rng split() { return Rng{engine_()}; }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace net

@@ -1,0 +1,39 @@
+#include "net/time.hpp"
+
+#include <ostream>
+
+namespace net {
+
+std::string SimTime::to_string() const {
+  if (ns_ == kTimeInfinity.ns()) return "never";
+  std::int64_t rest = ns_;
+  std::string sign;
+  if (rest < 0) {
+    sign = "-";
+    rest = -rest;
+  }
+  const std::int64_t days = rest / SimTime::days(1).ns();
+  rest %= SimTime::days(1).ns();
+  const std::int64_t hours = rest / SimTime::hours(1).ns();
+  rest %= SimTime::hours(1).ns();
+  const std::int64_t minutes = rest / SimTime::minutes(1).ns();
+  rest %= SimTime::minutes(1).ns();
+  const std::int64_t secs = rest / SimTime::seconds(1).ns();
+  rest %= SimTime::seconds(1).ns();
+  const std::int64_t ms = rest / SimTime::milliseconds(1).ns();
+
+  std::string out = sign;
+  if (days != 0) out += std::to_string(days) + "d ";
+  if (hours != 0) out += std::to_string(hours) + "h ";
+  if (minutes != 0) out += std::to_string(minutes) + "m ";
+  if (secs != 0) out += std::to_string(secs) + "s ";
+  if (ms != 0 || out == sign) out += std::to_string(ms) + "ms";
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.to_string();
+}
+
+}  // namespace net

@@ -1,0 +1,85 @@
+// Simulated time.
+//
+// MASC operates on timescales of hours-to-months (48-hour claim waiting
+// periods, 30-day address lifetimes, 800-day experiment horizons) while BGP
+// and BGMP exchange messages over millisecond links; a single nanosecond
+// tick covers both comfortably inside int64 (~292 years of range).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace net {
+
+/// A point in (or span of) simulated time, in nanoseconds since t=0.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime nanoseconds(std::int64_t n) { return SimTime{n}; }
+  static constexpr SimTime microseconds(std::int64_t n) {
+    return SimTime{n * 1'000};
+  }
+  static constexpr SimTime milliseconds(std::int64_t n) {
+    return SimTime{n * 1'000'000};
+  }
+  static constexpr SimTime seconds(std::int64_t n) {
+    return SimTime{n * 1'000'000'000};
+  }
+  static constexpr SimTime minutes(std::int64_t n) { return seconds(n * 60); }
+  static constexpr SimTime hours(std::int64_t n) { return minutes(n * 60); }
+  static constexpr SimTime days(std::int64_t n) { return hours(n * 24); }
+
+  /// Fractional-unit constructors for workload generators (e.g. an
+  /// inter-arrival time drawn uniformly from [1h, 95h] as a real number).
+  static constexpr SimTime seconds_f(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr SimTime hours_f(double h) { return seconds_f(h * 3600.0); }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+  [[nodiscard]] constexpr double to_hours() const {
+    return to_seconds() / 3600.0;
+  }
+  [[nodiscard]] constexpr double to_days() const { return to_hours() / 24.0; }
+
+  constexpr SimTime& operator+=(SimTime d) {
+    ns_ += d.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime d) {
+    ns_ -= d.ns_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.ns_ * k};
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  /// Human-readable rendering ("2d 3h", "15ms", …) for logs.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+/// The largest representable time; used as "never".
+inline constexpr SimTime kTimeInfinity =
+    SimTime::nanoseconds(INT64_MAX);
+
+}  // namespace net

@@ -1,0 +1,192 @@
+#include "topology/generators.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace topology {
+
+std::vector<NodeId> Hierarchy::siblings(NodeId n) const {
+  std::vector<NodeId> out;
+  if (parent[n].has_value()) {
+    for (const NodeId c : children[*parent[n]]) {
+      if (c != n) out.push_back(c);
+    }
+  } else {
+    for (const NodeId t : top_level) {
+      if (t != n) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+NodeId add_domain(Hierarchy& h, std::optional<NodeId> parent, int level) {
+  const NodeId id = h.graph.add_node();
+  h.parent.push_back(parent);
+  h.children.emplace_back();
+  h.level.push_back(level);
+  if (parent.has_value()) {
+    h.children[*parent].push_back(id);
+    h.graph.add_edge(*parent, id);
+  } else {
+    h.top_level.push_back(id);
+  }
+  return id;
+}
+
+}  // namespace
+
+Hierarchy make_masc_hierarchy(const HierarchyParams& params, net::Rng& rng) {
+  if (params.top_level == 0) {
+    throw std::invalid_argument("make_masc_hierarchy: no top-level domains");
+  }
+  Hierarchy h;
+  for (std::size_t i = 0; i < params.top_level; ++i) {
+    add_domain(h, std::nullopt, 0);
+  }
+  // Backbones interconnect pairwise at the exchange points.
+  for (std::size_t i = 0; i < params.top_level; ++i) {
+    for (std::size_t j = i + 1; j < params.top_level; ++j) {
+      h.graph.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  const auto child_count = [&](std::size_t mean) -> std::size_t {
+    if (!params.heterogeneous || mean == 0) return mean;
+    return static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(2 * mean - 1)));
+  };
+  for (const NodeId top : std::vector<NodeId>(h.top_level)) {
+    const std::size_t n_children = child_count(params.children_per_top);
+    for (std::size_t c = 0; c < n_children; ++c) {
+      const NodeId child = add_domain(h, top, 1);
+      const std::size_t n_grand = child_count(params.grandchildren_per_child);
+      for (std::size_t g = 0; g < n_grand; ++g) {
+        add_domain(h, child, 2);
+      }
+    }
+  }
+  // Optional lateral (multihoming / peering) links that are not MASC
+  // parent/child relations.
+  const std::size_t extra =
+      params.extra_links_per_100 * h.domain_count() / 100;
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < extra && attempts < extra * 50 + 100) {
+    ++attempts;
+    const auto a = static_cast<NodeId>(rng.index(h.domain_count()));
+    const auto b = static_cast<NodeId>(rng.index(h.domain_count()));
+    if (a == b || h.graph.has_edge(a, b)) continue;
+    h.graph.add_edge(a, b);
+    ++added;
+  }
+  return h;
+}
+
+Graph make_as_level(std::size_t n, std::size_t m, net::Rng& rng) {
+  if (m == 0 || n < m + 1) {
+    throw std::invalid_argument("make_as_level: need n > m >= 1");
+  }
+  Graph g(n);
+  // Seed clique of m+1 nodes.
+  for (NodeId a = 0; a <= m; ++a) {
+    for (NodeId b = a + 1; b <= m; ++b) g.add_edge(a, b);
+  }
+  // Endpoint pool: each node appears once per incident edge, so sampling the
+  // pool uniformly is degree-proportional attachment.
+  std::vector<NodeId> pool;
+  pool.reserve(2 * n * m);
+  for (const auto& [a, b] : g.edges()) {
+    pool.push_back(a);
+    pool.push_back(b);
+  }
+  for (NodeId v = static_cast<NodeId>(m) + 1; v < n; ++v) {
+    std::vector<NodeId> targets;
+    while (targets.size() < m) {
+      const NodeId candidate = pool[rng.index(pool.size())];
+      if (candidate == v) continue;
+      if (std::find(targets.begin(), targets.end(), candidate) !=
+          targets.end()) {
+        continue;
+      }
+      targets.push_back(candidate);
+    }
+    for (const NodeId t : targets) {
+      g.add_edge(v, t);
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph make_transit_stub(const TransitStubParams& params, net::Rng& rng) {
+  if (params.transit_domains < 3) {
+    throw std::invalid_argument("make_transit_stub: need >= 3 transits");
+  }
+  const std::size_t t = params.transit_domains;
+  Graph g(t + t * params.stubs_per_transit);
+  // Transit ring guarantees connectivity; chords add realism.
+  for (NodeId i = 0; i < t; ++i) {
+    g.add_edge(i, static_cast<NodeId>((i + 1) % t));
+  }
+  for (NodeId i = 0; i < t; ++i) {
+    for (NodeId j = i + 2; j < t; ++j) {
+      if (i == 0 && j == t - 1) continue;  // already the ring edge
+      if (rng.chance(params.transit_chord_prob)) g.add_edge(i, j);
+    }
+  }
+  NodeId next = static_cast<NodeId>(t);
+  for (NodeId transit = 0; transit < t; ++transit) {
+    for (std::size_t s = 0; s < params.stubs_per_transit; ++s) {
+      const NodeId stub = next++;
+      g.add_edge(stub, transit);
+      if (rng.chance(params.stub_multihome_prob)) {
+        const auto other = static_cast<NodeId>(rng.index(t));
+        if (other != transit && !g.has_edge(stub, other)) {
+          g.add_edge(stub, other);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph load_edge_list(std::istream& in) {
+  std::map<long long, NodeId> ids;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::string line;
+  std::size_t line_no = 0;
+  const auto intern = [&](long long raw) {
+    const auto [it, added] =
+        ids.emplace(raw, static_cast<NodeId>(ids.size()));
+    (void)added;
+    return it->second;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    long long a = 0;
+    long long b = 0;
+    if (!(fields >> a)) continue;  // blank/comment line
+    if (!(fields >> b)) {
+      throw std::invalid_argument("load_edge_list: line " +
+                                  std::to_string(line_no) +
+                                  ": expected two node ids");
+    }
+    edges.emplace_back(intern(a), intern(b));
+  }
+  Graph g(ids.size());
+  for (const auto& [a, b] : edges) {
+    if (a != b && !g.has_edge(a, b)) g.add_edge(a, b);
+  }
+  return g;
+}
+
+}  // namespace topology

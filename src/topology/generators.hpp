@@ -1,0 +1,81 @@
+// Topology generators for the paper's experiments.
+//
+// * `make_masc_hierarchy` builds the provider/customer hierarchy MASC runs
+//   over (Figure 2 uses 50 top-level domains × 50 children each), including
+//   heterogeneous and three-level variants.
+// * `make_as_level` is the substitute for the paper's 3 326-node topology
+//   derived from 1998 BGP dumps: a seeded preferential-attachment graph
+//   that reproduces the AS graph's degree skew and short path lengths.
+// * `make_transit_stub` is a classic transit–stub alternative.
+// * `load_edge_list` accepts a real AS-level edge list if one is available.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "net/rng.hpp"
+#include "topology/graph.hpp"
+
+namespace topology {
+
+/// A domain graph annotated with the MASC parent/child (provider/customer)
+/// relation. Level 0 domains are top-level (no MASC parent).
+struct Hierarchy {
+  Graph graph;
+  std::vector<std::optional<NodeId>> parent;
+  std::vector<std::vector<NodeId>> children;
+  std::vector<int> level;
+  std::vector<NodeId> top_level;
+
+  [[nodiscard]] std::size_t domain_count() const {
+    return graph.node_count();
+  }
+
+  /// The MASC siblings of `n`: other children of its parent, or the other
+  /// top-level domains when `n` is top-level (§4.1: top-level siblings are
+  /// "the other top-level (backbone) domains").
+  [[nodiscard]] std::vector<NodeId> siblings(NodeId n) const;
+};
+
+struct HierarchyParams {
+  /// Number of top-level (backbone) domains; interconnected pairwise, as at
+  /// the exchange points.
+  std::size_t top_level = 50;
+  /// Children per top-level domain. If `heterogeneous`, this is the mean of
+  /// a uniform draw in [1, 2*children_per_top - 1].
+  std::size_t children_per_top = 50;
+  /// Grandchildren per child (0 for the paper's two-level setup).
+  std::size_t grandchildren_per_child = 0;
+  bool heterogeneous = false;
+  /// Extra random lateral links between non-parent domains (multihoming);
+  /// expressed per hundred domains.
+  std::size_t extra_links_per_100 = 0;
+};
+
+[[nodiscard]] Hierarchy make_masc_hierarchy(const HierarchyParams& params,
+                                            net::Rng& rng);
+
+/// Preferential-attachment (Barabási–Albert) graph: `n` nodes, each new
+/// node attaching to `m` distinct existing nodes with probability
+/// proportional to degree. Connected by construction.
+[[nodiscard]] Graph make_as_level(std::size_t n, std::size_t m,
+                                  net::Rng& rng);
+
+struct TransitStubParams {
+  std::size_t transit_domains = 26;
+  std::size_t stubs_per_transit = 127;  // 26 * (1+127) = 3328 ≈ paper's 3326
+  /// Probability of an extra transit-transit chord beyond the ring.
+  double transit_chord_prob = 0.2;
+  /// Probability a stub gets a second (multihoming) transit link.
+  double stub_multihome_prob = 0.05;
+};
+
+[[nodiscard]] Graph make_transit_stub(const TransitStubParams& params,
+                                      net::Rng& rng);
+
+/// Reads "a b" pairs (one edge per line, '#' comments allowed), compacting
+/// arbitrary ids to 0..n-1. Throws std::invalid_argument on parse errors.
+[[nodiscard]] Graph load_edge_list(std::istream& in);
+
+}  // namespace topology

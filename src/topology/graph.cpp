@@ -1,0 +1,64 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+
+namespace topology {
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  check(a);
+  check(b);
+  if (a == b) {
+    throw std::invalid_argument("Graph::add_edge: self-loop at " +
+                                std::to_string(a));
+  }
+  if (has_edge(a, b)) {
+    throw std::invalid_argument("Graph::add_edge: duplicate edge " +
+                                std::to_string(a) + "-" + std::to_string(b));
+  }
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++edge_count_;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  check(a);
+  check(b);
+  const auto& smaller =
+      adjacency_[a].size() <= adjacency_[b].size() ? adjacency_[a]
+                                                   : adjacency_[b];
+  const NodeId target = adjacency_[a].size() <= adjacency_[b].size() ? b : a;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count_);
+  for (NodeId a = 0; a < adjacency_.size(); ++a) {
+    for (const NodeId b : adjacency_[a]) {
+      if (a < b) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+bool Graph::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<char> seen(adjacency_.size(), 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (const NodeId m : adjacency_[n]) {
+      if (!seen[m]) {
+        seen[m] = 1;
+        stack.push_back(m);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+}  // namespace topology

@@ -1,0 +1,64 @@
+// Undirected domain-level graphs.
+//
+// Nodes are domains (Autonomous Systems); edges are inter-domain links
+// between border routers. Figure 4's evaluation runs on a 3 326-domain
+// AS-level graph; Figures 1/3 use hand-built 8-domain graphs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace topology {
+
+using NodeId = std::uint32_t;
+
+/// A simple undirected graph over nodes 0..n-1 with adjacency lists.
+/// Parallel edges and self-loops are rejected.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  /// Adds a node, returning its id.
+  NodeId add_node() {
+    adjacency_.emplace_back();
+    return static_cast<NodeId>(adjacency_.size() - 1);
+  }
+
+  /// Adds an undirected edge. Throws on self-loops, unknown nodes or
+  /// duplicate edges.
+  void add_edge(NodeId a, NodeId b);
+
+  /// True if the edge exists (O(min degree)).
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId n) const {
+    check(n);
+    return adjacency_[n];
+  }
+  [[nodiscard]] std::size_t degree(NodeId n) const {
+    return neighbors(n).size();
+  }
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  /// All edges as (a, b) with a < b, in insertion order per node.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// True if every node is reachable from node 0 (or the graph is empty).
+  [[nodiscard]] bool connected() const;
+
+ private:
+  void check(NodeId n) const {
+    if (n >= adjacency_.size()) {
+      throw std::out_of_range("Graph: bad node id " + std::to_string(n));
+    }
+  }
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace topology

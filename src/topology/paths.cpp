@@ -1,0 +1,88 @@
+#include "topology/paths.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace topology {
+
+BfsTree bfs(const Graph& graph, NodeId source) {
+  const std::size_t n = graph.node_count();
+  if (source >= n) throw std::out_of_range("bfs: bad source node");
+  BfsTree tree;
+  tree.source = source;
+  tree.dist.assign(n, kUnreachable);
+  tree.parent.assign(n, kUnreachable);
+  tree.dist[source] = 0;
+  tree.parent[source] = source;
+  std::deque<NodeId> frontier{source};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const NodeId v : graph.neighbors(u)) {
+      if (tree.dist[v] == kUnreachable) {
+        tree.dist[v] = tree.dist[u] + 1;
+        tree.parent[v] = u;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<NodeId> path_from_source(const BfsTree& tree, NodeId n) {
+  if (n >= tree.dist.size()) {
+    throw std::out_of_range("path_from_source: bad node");
+  }
+  if (!tree.reachable(n)) return {};
+  std::vector<NodeId> path;
+  path.reserve(tree.dist[n] + 1);
+  for (NodeId cur = n; cur != tree.source; cur = tree.parent[cur]) {
+    path.push_back(cur);
+  }
+  path.push_back(tree.source);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+RootedTree::RootedTree(const BfsTree& tree)
+    : root_(tree.source), parent_(tree.parent), depth_(tree.dist) {}
+
+std::uint32_t RootedTree::depth(NodeId n) const {
+  if (n >= depth_.size() || depth_[n] == kUnreachable) {
+    throw std::out_of_range("RootedTree::depth: node not in tree");
+  }
+  return depth_[n];
+}
+
+NodeId RootedTree::parent(NodeId n) const {
+  if (n >= parent_.size() || parent_[n] == kUnreachable) {
+    throw std::out_of_range("RootedTree::parent: node not in tree");
+  }
+  return parent_[n];
+}
+
+NodeId RootedTree::lca(NodeId a, NodeId b) const {
+  std::uint32_t da = depth(a);
+  std::uint32_t db = depth(b);
+  while (da > db) {
+    a = parent_[a];
+    --da;
+  }
+  while (db > da) {
+    b = parent_[b];
+    --db;
+  }
+  while (a != b) {
+    a = parent_[a];
+    b = parent_[b];
+  }
+  return a;
+}
+
+std::uint32_t RootedTree::distance(NodeId a, NodeId b) const {
+  const NodeId anc = lca(a, b);
+  return depth(a) + depth(b) - 2 * depth(anc);
+}
+
+}  // namespace topology

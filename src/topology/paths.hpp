@@ -1,0 +1,67 @@
+// Shortest paths and rooted-tree utilities on domain graphs.
+//
+// Inter-domain path lengths in the paper are hop counts (§5.4: "the number
+// of inter-domain hops in the path between them"), so BFS is the metric.
+// The rooted trees produced here (BFS parent forests) model the reverse
+// shortest-path trees that join messages trace toward a root domain.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace topology {
+
+inline constexpr std::uint32_t kUnreachable = UINT32_MAX;
+
+/// The result of a BFS from one source: hop distances and parent pointers.
+/// `parent[source] == source`; unreachable nodes have parent == kUnreachable.
+struct BfsTree {
+  NodeId source = 0;
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> parent;
+
+  [[nodiscard]] bool reachable(NodeId n) const {
+    return dist[n] != kUnreachable;
+  }
+};
+
+/// BFS from `source`. Neighbors are explored in adjacency order, so results
+/// are deterministic for a fixed graph construction order.
+[[nodiscard]] BfsTree bfs(const Graph& graph, NodeId source);
+
+/// The path source→…→n (inclusive) in a BFS tree; empty if unreachable.
+[[nodiscard]] std::vector<NodeId> path_from_source(const BfsTree& tree,
+                                                   NodeId n);
+
+/// A rooted spanning forest given by parent pointers (parent[root] == root).
+/// This is the shape of every shared tree in the library: each on-tree node
+/// knows its next hop toward the root domain.
+class RootedTree {
+ public:
+  /// Builds from a BFS result restricted to its reachable part.
+  explicit RootedTree(const BfsTree& tree);
+
+  [[nodiscard]] NodeId root() const { return root_; }
+  [[nodiscard]] bool contains(NodeId n) const {
+    return depth_[n] != kUnreachable;
+  }
+  /// Hops from `n` up to the root. Throws if `n` is not in the tree.
+  [[nodiscard]] std::uint32_t depth(NodeId n) const;
+  [[nodiscard]] NodeId parent(NodeId n) const;
+
+  /// Lowest common ancestor of two in-tree nodes.
+  [[nodiscard]] NodeId lca(NodeId a, NodeId b) const;
+
+  /// Hop distance between two in-tree nodes along tree edges.
+  [[nodiscard]] std::uint32_t distance(NodeId a, NodeId b) const;
+
+ private:
+  NodeId root_;
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> depth_;
+};
+
+}  // namespace topology

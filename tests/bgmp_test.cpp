@@ -1,0 +1,486 @@
+// Tests for BGMP through the assembled architecture (core::Internet):
+// bidirectional shared trees, root-domain behaviour, join/prune teardown,
+// non-member senders, multi-border-router domains with internal (MIGP)
+// targets, encapsulation, and source-specific branches — including the
+// paper's Figure 3(a)/(b) scenarios end to end.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/domain.hpp"
+#include "core/internet.hpp"
+#include "net/prefix.hpp"
+#include "topology/generators.hpp"
+
+namespace core {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+const Group kGroup = Ipv4Addr::parse("224.0.128.1");
+
+struct DeliveryLog {
+  std::vector<Delivery> entries;
+
+  void attach(Internet& internet) {
+    internet.set_delivery_observer(
+        [this](const Delivery& d) { entries.push_back(d); });
+  }
+  [[nodiscard]] int count_for(const Domain& d) const {
+    int n = 0;
+    for (const auto& e : entries) {
+      if (e.domain == &d) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] std::optional<int> hops_for(const Domain& d) const {
+    for (const auto& e : entries) {
+      if (e.domain == &d) return e.hops;
+    }
+    return std::nullopt;
+  }
+  void clear() { entries.clear(); }
+};
+
+// ---------------------------------------------------------- simple chains
+
+// Root R -- T -- M (member domain two hops from the root).
+struct Chain {
+  Internet net;
+  Domain& root;
+  Domain& transit;
+  Domain& member;
+  DeliveryLog log;
+
+  Chain()
+      : root(net.add_domain({.id = 1, .name = "R"})),
+        transit(net.add_domain({.id = 2, .name = "T"})),
+        member(net.add_domain({.id = 3, .name = "M"})) {
+    log.attach(net);
+    net.link(root, transit);
+    net.link(transit, member);
+    root.originate_group_range(Prefix::parse("224.0.128.0/24"));
+    root.announce_unicast();
+    transit.announce_unicast();
+    member.announce_unicast();
+    net.settle();
+  }
+};
+
+TEST(Bgmp, JoinPropagatesTowardRootDomain) {
+  Chain c;
+  c.member.host_join(kGroup);
+  c.net.settle();
+  // The member domain's border router, the transit router and the root
+  // router all hold (*,G) state.
+  EXPECT_TRUE(c.member.bgmp_router().on_tree(kGroup));
+  EXPECT_TRUE(c.transit.bgmp_router().on_tree(kGroup));
+  EXPECT_TRUE(c.root.bgmp_router().on_tree(kGroup));
+  // Transit's entry: parent toward root, child toward member.
+  const bgmp::GroupEntry* entry = c.transit.bgmp_router().star_entry(kGroup);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_TRUE(entry->parent.has_value());
+  EXPECT_EQ(entry->parent->peer, &c.root.bgmp_router());
+  EXPECT_EQ(entry->children.size(), 1u);
+}
+
+TEST(Bgmp, DataFlowsFromRootMemberToMember) {
+  Chain c;
+  c.member.host_join(kGroup);
+  c.root.host_join(kGroup);
+  c.net.settle();
+  c.log.clear();
+  c.root.send(kGroup);
+  c.net.settle();
+  // Exactly one delivery at each member domain; the remote one 2 hops.
+  EXPECT_EQ(c.log.count_for(c.member), 1);
+  EXPECT_EQ(c.log.count_for(c.root), 1);
+  EXPECT_EQ(c.log.hops_for(c.member), 2);
+  EXPECT_EQ(c.log.hops_for(c.root), 0);
+}
+
+TEST(Bgmp, BidirectionalFlowFromLeafMember) {
+  Chain c;
+  c.member.host_join(kGroup);
+  c.root.host_join(kGroup);
+  c.net.settle();
+  c.log.clear();
+  c.member.send(kGroup);
+  c.net.settle();
+  EXPECT_EQ(c.log.count_for(c.root), 1);
+  EXPECT_EQ(c.log.hops_for(c.root), 2);
+  // The sender's own domain delivery carries 0 hops.
+  EXPECT_EQ(c.log.hops_for(c.member), 0);
+}
+
+TEST(Bgmp, NonMemberSenderDataReachesTree) {
+  // §3/§5.2: senders need not be members. A domain with no members and no
+  // tree state sends; data travels toward the root domain and reaches
+  // members when it hits the tree.
+  Chain c;
+  c.member.host_join(kGroup);
+  c.net.settle();
+  c.log.clear();
+  c.transit.send(kGroup);  // transit domain hosts the (non-member) sender
+  c.net.settle();
+  EXPECT_EQ(c.log.count_for(c.member), 1);
+  EXPECT_EQ(c.log.hops_for(c.member), 1);  // transit → member directly
+  EXPECT_EQ(c.log.count_for(c.transit), 0);
+}
+
+TEST(Bgmp, SenderBeyondRootReachesMembersThroughRoot) {
+  Chain c;
+  c.member.host_join(kGroup);
+  c.net.settle();
+  c.log.clear();
+  c.root.send(kGroup);  // root domain hosts a non-member sender
+  c.net.settle();
+  EXPECT_EQ(c.log.count_for(c.member), 1);
+  EXPECT_EQ(c.log.hops_for(c.member), 2);
+}
+
+TEST(Bgmp, NoMembersAnywhereDataDies) {
+  Chain c;
+  c.log.clear();
+  c.transit.send(kGroup);
+  c.net.settle();
+  EXPECT_TRUE(c.log.entries.empty());
+  // No stray state was created by data packets.
+  EXPECT_FALSE(c.root.bgmp_router().on_tree(kGroup));
+}
+
+TEST(Bgmp, LeaveTearsDownTree) {
+  Chain c;
+  c.member.host_join(kGroup);
+  c.net.settle();
+  ASSERT_TRUE(c.root.bgmp_router().on_tree(kGroup));
+  c.member.host_leave(kGroup);
+  c.net.settle();
+  // §5.2: prunes propagate rootward and the tree is torn down.
+  EXPECT_FALSE(c.member.bgmp_router().on_tree(kGroup));
+  EXPECT_FALSE(c.transit.bgmp_router().on_tree(kGroup));
+  EXPECT_FALSE(c.root.bgmp_router().on_tree(kGroup));
+  // Data now dies quietly.
+  c.log.clear();
+  c.transit.send(kGroup);
+  c.net.settle();
+  EXPECT_TRUE(c.log.entries.empty());
+}
+
+TEST(Bgmp, SecondMemberDomainSharesTreeSegments) {
+  // Star: root in the middle, two member domains on opposite sides.
+  Internet net;
+  Domain& root = net.add_domain({.id = 1, .name = "R"});
+  Domain& m1 = net.add_domain({.id = 2, .name = "M1"});
+  Domain& m2 = net.add_domain({.id = 3, .name = "M2"});
+  DeliveryLog log;
+  log.attach(net);
+  net.link(root, m1);
+  net.link(root, m2);
+  root.originate_group_range(Prefix::parse("224.0.128.0/24"));
+  m1.announce_unicast();
+  net.settle();
+  m1.host_join(kGroup);
+  m2.host_join(kGroup);
+  net.settle();
+  const bgmp::GroupEntry* entry = root.bgmp_router().star_entry(kGroup);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->children.size(), 2u);
+  log.clear();
+  m1.send(kGroup);
+  net.settle();
+  // m2 receives exactly one copy via the root, 2 hops.
+  EXPECT_EQ(log.count_for(m2), 1);
+  EXPECT_EQ(log.hops_for(m2), 2);
+}
+
+TEST(Bgmp, MembersJoinLocallyRootedGroup) {
+  Chain c;
+  c.root.host_join(kGroup);
+  c.net.settle();
+  // The root domain's designated router holds the entry with an MIGP
+  // parent (§5.2: "its MIGP component as the parent target").
+  const bgmp::GroupEntry* entry = c.root.bgmp_router().star_entry(kGroup);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_TRUE(entry->parent.has_value());
+  EXPECT_EQ(entry->parent->kind, bgmp::TargetKey::Kind::kMigp);
+}
+
+// ------------------------------------------------ multi-border-router (A)
+
+// Figure 3(a)'s shape, reduced: domain A has three border routers A1
+// (toward E), A2 (toward C), A3 (toward B, the root). C joins; data from a
+// sender in E must transit A and reach C and B's member.
+struct Figure3Core {
+  Internet net;
+  Domain& a;
+  Domain& b;  // root
+  Domain& c;
+  Domain& e;
+  DeliveryLog log;
+
+  // A's internal graph: A1=0, A2=1, A3=2 in a triangle.
+  static topology::Graph triangle() {
+    topology::Graph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    return g;
+  }
+
+  Figure3Core()
+      : a(net.add_domain({.id = 10,
+                          .name = "A",
+                          .internal_graph = triangle(),
+                          .borders = {0, 1, 2}})),
+        b(net.add_domain({.id = 20, .name = "B"})),
+        c(net.add_domain({.id = 30, .name = "C"})),
+        e(net.add_domain({.id = 50, .name = "E"})) {
+    log.attach(net);
+    net.link(e, a, bgp::Relationship::kLateral, 0, 0);  // E1 -- A1
+    net.link(c, a, bgp::Relationship::kProvider, 0, 1); // C1 -- A2
+    net.link(b, a, bgp::Relationship::kProvider, 0, 2); // B1 -- A3
+    b.originate_group_range(Prefix::parse("224.0.128.0/24"));
+    for (Domain* d : {&a, &b, &c, &e}) d->announce_unicast();
+    net.settle();
+  }
+};
+
+TEST(Bgmp, JoinThroughMultiRouterDomainUsesMigpTargets) {
+  Figure3Core f;
+  f.c.host_join(kGroup);
+  f.net.settle();
+  // A2 (border index 1) is C's entry: its parent target is the MIGP
+  // component (next hop toward root is internal peer A3), child C1.
+  const bgmp::GroupEntry* a2 = f.a.bgmp_router(1).star_entry(kGroup);
+  ASSERT_NE(a2, nullptr);
+  ASSERT_TRUE(a2->parent.has_value());
+  EXPECT_EQ(a2->parent->kind, bgmp::TargetKey::Kind::kMigp);
+  ASSERT_EQ(a2->children.size(), 1u);
+  EXPECT_EQ(a2->children.begin()->first.peer, &f.c.bgmp_router());
+
+  // A3 (border index 2): parent external B1, child the MIGP component.
+  const bgmp::GroupEntry* a3 = f.a.bgmp_router(2).star_entry(kGroup);
+  ASSERT_NE(a3, nullptr);
+  ASSERT_TRUE(a3->parent.has_value());
+  EXPECT_EQ(a3->parent->kind, bgmp::TargetKey::Kind::kPeer);
+  EXPECT_EQ(a3->parent->peer, &f.b.bgmp_router());
+  EXPECT_TRUE(a3->children.contains(bgmp::TargetKey::migp()));
+
+  // A1 (border 0) is not on the tree.
+  EXPECT_FALSE(f.a.bgmp_router(0).on_tree(kGroup));
+}
+
+TEST(Bgmp, TransitDataFromNonTreeBorderReachesAllMembers) {
+  // Figure 3(a)'s data flow: a host in E (no members) sends. E1 forwards
+  // toward the root; A1 (no state) moves it through A's MIGP; the on-tree
+  // borders distribute it to C and B.
+  Figure3Core f;
+  f.c.host_join(kGroup);
+  f.b.host_join(kGroup);
+  f.net.settle();
+  f.log.clear();
+  f.e.send(kGroup);
+  f.net.settle();
+  EXPECT_EQ(f.log.count_for(f.c), 1);
+  EXPECT_EQ(f.log.count_for(f.b), 1);
+  EXPECT_EQ(f.log.count_for(f.e), 0);
+  EXPECT_EQ(f.log.count_for(f.a), 0);  // A has no members
+  // E→A = 1 hop, A→C = 2nd hop; A→B = 2nd hop.
+  EXPECT_EQ(f.log.hops_for(f.c), 2);
+  EXPECT_EQ(f.log.hops_for(f.b), 2);
+}
+
+TEST(Bgmp, MembersInsideTransitDomainAreServed) {
+  Figure3Core f;
+  f.a.host_join(kGroup, /*at=*/1);  // member attached at A2's router
+  f.c.host_join(kGroup);
+  f.net.settle();
+  f.log.clear();
+  f.c.send(kGroup);
+  f.net.settle();
+  EXPECT_EQ(f.log.count_for(f.a), 1);
+}
+
+// --------------------------------------------- source-specific branches
+
+// Figure 3(b), reduced to its essence: domain F runs DVMRP (RPF-strict)
+// and has two border routers: F1 on the shared tree toward the root B,
+// and F2 with a shortcut link toward the source domain D. Data from D
+// arrives at F1 on the shared tree, fails the internal RPF check (F's
+// best exit toward D is F2), gets encapsulated F1→F2, and F2 then builds
+// a source-specific branch toward D and prunes the encapsulated path.
+struct Figure3b {
+  Internet net;
+  Domain& b;  // root
+  Domain& d;  // source domain
+  Domain& f;  // member domain with two borders
+  DeliveryLog log;
+
+  static topology::Graph pair_graph() {
+    topology::Graph g(2);
+    g.add_edge(0, 1);
+    return g;
+  }
+
+  Figure3b()
+      : b(net.add_domain({.id = 20, .name = "B"})),
+        d(net.add_domain({.id = 40, .name = "D"})),
+        f(net.add_domain({.id = 60,
+                          .name = "F",
+                          .internal_graph = pair_graph(),
+                          .borders = {0, 1}})) {
+    log.attach(net);
+    net.link(b, f, bgp::Relationship::kLateral, 0, 0);  // B1 -- F1
+    net.link(b, d, bgp::Relationship::kLateral, 0, 0);  // B1 -- D1
+    net.link(d, f, bgp::Relationship::kLateral, 0, 1);  // D1 -- F2 shortcut
+    b.originate_group_range(Prefix::parse("224.0.128.0/24"));
+    for (Domain* dom : {&b, &d, &f}) dom->announce_unicast();
+    net.settle();
+  }
+};
+
+TEST(Bgmp, SharedTreeDeliveryTriggersEncapsulationAndBranch) {
+  Figure3b fig;
+  // Members in F join via F's best exit toward the root (F1, border 0:
+  // F1—B1 is one hop; F2 would be two).
+  fig.f.host_join(kGroup, /*at=*/0);
+  fig.net.settle();
+  ASSERT_TRUE(fig.f.bgmp_router(0).on_tree(kGroup));
+  EXPECT_FALSE(fig.f.bgmp_router(1).on_tree(kGroup));
+
+  fig.log.clear();
+  fig.d.send(kGroup);
+  fig.net.settle();
+  // The member received the data (first copy via encapsulation F1→F2).
+  EXPECT_GE(fig.log.count_for(fig.f), 1);
+  // F2 established the (S,G) branch toward D.
+  const Ipv4Addr source = fig.d.host_address(1);
+  const bgmp::SourceEntry* sg =
+      fig.f.bgmp_router(1).source_entry(source, kGroup);
+  ASSERT_NE(sg, nullptr);
+  ASSERT_TRUE(sg->parent.has_value());
+  EXPECT_EQ(sg->parent->peer, &fig.d.bgmp_router());
+  // D1 is in the source domain: the branch join stopped there with an
+  // (S,G) entry whose child is F2.
+  const bgmp::SourceEntry* at_d =
+      fig.d.bgmp_router().source_entry(source, kGroup);
+  ASSERT_NE(at_d, nullptr);
+  EXPECT_TRUE(at_d->children.contains(
+      bgmp::TargetKey::external(&fig.f.bgmp_router(1))));
+}
+
+TEST(Bgmp, AfterBranchDataTakesShortPathAndEncapsulationStops) {
+  Figure3b fig;
+  fig.f.host_join(kGroup, /*at=*/0);
+  fig.net.settle();
+  fig.d.send(kGroup);  // first packet: shared tree + encapsulation + branch
+  fig.net.settle();
+  fig.log.clear();
+  fig.d.send(kGroup);  // second packet: native via the branch D1→F2
+  fig.net.settle();
+  ASSERT_EQ(fig.log.count_for(fig.f), 1);
+  EXPECT_EQ(fig.log.hops_for(fig.f), 1);  // D→F direct, not D→B→F
+}
+
+TEST(Bgmp, BranchSuppressedWhenDisabled) {
+  Figure3b fig;
+  fig.f.bgmp_router(1).set_auto_source_branch(false);
+  fig.f.host_join(kGroup, /*at=*/0);
+  fig.net.settle();
+  fig.d.send(kGroup);
+  fig.net.settle();
+  const Ipv4Addr source = fig.d.host_address(1);
+  EXPECT_EQ(fig.f.bgmp_router(1).source_entry(source, kGroup), nullptr);
+  // Deliveries continue via encapsulation on every packet.
+  fig.log.clear();
+  fig.d.send(kGroup);
+  fig.net.settle();
+  EXPECT_EQ(fig.log.count_for(fig.f), 1);
+  EXPECT_EQ(fig.log.hops_for(fig.f), 2);  // still via the root
+}
+
+TEST(Bgmp, ExplicitSourceBranchRequest) {
+  // A receiver domain may build the branch proactively (the Figure-4
+  // hybrid-tree evaluation drives this path).
+  Figure3b fig;
+  fig.f.host_join(kGroup, /*at=*/0);
+  fig.net.settle();
+  const Ipv4Addr source = fig.d.host_address(1);
+  fig.f.build_source_branch(source, kGroup);
+  fig.net.settle();
+  fig.log.clear();
+  fig.d.send(kGroup);
+  fig.net.settle();
+  ASSERT_EQ(fig.log.count_for(fig.f), 1);
+  EXPECT_EQ(fig.log.hops_for(fig.f), 1);
+}
+
+// ------------------------------------------------------------- properties
+
+// Property: on random trees of member domains, every member receives
+// exactly one copy from any sender, and path lengths equal the hop counts.
+TEST(BgmpProperty, ExactlyOneCopyPerMemberAcrossRandomTopology) {
+  net::Rng rng(77);
+  const topology::Graph graph = topology::make_as_level(40, 2, rng);
+  Internet net;
+  DeliveryLog log;
+  log.attach(net);
+  const std::vector<Domain*> domains = net.build_from_graph(graph);
+  domains[0]->originate_group_range(Prefix::parse("224.0.128.0/24"));
+  net.settle();
+
+  std::set<std::size_t> members;
+  for (int i = 0; i < 12; ++i) members.insert(rng.index(domains.size()));
+  for (const std::size_t m : members) {
+    domains[m]->host_join(kGroup);
+  }
+  net.settle();
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t sender = rng.index(domains.size());
+    domains[sender]->announce_unicast();
+    net.settle();
+    log.clear();
+    domains[sender]->send(kGroup);
+    net.settle();
+    for (const std::size_t m : members) {
+      if (m == sender) continue;
+      EXPECT_EQ(log.count_for(*domains[m]), 1)
+          << "member " << m << " sender " << sender;
+    }
+    // Non-members got nothing.
+    for (const auto& e : log.entries) {
+      bool is_member = false;
+      for (const std::size_t m : members) {
+        if (e.domain == domains[m]) is_member = true;
+      }
+      EXPECT_TRUE(is_member || e.domain == domains[sender]);
+    }
+  }
+}
+
+// Property: prune teardown leaves no residual state anywhere.
+TEST(BgmpProperty, FullTeardownAfterAllLeaves) {
+  net::Rng rng(78);
+  const topology::Graph graph = topology::make_as_level(30, 2, rng);
+  Internet net;
+  const std::vector<Domain*> domains = net.build_from_graph(graph);
+  domains[0]->originate_group_range(Prefix::parse("224.0.128.0/24"));
+  net.settle();
+  std::vector<std::size_t> members;
+  for (int i = 0; i < 8; ++i) members.push_back(rng.index(domains.size()));
+  for (const std::size_t m : members) domains[m]->host_join(kGroup);
+  net.settle();
+  for (const std::size_t m : members) domains[m]->host_leave(kGroup);
+  net.settle();
+  for (const auto* d : domains) {
+    EXPECT_FALSE(const_cast<Domain*>(d)->bgmp_router().on_tree(kGroup));
+  }
+}
+
+}  // namespace
+}  // namespace core

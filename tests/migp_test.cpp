@@ -1,0 +1,345 @@
+// Tests for the intra-domain multicast protocols (MIGPs): membership
+// plumbing, flood-and-prune behaviour, RPF rejection (the driver for BGMP
+// encapsulation), RP detours in PIM-SM, CBT bidirectional forwarding, and
+// MOSPF shortest-path delivery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "migp/cbt.hpp"
+#include "migp/factory.hpp"
+#include "migp/flood_prune.hpp"
+#include "migp/mospf.hpp"
+#include "migp/pim_sm.hpp"
+#include "net/ip.hpp"
+
+namespace migp {
+namespace {
+
+using net::Ipv4Addr;
+
+const Group kGroup = Ipv4Addr::parse("224.0.128.1");
+const Ipv4Addr kExternalSource = Ipv4Addr::parse("10.9.0.1");
+const Ipv4Addr kLocalSource = Ipv4Addr::parse("10.1.0.7");
+
+// Internal topology used throughout:
+//
+//      0 ---- 1 ---- 2      borders: 0 and 4
+//      |             |
+//      3 ----------- 4
+//
+// Distances: 0..2 = 2 (via 1), 0..4 = 2 (via 3), 2..4 = 1.
+topology::Graph line_graph() {
+  topology::Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  g.add_edge(2, 4);
+  return g;
+}
+
+const std::vector<RouterId> kBorders{0, 4};
+
+// RPF resolver: every external source exits via border 0.
+RouterId exit_via_zero(Ipv4Addr) { return 0; }
+
+class CountingListener final : public MembershipListener {
+ public:
+  void on_group_present(Group) override { ++present; }
+  void on_group_absent(Group) override { ++absent; }
+  int present = 0;
+  int absent = 0;
+};
+
+bool contains(const std::vector<RouterId>& v, RouterId r) {
+  return std::find(v.begin(), v.end(), r) != v.end();
+}
+
+// ------------------------------------------------------- shared behaviour
+
+class EveryMigpTest : public ::testing::TestWithParam<Protocol> {
+ protected:
+  std::unique_ptr<Migp> make() {
+    return make_migp(GetParam(), line_graph(), kBorders, exit_via_zero);
+  }
+};
+
+TEST_P(EveryMigpTest, MembershipTransitionsFireListener) {
+  auto migp = make();
+  CountingListener listener;
+  migp->set_listener(&listener);
+  EXPECT_FALSE(migp->has_members(kGroup));
+  migp->host_join(2, kGroup);
+  EXPECT_EQ(listener.present, 1);
+  migp->host_join(3, kGroup);
+  EXPECT_EQ(listener.present, 1);  // only the first join fires
+  EXPECT_TRUE(migp->has_members(kGroup));
+  EXPECT_TRUE(migp->router_has_members(2, kGroup));
+  EXPECT_FALSE(migp->router_has_members(1, kGroup));
+  migp->host_leave(2, kGroup);
+  EXPECT_EQ(listener.absent, 0);
+  migp->host_leave(3, kGroup);
+  EXPECT_EQ(listener.absent, 1);
+  EXPECT_FALSE(migp->has_members(kGroup));
+}
+
+TEST_P(EveryMigpTest, UnbalancedLeaveThrows) {
+  auto migp = make();
+  EXPECT_THROW(migp->host_leave(2, kGroup), std::logic_error);
+  migp->host_join(2, kGroup);
+  EXPECT_THROW(migp->host_leave(1, kGroup), std::logic_error);
+}
+
+TEST_P(EveryMigpTest, BorderJoinRequiresBorderRouter) {
+  auto migp = make();
+  EXPECT_THROW(migp->border_join(1, kGroup), std::invalid_argument);
+  migp->border_join(4, kGroup);
+  EXPECT_THROW(migp->border_leave(0, kGroup), std::logic_error);
+  migp->border_leave(4, kGroup);
+}
+
+TEST_P(EveryMigpTest, DataReachesAllMembers) {
+  auto migp = make();
+  migp->host_join(1, kGroup);
+  migp->host_join(3, kGroup);
+  // Two packets: flood-and-prune protocols settle after the first.
+  (void)migp->inject(2, kLocalSource, kGroup, false);
+  const DataDelivery d = migp->inject(2, kLocalSource, kGroup, false);
+  EXPECT_TRUE(d.rpf_accepted);
+  EXPECT_TRUE(contains(d.member_routers, 1));
+  EXPECT_TRUE(contains(d.member_routers, 3));
+  EXPECT_EQ(d.member_routers.size(), 2u);
+}
+
+TEST_P(EveryMigpTest, BorderJoinedRoutersReceiveData) {
+  auto migp = make();
+  migp->border_join(4, kGroup);
+  (void)migp->inject(0, kExternalSource, kGroup, true);
+  const DataDelivery d = migp->inject(0, kExternalSource, kGroup, true);
+  ASSERT_TRUE(d.rpf_accepted);
+  EXPECT_TRUE(contains(d.border_routers, 4));
+}
+
+TEST_P(EveryMigpTest, UnicastHopsAreShortestPaths) {
+  auto migp = make();
+  EXPECT_EQ(migp->unicast_hops(0, 4), 2);
+  EXPECT_EQ(migp->unicast_hops(2, 4), 1);
+  EXPECT_EQ(migp->unicast_hops(3, 3), 0);
+}
+
+TEST_P(EveryMigpTest, RejectsBadRouterIds) {
+  auto migp = make();
+  EXPECT_THROW(migp->host_join(99, kGroup), std::out_of_range);
+  EXPECT_THROW((void)migp->inject(99, kLocalSource, kGroup, false),
+               std::out_of_range);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, EveryMigpTest,
+                         ::testing::Values(Protocol::kDvmrp, Protocol::kPimDm,
+                                           Protocol::kPimSm, Protocol::kCbt,
+                                           Protocol::kMospf),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Protocol::kDvmrp: return "Dvmrp";
+                             case Protocol::kPimDm: return "PimDm";
+                             case Protocol::kPimSm: return "PimSm";
+                             case Protocol::kCbt: return "Cbt";
+                             case Protocol::kMospf: return "Mospf";
+                           }
+                           return "Unknown";
+                         });
+
+// ---------------------------------------------------------- flood & prune
+
+TEST(FloodPrune, FirstPacketFloodsEverywhere) {
+  FloodPruneMigp migp(FloodPruneMigp::Flavor::kDvmrp, line_graph(), kBorders,
+                      exit_via_zero);
+  migp.host_join(1, kGroup);
+  const DataDelivery first = migp.inject(2, kLocalSource, kGroup, false);
+  EXPECT_TRUE(first.flooded);
+  EXPECT_EQ(migp.flood_count(), 1);
+  // Flood reaches every border router (paper §5: "reach all the border
+  // routers"), even without border_join state.
+  EXPECT_TRUE(contains(first.border_routers, 0));
+  EXPECT_TRUE(contains(first.border_routers, 4));
+  EXPECT_EQ(first.internal_hops, 5);  // all edges
+
+  const DataDelivery second = migp.inject(2, kLocalSource, kGroup, false);
+  EXPECT_FALSE(second.flooded);
+  EXPECT_EQ(migp.flood_count(), 1);
+  // After prunes, only the member router is served: 2→1 is one hop.
+  EXPECT_TRUE(second.border_routers.empty());
+  EXPECT_EQ(second.internal_hops, 1);
+}
+
+TEST(FloodPrune, EachSourceGroupFloodsIndependently) {
+  FloodPruneMigp migp(FloodPruneMigp::Flavor::kPimDm, line_graph(), kBorders,
+                      exit_via_zero);
+  (void)migp.inject(2, kLocalSource, kGroup, false);
+  (void)migp.inject(2, Ipv4Addr::parse("10.1.0.8"), kGroup, false);
+  (void)migp.inject(2, kLocalSource, Ipv4Addr::parse("224.0.128.2"), false);
+  EXPECT_EQ(migp.flood_count(), 3);
+}
+
+TEST(FloodPrune, ExternalDataRejectedAtWrongBorder) {
+  // §5.3's scenario: data from an external source enters at border 4, but
+  // the best exit toward the source is border 0 → internal RPF checks
+  // fail and the packet is dropped (BGMP must encapsulate to border 0).
+  FloodPruneMigp migp(FloodPruneMigp::Flavor::kDvmrp, line_graph(), kBorders,
+                      exit_via_zero);
+  migp.host_join(1, kGroup);
+  const DataDelivery wrong = migp.inject(4, kExternalSource, kGroup, true);
+  EXPECT_FALSE(wrong.rpf_accepted);
+  EXPECT_TRUE(wrong.member_routers.empty());
+  const DataDelivery right = migp.inject(0, kExternalSource, kGroup, true);
+  EXPECT_TRUE(right.rpf_accepted);
+  EXPECT_TRUE(contains(right.member_routers, 1) || right.flooded);
+}
+
+TEST(FloodPrune, LocalSourceNeverRpfRejected) {
+  FloodPruneMigp migp(FloodPruneMigp::Flavor::kDvmrp, line_graph(), kBorders,
+                      exit_via_zero);
+  const DataDelivery d = migp.inject(3, kLocalSource, kGroup, false);
+  EXPECT_TRUE(d.rpf_accepted);
+}
+
+// ----------------------------------------------------------------- PIM-SM
+
+TEST(PimSm, DataDetoursViaRp) {
+  PimSmMigp migp(line_graph(), kBorders, exit_via_zero);
+  migp.set_rp(kGroup, 0);
+  migp.host_join(2, kGroup);
+  // Sender at 4: register to RP 0 (2 hops) + shared tree 0→2 (2 hops).
+  const DataDelivery d = migp.inject(4, kLocalSource, kGroup, false);
+  EXPECT_TRUE(contains(d.member_routers, 2));
+  EXPECT_EQ(d.internal_hops, 4);
+  EXPECT_EQ(migp.register_count(), 1);
+  // Direct path 4→2 would be 1 hop: the unidirectional-tree penalty.
+}
+
+TEST(PimSm, DefaultRpIsDeterministicHash) {
+  PimSmMigp migp(line_graph(), kBorders, exit_via_zero);
+  const RouterId rp = migp.rp_for(kGroup);
+  EXPECT_EQ(rp, migp.rp_for(kGroup));
+  EXPECT_EQ(rp, kGroup.value() % 5);
+}
+
+TEST(PimSm, SptSwitchoverUsesShortestPathAfterFirstPacket) {
+  PimSmMigp migp(line_graph(), kBorders, exit_via_zero,
+                 /*spt_switchover=*/true);
+  migp.set_rp(kGroup, 0);
+  migp.host_join(2, kGroup);
+  const DataDelivery via_rp = migp.inject(4, kLocalSource, kGroup, false);
+  EXPECT_EQ(via_rp.internal_hops, 4);
+  const DataDelivery direct = migp.inject(4, kLocalSource, kGroup, false);
+  EXPECT_EQ(direct.internal_hops, 1);  // 4→2 directly
+  EXPECT_TRUE(contains(direct.member_routers, 2));
+}
+
+TEST(PimSm, SenderAtRpPaysNoRegister) {
+  PimSmMigp migp(line_graph(), kBorders, exit_via_zero);
+  migp.set_rp(kGroup, 3);
+  migp.host_join(0, kGroup);
+  const DataDelivery d = migp.inject(3, kLocalSource, kGroup, false);
+  EXPECT_EQ(migp.register_count(), 0);
+  EXPECT_EQ(d.internal_hops, 1);  // 3→0 on the shared tree
+}
+
+// -------------------------------------------------------------------- CBT
+
+TEST(Cbt, BidirectionalFlowSkipsTheCoreWhenPossible) {
+  CbtMigp migp(line_graph(), kBorders, exit_via_zero);
+  migp.set_core(kGroup, 0);
+  migp.host_join(2, kGroup);
+  migp.host_join(4, kGroup);
+  // Tree: 2→1→0 and 4→3→0 (member-to-core paths) = 4 edges.
+  // A sender at 1 (on-tree) reaches both members without a core detour:
+  // bidirectional flow over the 4 tree edges.
+  const DataDelivery d = migp.inject(1, kLocalSource, kGroup, false);
+  EXPECT_TRUE(contains(d.member_routers, 2));
+  EXPECT_TRUE(contains(d.member_routers, 4));
+  EXPECT_EQ(d.internal_hops, 4);
+}
+
+TEST(Cbt, OffTreeSenderForwardsTowardCore) {
+  CbtMigp migp(line_graph(), kBorders, exit_via_zero);
+  migp.set_core(kGroup, 0);
+  migp.host_join(3, kGroup);
+  // Tree: 3→0 (1 edge). Sender at 2: path toward core 2→1→0 joins the
+  // tree at 0 (2 hops), then 1 tree edge.
+  const DataDelivery d = migp.inject(2, kLocalSource, kGroup, false);
+  EXPECT_TRUE(contains(d.member_routers, 3));
+  EXPECT_EQ(d.internal_hops, 3);
+}
+
+TEST(Cbt, CoreOverrideAndDefaultHash) {
+  CbtMigp migp(line_graph(), kBorders, exit_via_zero);
+  EXPECT_EQ(migp.core_for(kGroup), kGroup.value() % 5);
+  migp.set_core(kGroup, 2);
+  EXPECT_EQ(migp.core_for(kGroup), 2u);
+  EXPECT_THROW(migp.set_core(kGroup, 50), std::out_of_range);
+}
+
+// ------------------------------------------------------------------ MOSPF
+
+TEST(Mospf, DeliversAlongShortestPathsWithoutFlooding) {
+  MospfMigp migp(line_graph(), kBorders, exit_via_zero);
+  migp.host_join(1, kGroup);
+  migp.host_join(4, kGroup);
+  const DataDelivery d = migp.inject(0, kExternalSource, kGroup, true);
+  EXPECT_TRUE(d.rpf_accepted);
+  EXPECT_FALSE(d.flooded);
+  EXPECT_TRUE(contains(d.member_routers, 1));
+  EXPECT_TRUE(contains(d.member_routers, 4));
+  // 0→1 (1 edge) plus 0→3→4 (2 edges) = 3.
+  EXPECT_EQ(d.internal_hops, 3);
+}
+
+TEST(Mospf, MembershipChangesCostFloodedLsas) {
+  MospfMigp migp(line_graph(), kBorders, exit_via_zero);
+  EXPECT_EQ(migp.membership_flood_cost(), 0);
+  migp.host_join(1, kGroup);
+  EXPECT_EQ(migp.membership_flood_cost(), 5);
+  migp.host_leave(1, kGroup);
+  EXPECT_EQ(migp.membership_flood_cost(), 10);
+}
+
+TEST(Mospf, AcceptsExternalDataAtAnyBorder) {
+  MospfMigp migp(line_graph(), kBorders, exit_via_zero);
+  migp.host_join(1, kGroup);
+  const DataDelivery d = migp.inject(4, kExternalSource, kGroup, true);
+  EXPECT_TRUE(d.rpf_accepted);
+  EXPECT_TRUE(contains(d.member_routers, 1));
+}
+
+// ---------------------------------------------------------------- factory
+
+TEST(Factory, ParsesAllNames) {
+  EXPECT_EQ(parse_protocol("dvmrp"), Protocol::kDvmrp);
+  EXPECT_EQ(parse_protocol("pim-dm"), Protocol::kPimDm);
+  EXPECT_EQ(parse_protocol("pim-sm"), Protocol::kPimSm);
+  EXPECT_EQ(parse_protocol("cbt"), Protocol::kCbt);
+  EXPECT_EQ(parse_protocol("mospf"), Protocol::kMospf);
+  EXPECT_THROW((void)parse_protocol("ospf"), std::invalid_argument);
+}
+
+TEST(Factory, BuildsNamedProtocols) {
+  auto migp = make_migp(Protocol::kCbt, line_graph(), kBorders, nullptr);
+  EXPECT_EQ(migp->protocol_name(), "CBT");
+}
+
+TEST(Factory, RejectsDisconnectedOrEmptyGraphs) {
+  topology::Graph disconnected(3);
+  disconnected.add_edge(0, 1);
+  EXPECT_THROW(
+      (void)make_migp(Protocol::kDvmrp, disconnected, {0}, exit_via_zero),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)make_migp(Protocol::kDvmrp, topology::Graph{}, {}, exit_via_zero),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace migp
