@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_claim.dir/ablation_claim.cpp.o"
+  "CMakeFiles/ablation_claim.dir/ablation_claim.cpp.o.d"
+  "ablation_claim"
+  "ablation_claim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_claim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

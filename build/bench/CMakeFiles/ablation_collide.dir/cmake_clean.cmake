@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collide.dir/ablation_collide.cpp.o"
+  "CMakeFiles/ablation_collide.dir/ablation_collide.cpp.o.d"
+  "ablation_collide"
+  "ablation_collide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_treecost.dir/ablation_treecost.cpp.o"
+  "CMakeFiles/ablation_treecost.dir/ablation_treecost.cpp.o.d"
+  "ablation_treecost"
+  "ablation_treecost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_treecost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

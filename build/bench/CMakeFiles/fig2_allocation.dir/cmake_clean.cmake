@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_allocation.dir/fig2_allocation.cpp.o"
+  "CMakeFiles/fig2_allocation.dir/fig2_allocation.cpp.o.d"
+  "fig2_allocation"
+  "fig2_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

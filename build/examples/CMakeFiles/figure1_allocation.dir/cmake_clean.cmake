@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_allocation.dir/figure1_allocation.cpp.o"
+  "CMakeFiles/figure1_allocation.dir/figure1_allocation.cpp.o.d"
+  "figure1_allocation"
+  "figure1_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_trees.dir/figure3_trees.cpp.o"
+  "CMakeFiles/figure3_trees.dir/figure3_trees.cpp.o.d"
+  "figure3_trees"
+  "figure3_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_scenario.dir/policy_scenario.cpp.o"
+  "CMakeFiles/policy_scenario.dir/policy_scenario.cpp.o.d"
+  "policy_scenario"
+  "policy_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgmp.dir/router.cpp.o"
+  "CMakeFiles/bgmp.dir/router.cpp.o.d"
+  "libbgmp.a"
+  "libbgmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

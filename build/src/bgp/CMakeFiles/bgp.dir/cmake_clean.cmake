@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp.dir/rib.cpp.o"
+  "CMakeFiles/bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/bgp.dir/speaker.cpp.o"
+  "CMakeFiles/bgp.dir/speaker.cpp.o.d"
+  "libbgp.a"
+  "libbgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

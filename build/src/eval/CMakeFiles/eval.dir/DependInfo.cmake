@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/masc_sim.cpp" "src/eval/CMakeFiles/eval.dir/masc_sim.cpp.o" "gcc" "src/eval/CMakeFiles/eval.dir/masc_sim.cpp.o.d"
+  "/root/repo/src/eval/tree_model.cpp" "src/eval/CMakeFiles/eval.dir/tree_model.cpp.o" "gcc" "src/eval/CMakeFiles/eval.dir/tree_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/masc/CMakeFiles/masc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval.dir/masc_sim.cpp.o"
+  "CMakeFiles/eval.dir/masc_sim.cpp.o.d"
+  "CMakeFiles/eval.dir/tree_model.cpp.o"
+  "CMakeFiles/eval.dir/tree_model.cpp.o.d"
+  "libeval.a"
+  "libeval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

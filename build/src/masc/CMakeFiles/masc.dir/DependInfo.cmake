@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/masc/claim_algorithm.cpp" "src/masc/CMakeFiles/masc.dir/claim_algorithm.cpp.o" "gcc" "src/masc/CMakeFiles/masc.dir/claim_algorithm.cpp.o.d"
+  "/root/repo/src/masc/maas.cpp" "src/masc/CMakeFiles/masc.dir/maas.cpp.o" "gcc" "src/masc/CMakeFiles/masc.dir/maas.cpp.o.d"
+  "/root/repo/src/masc/node.cpp" "src/masc/CMakeFiles/masc.dir/node.cpp.o" "gcc" "src/masc/CMakeFiles/masc.dir/node.cpp.o.d"
+  "/root/repo/src/masc/pool.cpp" "src/masc/CMakeFiles/masc.dir/pool.cpp.o" "gcc" "src/masc/CMakeFiles/masc.dir/pool.cpp.o.d"
+  "/root/repo/src/masc/registry.cpp" "src/masc/CMakeFiles/masc.dir/registry.cpp.o" "gcc" "src/masc/CMakeFiles/masc.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc.dir/claim_algorithm.cpp.o"
+  "CMakeFiles/masc.dir/claim_algorithm.cpp.o.d"
+  "CMakeFiles/masc.dir/maas.cpp.o"
+  "CMakeFiles/masc.dir/maas.cpp.o.d"
+  "CMakeFiles/masc.dir/node.cpp.o"
+  "CMakeFiles/masc.dir/node.cpp.o.d"
+  "CMakeFiles/masc.dir/pool.cpp.o"
+  "CMakeFiles/masc.dir/pool.cpp.o.d"
+  "CMakeFiles/masc.dir/registry.cpp.o"
+  "CMakeFiles/masc.dir/registry.cpp.o.d"
+  "libmasc.a"
+  "libmasc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/migp/cbt.cpp" "src/migp/CMakeFiles/migp.dir/cbt.cpp.o" "gcc" "src/migp/CMakeFiles/migp.dir/cbt.cpp.o.d"
+  "/root/repo/src/migp/factory.cpp" "src/migp/CMakeFiles/migp.dir/factory.cpp.o" "gcc" "src/migp/CMakeFiles/migp.dir/factory.cpp.o.d"
+  "/root/repo/src/migp/flood_prune.cpp" "src/migp/CMakeFiles/migp.dir/flood_prune.cpp.o" "gcc" "src/migp/CMakeFiles/migp.dir/flood_prune.cpp.o.d"
+  "/root/repo/src/migp/migp_base.cpp" "src/migp/CMakeFiles/migp.dir/migp_base.cpp.o" "gcc" "src/migp/CMakeFiles/migp.dir/migp_base.cpp.o.d"
+  "/root/repo/src/migp/mospf.cpp" "src/migp/CMakeFiles/migp.dir/mospf.cpp.o" "gcc" "src/migp/CMakeFiles/migp.dir/mospf.cpp.o.d"
+  "/root/repo/src/migp/pim_sm.cpp" "src/migp/CMakeFiles/migp.dir/pim_sm.cpp.o" "gcc" "src/migp/CMakeFiles/migp.dir/pim_sm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migp.dir/cbt.cpp.o"
+  "CMakeFiles/migp.dir/cbt.cpp.o.d"
+  "CMakeFiles/migp.dir/factory.cpp.o"
+  "CMakeFiles/migp.dir/factory.cpp.o.d"
+  "CMakeFiles/migp.dir/flood_prune.cpp.o"
+  "CMakeFiles/migp.dir/flood_prune.cpp.o.d"
+  "CMakeFiles/migp.dir/migp_base.cpp.o"
+  "CMakeFiles/migp.dir/migp_base.cpp.o.d"
+  "CMakeFiles/migp.dir/mospf.cpp.o"
+  "CMakeFiles/migp.dir/mospf.cpp.o.d"
+  "CMakeFiles/migp.dir/pim_sm.cpp.o"
+  "CMakeFiles/migp.dir/pim_sm.cpp.o.d"
+  "libmigp.a"
+  "libmigp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for migp.
+# This may be replaced when dependencies are built.

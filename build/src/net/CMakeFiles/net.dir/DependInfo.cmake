@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/event.cpp" "src/net/CMakeFiles/net.dir/event.cpp.o" "gcc" "src/net/CMakeFiles/net.dir/event.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/log.cpp" "src/net/CMakeFiles/net.dir/log.cpp.o" "gcc" "src/net/CMakeFiles/net.dir/log.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/net.dir/network.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/net/CMakeFiles/net.dir/prefix.cpp.o" "gcc" "src/net/CMakeFiles/net.dir/prefix.cpp.o.d"
+  "/root/repo/src/net/time.cpp" "src/net/CMakeFiles/net.dir/time.cpp.o" "gcc" "src/net/CMakeFiles/net.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

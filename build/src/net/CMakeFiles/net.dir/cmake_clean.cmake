@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net.dir/event.cpp.o"
+  "CMakeFiles/net.dir/event.cpp.o.d"
+  "CMakeFiles/net.dir/ip.cpp.o"
+  "CMakeFiles/net.dir/ip.cpp.o.d"
+  "CMakeFiles/net.dir/log.cpp.o"
+  "CMakeFiles/net.dir/log.cpp.o.d"
+  "CMakeFiles/net.dir/network.cpp.o"
+  "CMakeFiles/net.dir/network.cpp.o.d"
+  "CMakeFiles/net.dir/prefix.cpp.o"
+  "CMakeFiles/net.dir/prefix.cpp.o.d"
+  "CMakeFiles/net.dir/time.cpp.o"
+  "CMakeFiles/net.dir/time.cpp.o.d"
+  "libnet.a"
+  "libnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology.dir/generators.cpp.o"
+  "CMakeFiles/topology.dir/generators.cpp.o.d"
+  "CMakeFiles/topology.dir/graph.cpp.o"
+  "CMakeFiles/topology.dir/graph.cpp.o.d"
+  "CMakeFiles/topology.dir/paths.cpp.o"
+  "CMakeFiles/topology.dir/paths.cpp.o.d"
+  "libtopology.a"
+  "libtopology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

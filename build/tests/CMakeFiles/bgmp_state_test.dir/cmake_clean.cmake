@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgmp_state_test.dir/bgmp_state_test.cpp.o"
+  "CMakeFiles/bgmp_state_test.dir/bgmp_state_test.cpp.o.d"
+  "bgmp_state_test"
+  "bgmp_state_test.pdb"
+  "bgmp_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgmp_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

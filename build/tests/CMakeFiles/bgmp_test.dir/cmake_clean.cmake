@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgmp_test.dir/bgmp_test.cpp.o"
+  "CMakeFiles/bgmp_test.dir/bgmp_test.cpp.o.d"
+  "bgmp_test"
+  "bgmp_test.pdb"
+  "bgmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

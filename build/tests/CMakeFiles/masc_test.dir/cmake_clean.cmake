@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc_test.dir/masc_test.cpp.o"
+  "CMakeFiles/masc_test.dir/masc_test.cpp.o.d"
+  "masc_test"
+  "masc_test.pdb"
+  "masc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migp_test.dir/migp_test.cpp.o"
+  "CMakeFiles/migp_test.dir/migp_test.cpp.o.d"
+  "migp_test"
+  "migp_test.pdb"
+  "migp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

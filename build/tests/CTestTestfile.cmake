@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/bgp_test[1]_include.cmake")
+include("/root/repo/build/tests/migp_test[1]_include.cmake")
+include("/root/repo/build/tests/masc_test[1]_include.cmake")
+include("/root/repo/build/tests/bgmp_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/bgmp_state_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
