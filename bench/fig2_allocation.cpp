@@ -11,13 +11,15 @@
 // mean ~175, max <= ~180). Writes fig2_allocation.csv next to the binary.
 //
 // Usage: fig2_allocation [--days N] [--tops N] [--children N] [--seed N]
-//                        [--max-prefixes N] [--csv PATH]
+//                        [--max-prefixes N] [--csv PATH] [--metrics-out PATH]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "eval/masc_sim.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -98,6 +100,9 @@ int main(int argc, char** argv) {
   const eval::MascSimSample steady = result.steady_state(steady_from);
   const double blocks =
       static_cast<double>(steady.requested_addresses) / 256.0;
+  // The run's accounting comes from its metrics snapshot — the same
+  // registry counters the simulation incremented while serving requests.
+  const obs::Snapshot& metrics = result.final_metrics;
   std::printf(
       "\n== steady state (day >= %.0f) vs the paper ==\n"
       "  utilization            %.3f   (paper: ~0.50)\n"
@@ -105,10 +110,23 @@ int main(int argc, char** argv) {
       "  G-RIB max              %zu   (paper: <= ~180)\n"
       "  outstanding blocks     %.0f   (paper: 37500)\n"
       "  aggregation factor     %.0fx  (blocks per G-RIB route)\n"
-      "  allocation failures    %d\n"
-      "  requests served        %llu\n",
+      "  allocation failures    %llu\n"
+      "  requests served        %llu\n"
+      "  expansions executed    %llu\n",
       steady_from, steady.utilization, steady.grib_average, steady.grib_max,
-      blocks, blocks / steady.grib_average, result.allocation_failures,
-      static_cast<unsigned long long>(result.requests_served));
+      blocks, blocks / steady.grib_average,
+      static_cast<unsigned long long>(
+          metrics.counter_value("masc.allocation_failures")),
+      static_cast<unsigned long long>(
+          metrics.counter_value("masc.requests_served")),
+      static_cast<unsigned long long>(
+          metrics.counter_value("masc.expansions_executed")));
+
+  if (const char* out = arg_string(argc, argv, "--metrics-out", nullptr);
+      out != nullptr) {
+    std::ofstream file(out);
+    metrics.write_json(file);
+    std::printf("(metrics snapshot written to %s)\n", out);
+  }
   return 0;
 }

@@ -13,7 +13,7 @@
 
 #include "core/domain.hpp"
 #include "core/internet.hpp"
-#include "net/log.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -29,7 +29,7 @@ void show_pool(const core::Domain& d, const masc::MascNode& node) {
 }  // namespace
 
 int main() {
-  net::log_level() = net::LogLevel::kInfo;  // narrate the MASC exchange
+  obs::tracer().level() = obs::TraceLevel::kInfo;  // narrate the exchange
   core::Internet net;
 
   core::Domain& a = net.add_domain({.id = 10, .name = "A"});

@@ -1,7 +1,14 @@
 // scenario_runner — drive the MASC/BGMP architecture from a scenario
 // script, for exploring topologies and failure cases without writing C++.
 //
-// Usage: scenario_runner [script.msc]     (runs a built-in demo without args)
+// Usage: scenario_runner [script.msc] [--metrics-out FILE]
+//                        [--trace-out FILE] [--trace-level info|debug]
+//
+// Runs a built-in demo when no script is given. --metrics-out writes the
+// end-of-run metrics snapshot (every counter and gauge the stack
+// registered, stamped with the final simulation time) as JSON.
+// --trace-out streams structured JSONL trace records; --trace-level
+// raises the trace level (default off; info also prints to stderr).
 //
 // Script language (one command per line, '#' comments):
 //
@@ -32,6 +39,8 @@
 
 #include "core/domain.hpp"
 #include "core/internet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -250,13 +259,58 @@ expect member 1 2
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string script_path;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string trace_level;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--trace-level") {
+      trace_level = next();
+    } else {
+      script_path = arg;
+    }
+  }
+
+  if (trace_level == "info") {
+    obs::tracer().level() = obs::TraceLevel::kInfo;
+  } else if (trace_level == "debug") {
+    obs::tracer().level() = obs::TraceLevel::kDebug;
+  } else if (!trace_level.empty()) {
+    std::cerr << "bad --trace-level '" << trace_level << "'\n";
+    return 1;
+  }
+  std::ofstream trace_file;
+  if (!trace_out.empty()) {
+    trace_file.open(trace_out);
+    if (!trace_file) {
+      std::cerr << "cannot open " << trace_out << "\n";
+      return 1;
+    }
+    obs::tracer().add_sink(std::make_shared<obs::JsonlSink>(trace_file));
+    if (trace_level.empty()) {
+      obs::tracer().level() = obs::TraceLevel::kInfo;
+    }
+  }
+
   std::istringstream demo(kDemoScript);
   std::ifstream file;
   std::istream* in = &demo;
-  if (argc > 1) {
-    file.open(argv[1]);
+  if (!script_path.empty()) {
+    file.open(script_path);
     if (!file) {
-      std::cerr << "cannot open " << argv[1] << "\n";
+      std::cerr << "cannot open " << script_path << "\n";
       return 1;
     }
     in = &file;
@@ -279,6 +333,15 @@ int main(int argc, char** argv) {
       std::cerr << "line " << line_no << ": " << error.what() << "\n";
       return 1;
     }
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot open " << metrics_out << "\n";
+      return 1;
+    }
+    scenario.net.metrics_snapshot().write_json(out);
+    std::cout << "(metrics snapshot written to " << metrics_out << ")\n";
   }
   if (scenario.failures > 0) {
     std::cerr << scenario.failures << " expectation(s) failed\n";

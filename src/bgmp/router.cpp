@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "net/log.hpp"
+#include "obs/trace.hpp"
 
 namespace bgmp {
 
@@ -36,7 +36,14 @@ Router::Router(net::Network& network, bgp::Speaker& speaker,
     : network_(network),
       speaker_(speaker),
       service_(service),
-      name_(std::move(name)) {
+      name_(std::move(name)),
+      metrics_{&network.metrics().counter("bgmp.joins_sent"),
+               &network.metrics().counter("bgmp.prunes_sent"),
+               &network.metrics().counter("bgmp.data_forwarded"),
+               &network.metrics().counter("bgmp.encapsulations"),
+               &network.metrics().counter("bgmp.source_branches_built"),
+               &network.metrics().counter("bgmp.entries_created"),
+               &network.metrics().counter("bgmp.entries_torn_down")} {
   // Tree stability under route churn (§3): when the G-RIB path toward a
   // root domain moves, shared trees migrate their parent targets (after a
   // short damping delay, so a BGP convergence burst causes one move).
@@ -100,7 +107,7 @@ void Router::reresolve_parents() {
       }
     }
     sync_migp_state(group);
-    net::log_info(name_, [&](auto& os) {
+    obs::log_info(name_, [&](auto& os) {
       os << "migrated (*,G) parent for " << group.to_string();
     });
   }
@@ -297,7 +304,8 @@ void Router::add_star_child(Group group, const TargetKey& child) {
                      net::Ipv4Addr{}, group);
       }
     }
-    net::log_info(name_, [&](auto& os) {
+    metrics_.entries_created->inc();
+    obs::log_info(name_, [&](auto& os) {
       os << "created (*,G) for " << group.to_string();
     });
   }
@@ -321,7 +329,8 @@ void Router::remove_star_child(Group group, const TargetKey& child) {
                    ControlMessage::Kind::kPruneGroup, net::Ipv4Addr{}, group);
     }
     star_entries_.erase(it);
-    net::log_info(name_, [&](auto& os) {
+    metrics_.entries_torn_down->inc();
+    obs::log_info(name_, [&](auto& os) {
       os << "tore down (*,G) for " << group.to_string();
     });
   }
@@ -355,14 +364,18 @@ void Router::send_control(const TargetKey& to, Router* relay,
   msg.kind = kind;
   msg.group = group;
   msg.source = source;
+  const bool is_join = kind == ControlMessage::Kind::kJoinGroup ||
+                       kind == ControlMessage::Kind::kJoinSource;
   if (to.kind == TargetKey::Kind::kPeer) {
     const ExternalPeer* peer = peer_by_router(to.peer);
     if (peer == nullptr) {
       throw std::logic_error(name_ + ": control target is not a peer");
     }
+    (is_join ? metrics_.joins_sent : metrics_.prunes_sent)->inc();
     network_.send(peer->channel, *this,
                   std::make_unique<ControlMessage>(msg));
   } else if (relay != nullptr) {
+    (is_join ? metrics_.joins_sent : metrics_.prunes_sent)->inc();
     service_.relay_control(*this, *relay, msg);
   }
   // kMigp with no relay: self-rooted / membership side — nothing to send.
@@ -466,7 +479,7 @@ void Router::repair_group(Group group, int attempts_left) {
                  net::Ipv4Addr{}, group);
   }
   sync_migp_state(group);
-  net::log_info(name_, [&](auto& os) {
+  obs::log_info(name_, [&](auto& os) {
     os << "repaired (*,G) for " << group.to_string();
   });
 }
@@ -605,8 +618,9 @@ void Router::request_source_branch(net::Ipv4Addr source, Group group) {
     send_control(hop->parent, hop->relay, ControlMessage::Kind::kJoinSource,
                  source, group);
   }
+  metrics_.source_branches_built->inc();
   sync_migp_state(group);
-  net::log_info(name_, [&](auto& os) {
+  obs::log_info(name_, [&](auto& os) {
     os << "source-specific branch toward S=" << source.to_string();
   });
 }
@@ -655,16 +669,19 @@ void Router::forward_to_target(const TargetKey& target, net::Ipv4Addr source,
     msg->group = group;
     msg->hops = hops + 1;  // one inter-domain hop
     msg->branch_copy = branch_copy;
+    metrics_.data_forwarded->inc();
     network_.send(peer->channel, *this, std::move(msg));
     return;
   }
   // MIGP component: multicast into the domain. An RPF rejection means the
   // packet must enter at the best exit toward the source instead (§5.3) —
   // but only when someone inside actually needs it.
+  metrics_.data_forwarded->inc();
   if (!service_.deliver_data(*this, source, group, hops)) {
     Router* exit_router = service_.rpf_exit(source);
     if (exit_router != nullptr && exit_router != this &&
         service_.needs_encapsulated_delivery(*this, group)) {
+      metrics_.encapsulations->inc();
       service_.encapsulate(*this, *exit_router, source, group, hops);
     }
   }

@@ -274,6 +274,20 @@ class Router final : public net::Endpoint {
   bgp::Speaker& speaker_;
   DomainService& service_;
   std::string name_;
+
+  /// bgmp.* counters in the network's registry — shared by every router on
+  /// the network, so they aggregate per simulation.
+  struct RouterMetrics {
+    obs::Counter* joins_sent;
+    obs::Counter* prunes_sent;
+    obs::Counter* data_forwarded;
+    obs::Counter* encapsulations;
+    obs::Counter* source_branches_built;
+    obs::Counter* entries_created;
+    obs::Counter* entries_torn_down;
+  };
+  RouterMetrics metrics_;
+
   bool auto_branch_ = true;
   net::SimTime repair_delay_ = net::SimTime::seconds(1);
   net::SimTime prune_lifetime_ = net::SimTime::minutes(3);

@@ -3,8 +3,6 @@
 #include <atomic>
 #include <stdexcept>
 
-#include "net/log.hpp"
-
 namespace bgp {
 
 namespace {
@@ -34,7 +32,15 @@ std::string UpdateMessage::describe() const {
 }
 
 Speaker::Speaker(net::Network& network, DomainId as, std::string name)
-    : network_(network), as_(as), name_(std::move(name)), uid_(next_uid()) {}
+    : network_(network),
+      as_(as),
+      name_(std::move(name)),
+      uid_(next_uid()),
+      metrics_{&network.metrics().counter("bgp.updates_sent"),
+               &network.metrics().counter("bgp.updates_received"),
+               &network.metrics().counter("bgp.routes_announced"),
+               &network.metrics().counter("bgp.routes_withdrawn"),
+               &network.metrics().counter("bgp.routes_originated")} {}
 
 net::ChannelId Speaker::connect(Speaker& a, Speaker& b,
                                 Relationship a_sees_b, net::SimTime latency,
@@ -75,6 +81,7 @@ void Speaker::originate(RouteType type, const net::Prefix& prefix) {
   auto& origins = origins_[static_cast<std::size_t>(type)];
   if (origins.contains(prefix)) return;
   origins.insert(prefix, true);
+  metrics_.routes_originated->inc();
   Candidate local;
   local.route =
       Route{prefix, /*as_path=*/{}, /*origin_as=*/as_, /*local_pref=*/100};
@@ -174,12 +181,15 @@ void Speaker::on_channel_up(net::ChannelId channel) {
 void Speaker::handle_update(PeerIndex from, const UpdateMessage& update) {
   Peer& peer = peers_[from];
   Rib& rib = rib_mut(update.type);
+  metrics_.updates_received->inc();
   for (const net::Prefix& prefix : update.withdrawals) {
+    metrics_.routes_withdrawn->inc();
     RibEntry& entry = rib.entry(prefix);
     if (entry.remove(from)) best_changed(update.type, prefix);
     rib.erase_if_empty(prefix);
   }
   for (const Route& announced : update.announcements) {
+    metrics_.routes_announced->inc();
     RibEntry& entry = rib.entry(announced.prefix);
     // AS-path loop prevention: a route that already crossed this domain is
     // treated as unreachable via this peer.
@@ -262,12 +272,14 @@ void Speaker::sync_peer(RouteType type, const net::Prefix& prefix,
     auto update = std::make_unique<UpdateMessage>();
     update->type = type;
     update->announcements.push_back(*desired);
+    metrics_.updates_sent->inc();
     network_.send(peer.channel, *this, std::move(update));
   } else if (current != nullptr) {
     advertised.erase(prefix);
     auto update = std::make_unique<UpdateMessage>();
     update->type = type;
     update->withdrawals.push_back(prefix);
+    metrics_.updates_sent->inc();
     network_.send(peer.channel, *this, std::move(update));
   }
 }

@@ -160,6 +160,18 @@ class Speaker final : public net::Endpoint {
   DomainId as_;
   std::string name_;
   std::uint64_t uid_;
+
+  /// bgp.* counters in the network's registry — shared by every speaker on
+  /// the network, so they aggregate per simulation.
+  struct SpeakerMetrics {
+    obs::Counter* updates_sent;
+    obs::Counter* updates_received;
+    obs::Counter* routes_announced;
+    obs::Counter* routes_withdrawn;
+    obs::Counter* routes_originated;
+  };
+  SpeakerMetrics metrics_;
+
   bool aggregation_ = true;
   std::array<Rib, kRouteTypeCount> ribs_;
   /// Locally-originated prefixes per view.

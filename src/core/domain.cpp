@@ -6,7 +6,6 @@
 
 #include "core/internet.hpp"
 #include "migp/pim_sm.hpp"
-#include "net/log.hpp"
 
 namespace core {
 

@@ -3,11 +3,57 @@
 #include <stdexcept>
 
 #include "bgmp/router.hpp"
+#include "obs/trace.hpp"
 
 namespace core {
 
 Internet::Internet(std::uint64_t seed)
-    : network_(events_), rng_(seed) {}
+    : network_(events_),
+      rng_(seed),
+      deliveries_(&network_.metrics().counter("core.deliveries")) {
+  // Trace records carry simulation time, not wall time.
+  obs::tracer().set_clock(&events_);
+  // Domain-level state is sampled when a snapshot is taken: MASC pool
+  // occupancy, BGMP tree state and BGP table sizes, summed over domains.
+  network_.metrics().add_refresh_hook([this]() {
+    obs::Metrics& m = network_.metrics();
+    std::uint64_t claimed = 0;
+    std::uint64_t allocated = 0;
+    std::size_t tree_entries = 0;
+    std::size_t grib = 0;
+    std::size_t mrib = 0;
+    std::size_t urib = 0;
+    for (const auto& domain : domains_) {
+      claimed += domain->masc_node().pool().claimed_addresses();
+      allocated += domain->masc_node().pool().allocated_addresses();
+      for (std::size_t b = 0; b < domain->border_count(); ++b) {
+        tree_entries += domain->bgmp_router(b).entry_count();
+        const bgp::Speaker& s = domain->speaker(b);
+        grib += s.rib(bgp::RouteType::kGroup).size();
+        mrib += s.rib(bgp::RouteType::kMulticast).size();
+        urib += s.rib(bgp::RouteType::kUnicast).size();
+      }
+    }
+    m.gauge("masc.pool_claimed_addresses").set(static_cast<double>(claimed));
+    m.gauge("masc.pool_allocated_addresses")
+        .set(static_cast<double>(allocated));
+    m.gauge("masc.pool_utilization")
+        .set(claimed == 0 ? 0.0
+                          : static_cast<double>(allocated) /
+                                static_cast<double>(claimed));
+    m.gauge("bgmp.tree_entries").set(static_cast<double>(tree_entries));
+    m.gauge("bgp.grib_routes").set(static_cast<double>(grib));
+    m.gauge("bgp.mrib_routes").set(static_cast<double>(mrib));
+    m.gauge("bgp.unicast_routes").set(static_cast<double>(urib));
+    m.gauge("core.domains").set(static_cast<double>(domains_.size()));
+  });
+}
+
+Internet::~Internet() {
+  // Only clears if our queue is still the registered clock; another
+  // Internet registered later keeps its own.
+  obs::tracer().clear_clock(&events_);
+}
 
 Domain& Internet::add_domain(Domain::Config config) {
   domains_.push_back(std::make_unique<Domain>(*this, std::move(config)));

@@ -21,6 +21,7 @@ namespace core {
 class Internet {
  public:
   explicit Internet(std::uint64_t seed = 1);
+  ~Internet();
 
   Internet(const Internet&) = delete;
   Internet& operator=(const Internet&) = delete;
@@ -28,6 +29,15 @@ class Internet {
   [[nodiscard]] net::EventQueue& events() { return events_; }
   [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] net::Rng& rng() { return rng_; }
+
+  /// The metrics registry the whole simulated internet instruments into
+  /// (the network's registry). Snapshotting refreshes the domain-level
+  /// gauges — pool utilisation, tree entries, RIB sizes.
+  [[nodiscard]] obs::Metrics& metrics() { return network_.metrics(); }
+  /// Convenience: a snapshot stamped with the current simulation time.
+  [[nodiscard]] obs::Snapshot metrics_snapshot() {
+    return metrics().snapshot(events_.now().to_seconds());
+  }
 
   /// Creates a domain. The returned reference is stable.
   Domain& add_domain(Domain::Config config);
@@ -63,6 +73,7 @@ class Internet {
     observer_ = std::move(observer);
   }
   void report_delivery(const Delivery& delivery) {
+    deliveries_->inc();
     if (observer_) observer_(delivery);
   }
 
@@ -88,6 +99,7 @@ class Internet {
   net::EventQueue events_;
   net::Network network_;
   net::Rng rng_;
+  obs::Counter* deliveries_;  // core.deliveries in the network's registry
   std::vector<Link> links_;
   std::vector<std::unique_ptr<Domain>> domains_;
   net::PrefixTrie<Domain*> unicast_map_;

@@ -43,7 +43,11 @@ struct ChildDomain {
 class Simulation {
  public:
   explicit Simulation(const MascSimParams& params)
-      : params_(params), rng_(params.seed) {
+      : params_(params),
+        rng_(params.seed),
+        requests_served_(&metrics_.counter("masc.requests_served")),
+        allocation_failures_(&metrics_.counter("masc.allocation_failures")),
+        expansions_executed_(&metrics_.counter("masc.expansions_executed")) {
     tops_.reserve(params.top_level_domains);
     masc::DomainId next_id = 1;
     // §4.4 exchange partitions: the first power-of-two cover of k slices.
@@ -100,6 +104,10 @@ class Simulation {
       next_sample += params_.sample_interval;
     }
     result_.invariants_ok = verify_invariants();
+    result_.requests_served = requests_served_->value();
+    result_.allocation_failures =
+        static_cast<int>(allocation_failures_->value());
+    result_.final_metrics = metrics_.snapshot(params_.horizon.to_seconds());
     return std::move(result_);
   }
 
@@ -165,7 +173,7 @@ class Simulation {
     if (child.pool
             .request_block(params_.block_size, now, params_.block_lifetime)
             .has_value()) {
-      ++result_.requests_served;
+      requests_served_->inc();
       return;
     }
     // Expansion loop: the pool proposes moves, the hierarchy executes
@@ -179,14 +187,15 @@ class Simulation {
       const auto plan =
           child.pool.plan_expansion(params_.block_size, now, can_double_fn);
       if (!plan || !execute_child_plan(child, *plan, now)) break;
+      expansions_executed_->inc();
       if (child.pool
               .request_block(params_.block_size, now, params_.block_lifetime)
               .has_value()) {
-        ++result_.requests_served;
+        requests_served_->inc();
         return;
       }
     }
-    ++result_.allocation_failures;
+    allocation_failures_->inc();
   }
 
   bool execute_child_plan(ChildDomain& child, const ExpansionPlan& plan,
@@ -391,11 +400,26 @@ class Simulation {
     s.grib_average = grib_sum / domain_count;
     s.grib_max = grib_max;
     s.total_prefixes = global_prefixes + total_child_prefixes;
+    // The same series, as registry gauges — the final snapshot reports the
+    // last sample's values.
+    metrics_.gauge("masc.pool_utilization").set(s.utilization);
+    metrics_.gauge("masc.pool_claimed_addresses")
+        .set(static_cast<double>(s.top_level_claimed));
+    metrics_.gauge("masc.pool_allocated_addresses")
+        .set(static_cast<double>(s.requested_addresses));
+    metrics_.gauge("masc.grib_average").set(s.grib_average);
+    metrics_.gauge("masc.grib_max").set(static_cast<double>(s.grib_max));
+    metrics_.gauge("masc.total_prefixes")
+        .set(static_cast<double>(s.total_prefixes));
     result_.samples.push_back(s);
   }
 
   MascSimParams params_;
   net::Rng rng_;
+  obs::Metrics metrics_;
+  obs::Counter* requests_served_;
+  obs::Counter* allocation_failures_;
+  obs::Counter* expansions_executed_;
   std::vector<TopDomain> tops_;
   std::vector<ChildDomain> children_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;

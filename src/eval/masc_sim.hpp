@@ -21,6 +21,7 @@
 #include "masc/registry.hpp"
 #include "net/rng.hpp"
 #include "net/time.hpp"
+#include "obs/metrics.hpp"
 
 namespace eval {
 
@@ -67,6 +68,9 @@ struct MascSimResult {
   int allocation_failures = 0;
   /// Block requests served.
   std::uint64_t requests_served = 0;
+  /// End-of-run metrics snapshot (masc.* counters and gauges) — the
+  /// machine-readable form of the summary, for bench/ reporting.
+  obs::Snapshot final_metrics;
   /// End-of-run integrity: children's claims lie inside their parent's
   /// held space, parents' mirror accounting equals the children's claims,
   /// and top-level claims are mutually disjoint.

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "net/log.hpp"
+#include "obs/trace.hpp"
 
 namespace masc {
 
@@ -39,7 +39,13 @@ MascNode::MascNode(net::Network& network, DomainId domain, std::string name,
       name_(std::move(name)),
       params_(params),
       rng_(rng_seed),
-      pool_(domain, params.pool) {}
+      pool_(domain, params.pool),
+      metrics_{&network.metrics().counter("masc.claims_sent"),
+               &network.metrics().counter("masc.claims_granted"),
+               &network.metrics().counter("masc.claims_released"),
+               &network.metrics().counter("masc.collisions_suffered"),
+               &network.metrics().counter("masc.requests_failed"),
+               &network.metrics().counter("masc.advertisements_sent")} {}
 
 void MascNode::connect(MascNode& a, MascNode& b, PeerKind b_is,
                        net::SimTime latency) {
@@ -113,6 +119,7 @@ void MascNode::send_advertisements() {
         msg->spaces.push_back(p.prefix);
       }
     }
+    metrics_.advertisements_sent->inc();
     network_.send(l.channel, *this, std::move(msg));
   }
 }
@@ -121,7 +128,7 @@ void MascNode::handle_advertise(const PeerLink& from,
                                 const AdvertiseMessage& msg) {
   if (from.kind != PeerKind::kParent) return;  // only parents define space
   spaces_ = msg.spaces;
-  net::log_info(name_, [&](auto& os) {
+  obs::log_info(name_, [&](auto& os) {
     os << "parent advertised " << msg.spaces.size() << " range(s)";
   });
 }
@@ -133,11 +140,11 @@ void MascNode::request_space(std::uint64_t addresses) {
 
 void MascNode::start_claim(std::uint64_t addresses, int retries) {
   if (retries > params_.max_retries) {
-    if (callbacks_.on_failed) callbacks_.on_failed(addresses);
+    fail_request(addresses);
     return;
   }
   if (spaces_.empty()) {
-    if (callbacks_.on_failed) callbacks_.on_failed(addresses);
+    fail_request(addresses);
     return;
   }
   const auto can_double_fn = [&](const net::Prefix& p) {
@@ -145,7 +152,7 @@ void MascNode::start_claim(std::uint64_t addresses, int retries) {
   };
   const auto plan = pool_.plan_expansion(addresses, now(), can_double_fn);
   if (!plan) {
-    if (callbacks_.on_failed) callbacks_.on_failed(addresses);
+    fail_request(addresses);
     return;
   }
   std::optional<net::Prefix> chosen;
@@ -167,7 +174,7 @@ void MascNode::start_claim(std::uint64_t addresses, int retries) {
       break;
   }
   if (!chosen) {
-    if (callbacks_.on_failed) callbacks_.on_failed(addresses);
+    fail_request(addresses);
     return;
   }
   PendingClaim pending;
@@ -184,15 +191,21 @@ void MascNode::start_claim(std::uint64_t addresses, int retries) {
   pending.timer = network_.events().schedule_in(
       params_.waiting_period, [this]() { claim_granted(); });
   pending_ = pending;
-  net::log_info(name_, [&](auto& os) {
+  obs::log_info(name_, [&](auto& os) {
     os << "claiming " << pending_->prefix.to_string() << " (waiting "
        << params_.waiting_period.to_string() << ")";
   });
   send_claim(pending.prefix, pending.claim_time, pending.expires);
 }
 
+void MascNode::fail_request(std::uint64_t addresses) {
+  metrics_.requests_failed->inc();
+  if (callbacks_.on_failed) callbacks_.on_failed(addresses);
+}
+
 void MascNode::send_claim(const net::Prefix& prefix, net::SimTime claim_time,
                           net::SimTime expires) {
+  metrics_.claims_sent->inc();
   for (const PeerLink& l : links_) {
     if (l.kind != PeerKind::kParent && l.kind != PeerKind::kSibling) continue;
     auto msg = std::make_unique<ClaimMessage>();
@@ -234,7 +247,8 @@ void MascNode::handle_claim(const PeerLink& from, const ClaimMessage& msg) {
       return;
     }
     ++collisions_;
-    net::log_info(name_, [&](auto& os) {
+    metrics_.collisions_suffered->inc();
+    obs::log_info(name_, [&](auto& os) {
       os << "lost claim " << pending_->prefix.to_string() << " to AS"
          << msg.claimant;
     });
@@ -257,7 +271,9 @@ void MascNode::handle_claim(const PeerLink& from, const ClaimMessage& msg) {
     // Partition-heal edge: we lose a range we already committed. Give it
     // up (withdraw the group route) — §4.1: "one of them will win".
     ++collisions_;
+    metrics_.collisions_suffered->inc();
     known_claims_.release(held.prefix);
+    metrics_.claims_released->inc();
     // Blocks inside the lost range are gone with it.
     (void)pool_.remove_prefix_force(held.prefix);
     held_claim_times_.erase(held.prefix);
@@ -319,7 +335,8 @@ void MascNode::handle_collision(const PeerLink& from,
   (void)from;
   if (!pending_ || !pending_->prefix.overlaps(msg.prefix)) return;
   ++collisions_;
-  net::log_info(name_, [&](auto& os) {
+  metrics_.collisions_suffered->inc();
+  obs::log_info(name_, [&](auto& os) {
     os << "collision on " << pending_->prefix.to_string() << " from AS"
        << msg.winner << "; retrying";
   });
@@ -353,6 +370,7 @@ void MascNode::claim_granted() {
   if (!pending_) return;
   const PendingClaim granted = *pending_;
   pending_.reset();
+  metrics_.claims_granted->inc();
   if (granted.is_double) {
     pool_.apply_double(granted.double_target, granted.expires);
     const net::Prefix merged = *granted.double_target.parent();
@@ -366,7 +384,7 @@ void MascNode::claim_granted() {
     held_claim_times_[merged] = t0;
     if (callbacks_.on_released) callbacks_.on_released(granted.double_target);
     if (callbacks_.on_granted) callbacks_.on_granted(merged, granted.expires);
-    net::log_info(name_, [&](auto& os) {
+    obs::log_info(name_, [&](auto& os) {
       os << "doubled into " << merged.to_string();
     });
   } else {
@@ -376,7 +394,7 @@ void MascNode::claim_granted() {
     if (callbacks_.on_granted) {
       callbacks_.on_granted(granted.prefix, granted.expires);
     }
-    net::log_info(name_, [&](auto& os) {
+    obs::log_info(name_, [&](auto& os) {
       os << "granted " << granted.prefix.to_string();
     });
   }
@@ -386,6 +404,7 @@ void MascNode::claim_granted() {
 void MascNode::age_now() {
   known_claims_.purge_expired(now());
   for (const net::Prefix& released : pool_.age(now())) {
+    metrics_.claims_released->inc();
     held_claim_times_.erase(released);
     known_claims_.release(released);
     for (const PeerLink& l : links_) {

@@ -160,6 +160,8 @@ class MascNode final : public net::Endpoint {
 
   /// Starts (or retries) the claim exchange for a space request.
   void start_claim(std::uint64_t addresses, int retries);
+  /// Counts the failure and fires the on_failed callback.
+  void fail_request(std::uint64_t addresses);
   void send_claim(const net::Prefix& prefix, net::SimTime claim_time,
                   net::SimTime expires);
   void propagate_claim_to_children(const ClaimMessage& msg,
@@ -184,6 +186,18 @@ class MascNode final : public net::Endpoint {
   net::Rng rng_;
   DomainPool pool_;
   Callbacks callbacks_;
+
+  /// masc.* counters in the network's registry — shared by every node on
+  /// the network, so they aggregate per simulation.
+  struct NodeMetrics {
+    obs::Counter* claims_sent;
+    obs::Counter* claims_granted;
+    obs::Counter* claims_released;
+    obs::Counter* collisions_suffered;
+    obs::Counter* requests_failed;
+    obs::Counter* advertisements_sent;
+  };
+  NodeMetrics metrics_;
 
   std::vector<net::Prefix> spaces_;
   /// Claims heard from siblings (and our own), with expiries — all within

@@ -14,6 +14,7 @@ EventId EventQueue::schedule_at(SimTime at, Action action) {
   const std::uint64_t seq = next_seq_++;
   heap_.push_back(Entry{at, seq, std::move(action)});
   std::push_heap(heap_.begin(), heap_.end());
+  heap_high_water_ = std::max(heap_high_water_, heap_.size());
   pending_.insert(seq);
   return EventId{seq};
 }

@@ -38,6 +38,10 @@ class EventQueue {
   }
   [[nodiscard]] bool empty() const { return pending() == 0; }
   [[nodiscard]] std::uint64_t events_run() const { return events_run_; }
+  /// Largest heap size ever reached — the memory high-water mark of a run.
+  [[nodiscard]] std::size_t heap_high_water() const {
+    return heap_high_water_;
+  }
 
   /// Runs the next event. Returns false if the queue is empty.
   bool step();
@@ -69,6 +73,7 @@ class EventQueue {
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_run_ = 0;
+  std::size_t heap_high_water_ = 0;
   std::vector<Entry> heap_;
   std::unordered_set<std::uint64_t> pending_;  // seqs currently in heap_
   std::unordered_set<std::uint64_t> cancelled_;

@@ -1,42 +1,35 @@
-// Minimal leveled logging for protocol traces.
+// Legacy logging entry points, kept as inline shims over obs::Tracer.
 //
-// Off by default; examples turn on kInfo to narrate the Figure 1/3
-// walk-throughs, tests leave it off.
+// These free functions predate the observability layer and stamped no
+// simulated time; they now route through the structured trace path
+// (obs/trace.hpp) — records reach whatever obs::TraceSinks are installed,
+// stamped with sim time from the tracer's clock. New code should call
+// obs::log_info / obs::log_debug and configure obs::tracer() directly;
+// these names remain so existing call sites migrate incrementally.
 #pragma once
 
-#include <iostream>
-#include <sstream>
-#include <string_view>
+#include "obs/trace.hpp"
 
 namespace net {
 
-enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2 };
+using LogLevel = obs::TraceLevel;  // kOff / kInfo / kDebug, same spellings
 
-/// Global log threshold (single-threaded simulation; no synchronization).
-LogLevel& log_level();
+/// Deprecated: the global threshold lives on obs::tracer() now. Still a
+/// settable reference so `net::log_level() = net::LogLevel::kInfo` works.
+inline LogLevel& log_level() { return obs::tracer().level(); }
 
-namespace detail {
-inline void log_line(std::string_view tag, const std::string& text) {
-  std::clog << "[" << tag << "] " << text << '\n';
-}
-}  // namespace detail
-
-/// Logs at kInfo. `tag` identifies the protocol/node; the callable receives
-/// an ostream so argument formatting is skipped entirely when disabled.
+/// Deprecated shim — use obs::log_info.
 template <typename Fn>
+[[deprecated("use obs::log_info (structured trace sinks)")]]
 void log_info(std::string_view tag, Fn&& fill) {
-  if (log_level() < LogLevel::kInfo) return;
-  std::ostringstream os;
-  fill(os);
-  detail::log_line(tag, os.str());
+  obs::log_info(tag, std::forward<Fn>(fill));
 }
 
+/// Deprecated shim — use obs::log_debug.
 template <typename Fn>
+[[deprecated("use obs::log_debug (structured trace sinks)")]]
 void log_debug(std::string_view tag, Fn&& fill) {
-  if (log_level() < LogLevel::kDebug) return;
-  std::ostringstream os;
-  fill(os);
-  detail::log_line(tag, os.str());
+  obs::log_debug(tag, std::forward<Fn>(fill));
 }
 
 }  // namespace net

@@ -3,9 +3,37 @@
 #include <stdexcept>
 #include <utility>
 
-#include "net/log.hpp"
+#include "obs/trace.hpp"
 
 namespace net {
+
+Network::Network(EventQueue& events, obs::Metrics* metrics)
+    : events_(events),
+      owned_metrics_(metrics == nullptr ? std::make_unique<obs::Metrics>()
+                                        : nullptr),
+      metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
+      sent_(&metrics_->counter("net.messages_sent")),
+      delivered_(&metrics_->counter("net.messages_delivered")),
+      dropped_(&metrics_->counter("net.messages_dropped")),
+      held_total_(&metrics_->counter("net.messages_held")) {
+  // Sampled state refreshes when a snapshot is taken, keeping reads off
+  // the send/deliver hot paths.
+  metrics_->add_refresh_hook([this]() {
+    metrics_->gauge("net.channels").set(static_cast<double>(channels_.size()));
+    std::size_t held = 0;
+    for (const Channel& ch : channels_) held += ch.held.size();
+    metrics_->gauge("net.messages_in_partition_queues")
+        .set(static_cast<double>(held));
+    metrics_->gauge("net.events_run")
+        .set(static_cast<double>(events_.events_run()));
+    metrics_->gauge("net.events_pending")
+        .set(static_cast<double>(events_.pending()));
+    metrics_->gauge("net.events_heap_high_water")
+        .set(static_cast<double>(events_.heap_high_water()));
+  });
+}
+
+Network::~Network() = default;
 
 ChannelId Network::connect(Endpoint& a, Endpoint& b, SimTime one_way_latency) {
   if (&a == &b) {
@@ -38,14 +66,15 @@ void Network::send(ChannelId id, const Endpoint& from,
   } else {
     throw std::invalid_argument("Network::send: endpoint not on channel");
   }
-  ++sent_;
-  log_debug("net", [&](auto& os) {
+  sent_->inc();
+  obs::log_debug("net", [&](auto& os) {
     os << from.name() << " -> " << to->name() << ": " << msg->describe();
   });
   if (!ch.up) {
     if (ch.drop_when_down) {
-      ++dropped_;
+      dropped_->inc();
     } else {
+      held_total_->inc();
       ch.held.push_back(QueuedMsg{to, std::move(msg)});
     }
     return;
@@ -62,7 +91,7 @@ void Network::send(ChannelId id, const Endpoint& from,
 
 void Network::deliver(ChannelId id, Endpoint& to,
                       std::unique_ptr<Message> msg) {
-  ++delivered_;
+  delivered_->inc();
   to.on_message(id, std::move(msg));
 }
 

@@ -18,6 +18,7 @@
 
 #include "net/event.hpp"
 #include "net/time.hpp"
+#include "obs/metrics.hpp"
 
 namespace net {
 
@@ -50,7 +51,12 @@ class Endpoint {
 /// Owns all channels and drives delivery through the event queue.
 class Network {
  public:
-  explicit Network(EventQueue& events) : events_(events) {}
+  /// With `metrics == nullptr` the network owns a private registry;
+  /// passing one in shares it (aggregating across networks). Either way
+  /// protocol components reach it through metrics() — the single registry
+  /// the whole stack attached to this network instruments into.
+  explicit Network(EventQueue& events, obs::Metrics* metrics = nullptr);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -76,7 +82,9 @@ class Network {
   /// the channel is down are lost (a reset transport session — BGP/BGMP
   /// peerings, which resynchronize explicitly on re-establishment).
   void set_drop_when_down(ChannelId channel, bool drop);
-  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const {
+    return dropped_->value();
+  }
 
   /// The endpoint on the far side of `channel` from `self`.
   [[nodiscard]] Endpoint& peer_of(ChannelId channel,
@@ -85,11 +93,20 @@ class Network {
   [[nodiscard]] SimTime latency(ChannelId channel) const;
   [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
 
-  /// Total messages handed to `send` / delivered to endpoints.
-  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
-  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  /// Total messages handed to `send` / delivered to endpoints. Thin
+  /// delegates over the registry counters net.messages_sent/_delivered.
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_->value(); }
+  [[nodiscard]] std::uint64_t messages_delivered() const {
+    return delivered_->value();
+  }
 
   [[nodiscard]] EventQueue& events() { return events_; }
+
+  /// The metrics registry this network (and every component attached to
+  /// it) instruments into. Snapshot via `metrics().snapshot(...)`; the
+  /// net.* gauges (channels, held messages, event-queue stats) refresh
+  /// automatically at snapshot time.
+  [[nodiscard]] obs::Metrics& metrics() { return *metrics_; }
 
  private:
   struct QueuedMsg {
@@ -118,10 +135,14 @@ class Network {
   void deliver(ChannelId id, Endpoint& to, std::unique_ptr<Message> msg);
 
   EventQueue& events_;
+  std::unique_ptr<obs::Metrics> owned_metrics_;  // when none was injected
+  obs::Metrics* metrics_;
+  // Cached instrument references (stable for the registry's lifetime).
+  obs::Counter* sent_;
+  obs::Counter* delivered_;
+  obs::Counter* dropped_;
+  obs::Counter* held_total_;  // messages that entered a partition queue
   std::vector<Channel> channels_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace net

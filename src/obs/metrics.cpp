@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace obs {
+
+namespace detail {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shortest round-trippable rendering for gauge values; avoids iostream
+/// locale/precision state.
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+}  // namespace detail
+
+const Sample* Snapshot::find(std::string_view name) const {
+  for (const Sample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const {
+  const Sample* s = find(name);
+  return s != nullptr && s->kind == Sample::Kind::kCounter ? s->count : 0;
+}
+
+double Snapshot::gauge_value(std::string_view name) const {
+  const Sample* s = find(name);
+  return s != nullptr && s->kind == Sample::Kind::kGauge ? s->value : 0.0;
+}
+
+std::size_t Snapshot::counter_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(samples.begin(), samples.end(), [](const Sample& s) {
+        return s.kind == Sample::Kind::kCounter;
+      }));
+}
+
+void Snapshot::write_json(std::ostream& os) const {
+  os << "{\n  \"sim_time_seconds\": "
+     << detail::format_double(sim_time_seconds) << ",\n  \"counters\": {";
+  bool first = true;
+  for (const Sample& s : samples) {
+    if (s.kind != Sample::Kind::kCounter) continue;
+    os << (first ? "" : ",") << "\n    \"" << detail::json_escape(s.name)
+       << "\": " << s.count;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const Sample& s : samples) {
+    if (s.kind != Sample::Kind::kGauge) continue;
+    os << (first ? "" : ",") << "\n    \"" << detail::json_escape(s.name)
+       << "\": " << detail::format_double(s.value);
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+void Snapshot::write_csv(std::ostream& os) const {
+  os << "name,kind,value\n";
+  for (const Sample& s : samples) {
+    if (s.kind == Sample::Kind::kCounter) {
+      os << s.name << ",counter," << s.count << "\n";
+    } else {
+      os << s.name << ",gauge," << detail::format_double(s.value) << "\n";
+    }
+  }
+}
+
+Counter& Metrics::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Metrics::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+void Metrics::add_refresh_hook(std::function<void()> hook) {
+  hooks_.push_back(std::move(hook));
+}
+
+Snapshot Metrics::snapshot(double sim_time_seconds) {
+  for (const auto& hook : hooks_) hook();
+  Snapshot snap;
+  snap.sim_time_seconds = sim_time_seconds;
+  snap.samples.reserve(counters_.size() + gauges_.size());
+  // Merge the two sorted maps so samples come out name-ordered.
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  while (c != counters_.end() || g != gauges_.end()) {
+    const bool take_counter =
+        g == gauges_.end() ||
+        (c != counters_.end() && c->first <= g->first);
+    Sample s;
+    if (take_counter) {
+      s.name = c->first;
+      s.kind = Sample::Kind::kCounter;
+      s.count = c->second->value();
+      s.value = static_cast<double>(s.count);
+      ++c;
+    } else {
+      s.name = g->first;
+      s.kind = Sample::Kind::kGauge;
+      s.value = g->second->value();
+      ++g;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+}  // namespace obs

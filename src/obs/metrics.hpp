@@ -1,0 +1,118 @@
+// A unified metrics registry for the whole protocol stack.
+//
+// Every component registers named instruments against the registry its
+// Network carries (`obs::Counter& c = metrics.counter("bgmp.joins_sent")`)
+// and bumps them on its hot paths; harnesses take a Snapshot and export it
+// as JSON or CSV. The paper's quantitative claims — claim/collide
+// convergence, address-space utilisation (Fig. 2), tree cost (Fig. 4),
+// forwarding-state size — all surface here instead of through per-class
+// getter zoos.
+//
+// Naming convention (enforced socially, documented in DESIGN.md):
+// `<module>.<noun>_<verb>`, e.g. `net.messages_sent`,
+// `masc.claims_granted`, `bgp.updates_received`. Gauges that sample state
+// rather than count events use plain nouns: `bgmp.tree_entries`.
+//
+// Single-threaded like the rest of the simulator: no synchronization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs {
+
+/// A monotonically increasing event count. References returned by
+/// Metrics::counter() are stable for the registry's lifetime, so hot paths
+/// cache them once at construction.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A point-in-time measurement (queue depth, utilisation, RIB size).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// One exported instrument value.
+struct Sample {
+  enum class Kind { kCounter, kGauge };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t count = 0;  ///< exact value for counters
+  double value = 0.0;       ///< value for gauges (== count for counters)
+};
+
+/// A consistent export of every instrument, taken at one simulated time.
+struct Snapshot {
+  double sim_time_seconds = 0.0;
+  std::vector<Sample> samples;  ///< sorted by name, counters and gauges mixed
+
+  [[nodiscard]] const Sample* find(std::string_view name) const;
+  /// Value of a counter (0 if absent) / gauge (0.0 if absent).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+  [[nodiscard]] std::size_t counter_count() const;
+
+  /// {"sim_time_seconds": T, "counters": {...}, "gauges": {...}} — the
+  /// schema bench/ and external tooling consume (see DESIGN.md).
+  void write_json(std::ostream& os) const;
+  /// name,kind,value rows with a header.
+  void write_csv(std::ostream& os) const;
+};
+
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+  Metrics(Metrics&&) = default;
+  Metrics& operator=(Metrics&&) = default;
+
+  /// Finds or creates the named instrument. The reference stays valid for
+  /// the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// Registers a hook run at the start of every snapshot(). Harness-level
+  /// owners use it to refresh sampled gauges (RIB sizes, pool utilisation,
+  /// event-queue depth) without putting reads on protocol hot paths. The
+  /// hook's captures must outlive the registry or stop being snapshot.
+  void add_refresh_hook(std::function<void()> hook);
+
+  /// Runs the refresh hooks, then exports every instrument.
+  [[nodiscard]] Snapshot snapshot(double sim_time_seconds = 0.0);
+
+  [[nodiscard]] std::size_t instrument_count() const {
+    return counters_.size() + gauges_.size();
+  }
+
+ private:
+  // unique_ptr-valued maps: node-stable references plus registry movability.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::vector<std::function<void()>> hooks_;
+};
+
+namespace detail {
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(std::string_view text);
+}  // namespace detail
+
+}  // namespace obs

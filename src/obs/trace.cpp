@@ -1,0 +1,94 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace obs {
+
+std::string_view to_string(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff: return "off";
+    case TraceLevel::kInfo: return "info";
+    case TraceLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+void StderrLineSink::write(const TraceRecord& record) {
+  // Only inline SimTime accessors here: obs must not need net's .cpp
+  // symbols (net links obs, not the other way around).
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "[%12.6fs]", record.sim_time.to_seconds());
+  std::clog << stamp << " [" << record.tag << "] " << record.message << '\n';
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RingBufferSink::write(const TraceRecord& record) {
+  if (records_.size() == capacity_) {
+    records_.pop_front();
+    ++evicted_;
+  }
+  records_.push_back(record);
+}
+
+void RingBufferSink::clear() {
+  records_.clear();
+  evicted_ = 0;
+}
+
+void JsonlSink::write(const TraceRecord& record) {
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "%.9g", record.sim_time.to_seconds());
+  out_ << "{\"sim_time_seconds\":" << stamp << ",\"level\":\""
+       << to_string(record.level) << "\",\"tag\":\""
+       << detail::json_escape(record.tag) << "\",\"message\":\""
+       << detail::json_escape(record.message) << "\"}\n";
+}
+
+Tracer::Tracer() { sinks_.push_back(std::make_shared<StderrLineSink>()); }
+
+void Tracer::emit(TraceLevel level, std::string_view tag,
+                  std::string message) {
+  TraceRecord record;
+  record.sim_time = clock_ != nullptr ? clock_->now() : net::SimTime{};
+  record.level = level;
+  record.tag = std::string(tag);
+  record.message = std::move(message);
+  for (const auto& sink : sinks_) sink->write(record);
+}
+
+TraceSink& Tracer::add_sink(std::shared_ptr<TraceSink> sink) {
+  sinks_.push_back(std::move(sink));
+  return *sinks_.back();
+}
+
+bool Tracer::remove_sink(const TraceSink* sink) {
+  const auto it = std::find_if(
+      sinks_.begin(), sinks_.end(),
+      [sink](const std::shared_ptr<TraceSink>& s) { return s.get() == sink; });
+  if (it == sinks_.end()) return false;
+  sinks_.erase(it);
+  return true;
+}
+
+void Tracer::clear_sinks() { sinks_.clear(); }
+
+void Tracer::reset() {
+  level_ = TraceLevel::kOff;
+  clock_ = nullptr;
+  sinks_.clear();
+  sinks_.push_back(std::make_shared<StderrLineSink>());
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+}  // namespace obs

@@ -1,0 +1,152 @@
+// Structured protocol tracing: pluggable sinks instead of bare std::clog.
+//
+// Every trace is a TraceRecord {sim_time, level, tag, message}, stamped
+// with simulated time from the EventQueue the Tracer is clocked by, and
+// fanned out to whatever sinks are installed: the stderr line sink (the
+// classic narration of the Figure 1/3 walk-throughs), an in-memory ring
+// buffer for tests, or a JSONL file for offline analysis.
+//
+// The old `net::log_info` / `net::log_debug` free functions survive as
+// deprecated inline shims over this layer (net/log.hpp), so call sites
+// migrate incrementally; new code uses obs::log_info / obs::log_debug.
+//
+// Single-threaded like the rest of the simulation; no synchronization.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/event.hpp"
+#include "net/time.hpp"
+
+namespace obs {
+
+enum class TraceLevel { kOff = 0, kInfo = 1, kDebug = 2 };
+
+[[nodiscard]] std::string_view to_string(TraceLevel level);
+
+/// One structured trace record.
+struct TraceRecord {
+  net::SimTime sim_time;
+  TraceLevel level = TraceLevel::kInfo;
+  std::string tag;      ///< protocol/node identity ("bgmp", "AS7-R0", …)
+  std::string message;  ///< preformatted text
+};
+
+/// Receives every record that passes the level filter.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const TraceRecord& record) = 0;
+};
+
+/// Human-readable lines on std::clog: `[   12.345s] [tag] message`.
+class StderrLineSink final : public TraceSink {
+ public:
+  void write(const TraceRecord& record) override;
+};
+
+/// Fixed-capacity in-memory buffer; the oldest records fall off the front.
+/// Built for tests: inspect records(), count what was evicted.
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 1024);
+
+  void write(const TraceRecord& record) override;
+
+  [[nodiscard]] const std::deque<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::uint64_t evicted_ = 0;
+};
+
+/// One JSON object per line on a caller-owned stream:
+/// {"sim_time_seconds":1.5,"level":"info","tag":"...","message":"..."}.
+class JsonlSink final : public TraceSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+
+  void write(const TraceRecord& record) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// The dispatcher: level filter, sim-time clock, sink fan-out. One global
+/// instance (obs::tracer()) serves the whole process, mirroring the old
+/// global net::log_level().
+class Tracer {
+ public:
+  Tracer();
+
+  /// The threshold, exposed as a settable reference so the legacy
+  /// `net::log_level() = LogLevel::kInfo` idiom still works.
+  [[nodiscard]] TraceLevel& level() { return level_; }
+
+  [[nodiscard]] bool enabled(TraceLevel level) const {
+    return level_ >= level && !sinks_.empty();
+  }
+
+  /// Stamps sim time from the clock and fans the record out to all sinks.
+  void emit(TraceLevel level, std::string_view tag, std::string message);
+
+  /// Sinks. The default-constructed tracer carries one StderrLineSink so
+  /// turning the level up narrates to stderr with no further setup.
+  TraceSink& add_sink(std::shared_ptr<TraceSink> sink);
+  bool remove_sink(const TraceSink* sink);
+  void clear_sinks();
+  [[nodiscard]] std::size_t sink_count() const { return sinks_.size(); }
+
+  /// Records are stamped with `clock->now()`. Owners of the queue must
+  /// clear the clock before the queue dies (clear_clock is a no-op unless
+  /// the registered clock is the one being cleared).
+  void set_clock(const net::EventQueue* clock) { clock_ = clock; }
+  void clear_clock(const net::EventQueue* clock) {
+    if (clock_ == clock) clock_ = nullptr;
+  }
+
+  /// Back to the freshly-constructed state (tests).
+  void reset();
+
+ private:
+  TraceLevel level_ = TraceLevel::kOff;
+  const net::EventQueue* clock_ = nullptr;
+  std::vector<std::shared_ptr<TraceSink>> sinks_;
+};
+
+/// The process-wide tracer.
+[[nodiscard]] Tracer& tracer();
+
+/// Lazily-formatted logging: the callable receives an ostream and is only
+/// invoked when the level is enabled and a sink is installed.
+template <typename Fn>
+void log_info(std::string_view tag, Fn&& fill) {
+  Tracer& t = tracer();
+  if (!t.enabled(TraceLevel::kInfo)) return;
+  std::ostringstream os;
+  fill(os);
+  t.emit(TraceLevel::kInfo, tag, std::move(os).str());
+}
+
+template <typename Fn>
+void log_debug(std::string_view tag, Fn&& fill) {
+  Tracer& t = tracer();
+  if (!t.enabled(TraceLevel::kDebug)) return;
+  std::ostringstream os;
+  fill(os);
+  t.emit(TraceLevel::kDebug, tag, std::move(os).str());
+}
+
+}  // namespace obs

@@ -9,6 +9,7 @@
 
 #include "net/event.hpp"
 #include "net/ip.hpp"
+#include "obs/metrics.hpp"
 #include "net/network.hpp"
 #include "net/prefix.hpp"
 #include "net/prefix_trie.hpp"
@@ -502,6 +503,81 @@ TEST(Network, PartitionHoldsAndFlushesInOrder) {
   ASSERT_EQ(b.received.size(), 2u);
   EXPECT_EQ(b.received[0].second, "one");
   EXPECT_EQ(b.received[1].second, "two");
+}
+
+TEST(Network, DropWhenDownLosesMessagesInsteadOfQueueing) {
+  EventQueue q;
+  Network network(q);
+  Recorder a("a"), b("b");
+  const auto ch = network.connect(a, b, SimTime::milliseconds(5));
+  network.set_drop_when_down(ch, true);
+  network.set_up(ch, false);
+  network.send(ch, a, std::make_unique<TextMessage>("lost-one"));
+  network.send(ch, a, std::make_unique<TextMessage>("lost-two"));
+  q.run();
+  EXPECT_EQ(network.messages_dropped(), 2u);
+  network.set_up(ch, true);
+  q.run();
+  // Dropped means dropped: nothing flushes on heal.
+  EXPECT_TRUE(b.received.empty());
+  // A message sent while the channel is back up flows normally.
+  network.send(ch, a, std::make_unique<TextMessage>("alive"));
+  q.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, "alive");
+  EXPECT_EQ(network.messages_dropped(), 2u);
+}
+
+TEST(Network, DropWhenDownCanRevertToQueueAndFlush) {
+  EventQueue q;
+  Network network(q);
+  Recorder a("a"), b("b");
+  const auto ch = network.connect(a, b, SimTime::milliseconds(5));
+  network.set_drop_when_down(ch, true);
+  network.set_drop_when_down(ch, false);  // back to TCP-like hold semantics
+  network.set_up(ch, false);
+  network.send(ch, a, std::make_unique<TextMessage>("held"));
+  q.run();
+  EXPECT_EQ(network.messages_dropped(), 0u);
+  EXPECT_TRUE(b.received.empty());
+  network.set_up(ch, true);
+  q.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, "held");
+}
+
+TEST(Network, CountersDelegateToMetricsRegistry) {
+  EventQueue q;
+  Network network(q);
+  Recorder a("a"), b("b");
+  const auto ch = network.connect(a, b);
+  network.send(ch, a, std::make_unique<TextMessage>("x"));
+  q.run();
+  // The getters are thin delegates over the registry-backed counters.
+  EXPECT_EQ(network.metrics().counter("net.messages_sent").value(),
+            network.messages_sent());
+  EXPECT_EQ(network.metrics().counter("net.messages_delivered").value(),
+            network.messages_delivered());
+  EXPECT_EQ(network.metrics().counter("net.messages_dropped").value(),
+            network.messages_dropped());
+  const obs::Snapshot snap = network.metrics().snapshot();
+  EXPECT_EQ(snap.counter_value("net.messages_sent"), 1u);
+  EXPECT_EQ(snap.gauge_value("net.channels"), 1.0);
+}
+
+TEST(Network, InjectedRegistryAggregatesAcrossNetworks) {
+  EventQueue q;
+  obs::Metrics shared;
+  Network n1(q, &shared);
+  Network n2(q, &shared);
+  Recorder a("a"), b("b"), c("c"), d("d");
+  const auto ch1 = n1.connect(a, b);
+  const auto ch2 = n2.connect(c, d);
+  n1.send(ch1, a, std::make_unique<TextMessage>("x"));
+  n2.send(ch2, c, std::make_unique<TextMessage>("y"));
+  q.run();
+  EXPECT_EQ(shared.counter("net.messages_sent").value(), 2u);
+  EXPECT_EQ(n1.messages_sent(), 2u);  // shared registry: same counter
 }
 
 TEST(Network, SetUpIsIdempotent) {

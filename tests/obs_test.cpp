@@ -1,0 +1,234 @@
+// Tests for the observability layer: the metrics registry / snapshots and
+// the structured trace sinks (ring buffer, JSONL, level gating, sim-time
+// stamping from an attached EventQueue clock).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "net/event.hpp"
+#include "net/log.hpp"
+#include "net/time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(Metrics, SameNameReturnsSameInstrument) {
+  Metrics m;
+  Counter& a = m.counter("net.messages_sent");
+  Counter& b = m.counter("net.messages_sent");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc(2);
+  EXPECT_EQ(a.value(), 3u);
+
+  Gauge& g1 = m.gauge("net.channels");
+  Gauge& g2 = m.gauge("net.channels");
+  EXPECT_EQ(&g1, &g2);
+  EXPECT_EQ(m.instrument_count(), 2u);
+}
+
+TEST(Metrics, SnapshotCapturesValuesAndSimTime) {
+  Metrics m;
+  m.counter("bgmp.joins_sent").inc(7);
+  m.gauge("bgp.grib_routes").set(42.5);
+  const Snapshot snap = m.snapshot(12.25);
+  EXPECT_DOUBLE_EQ(snap.sim_time_seconds, 12.25);
+  EXPECT_EQ(snap.counter_value("bgmp.joins_sent"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauge_value("bgp.grib_routes"), 42.5);
+  EXPECT_EQ(snap.counter_count(), 1u);
+  // Unknown names read as zero rather than throwing.
+  EXPECT_EQ(snap.counter_value("no.such_counter"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge_value("no.such_gauge"), 0.0);
+}
+
+TEST(Metrics, RefreshHookRunsAtSnapshotTime) {
+  Metrics m;
+  int sampled = 0;
+  m.add_refresh_hook([&m, &sampled]() {
+    ++sampled;
+    m.gauge("test.live_value").set(static_cast<double>(sampled));
+  });
+  EXPECT_EQ(sampled, 0);
+  EXPECT_DOUBLE_EQ(m.snapshot().gauge_value("test.live_value"), 1.0);
+  EXPECT_DOUBLE_EQ(m.snapshot().gauge_value("test.live_value"), 2.0);
+  EXPECT_EQ(sampled, 2);
+}
+
+TEST(Metrics, WriteJsonEmitsSchema) {
+  Metrics m;
+  m.counter("masc.claims_sent").inc(3);
+  m.gauge("masc.pool_utilization").set(0.5);
+  std::ostringstream out;
+  m.snapshot(1.5).write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"sim_time_seconds\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"masc.claims_sent\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"masc.pool_utilization\": 0.5"), std::string::npos);
+}
+
+TEST(Metrics, WriteCsvListsEveryInstrument) {
+  Metrics m;
+  m.counter("a.b_c").inc();
+  m.gauge("d.e").set(2.0);
+  std::ostringstream out;
+  m.snapshot().write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("a.b_c"), std::string::npos);
+  EXPECT_NE(csv.find("d.e"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Tracer
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { tracer().reset(); }
+  void TearDown() override { tracer().reset(); }
+};
+
+TEST_F(TracerTest, RingBufferRecordsCarrySimTimeAndOrder) {
+  tracer().clear_sinks();
+  auto ring = std::make_shared<RingBufferSink>();
+  tracer().add_sink(ring);
+  tracer().level() = TraceLevel::kInfo;
+
+  net::EventQueue queue;
+  tracer().set_clock(&queue);
+  queue.schedule_at(net::SimTime::seconds(1), [] {
+    log_info("test", [](std::ostream& os) { os << "first"; });
+  });
+  queue.schedule_at(net::SimTime::seconds(3), [] {
+    log_info("test", [](std::ostream& os) { os << "second"; });
+  });
+  queue.run();
+
+  ASSERT_EQ(ring->records().size(), 2u);
+  EXPECT_EQ(ring->records()[0].message, "first");
+  EXPECT_EQ(ring->records()[0].sim_time, net::SimTime::seconds(1));
+  EXPECT_EQ(ring->records()[0].tag, "test");
+  EXPECT_EQ(ring->records()[1].message, "second");
+  EXPECT_EQ(ring->records()[1].sim_time, net::SimTime::seconds(3));
+}
+
+TEST_F(TracerTest, RingBufferEvictsOldestAtCapacity) {
+  tracer().clear_sinks();
+  auto ring = std::make_shared<RingBufferSink>(2);
+  tracer().add_sink(ring);
+  tracer().level() = TraceLevel::kInfo;
+  for (int i = 0; i < 5; ++i) {
+    log_info("tag", [i](std::ostream& os) { os << "msg" << i; });
+  }
+  EXPECT_EQ(ring->capacity(), 2u);
+  ASSERT_EQ(ring->records().size(), 2u);
+  EXPECT_EQ(ring->evicted(), 3u);
+  EXPECT_EQ(ring->records()[0].message, "msg3");
+  EXPECT_EQ(ring->records()[1].message, "msg4");
+  ring->clear();
+  EXPECT_TRUE(ring->records().empty());
+}
+
+TEST_F(TracerTest, LevelGatesDebugBelowInfo) {
+  tracer().clear_sinks();
+  auto ring = std::make_shared<RingBufferSink>();
+  tracer().add_sink(ring);
+
+  tracer().level() = TraceLevel::kOff;
+  log_info("t", [](std::ostream& os) { os << "silenced"; });
+  EXPECT_TRUE(ring->records().empty());
+
+  tracer().level() = TraceLevel::kInfo;
+  log_debug("t", [](std::ostream& os) { os << "too detailed"; });
+  log_info("t", [](std::ostream& os) { os << "heard"; });
+  ASSERT_EQ(ring->records().size(), 1u);
+  EXPECT_EQ(ring->records()[0].message, "heard");
+  EXPECT_EQ(ring->records()[0].level, TraceLevel::kInfo);
+
+  tracer().level() = TraceLevel::kDebug;
+  log_debug("t", [](std::ostream& os) { os << "now audible"; });
+  EXPECT_EQ(ring->records().size(), 2u);
+}
+
+TEST_F(TracerTest, NoSinksMeansDisabled) {
+  tracer().clear_sinks();
+  tracer().level() = TraceLevel::kDebug;
+  EXPECT_FALSE(tracer().enabled(TraceLevel::kInfo));
+  auto ring = std::make_shared<RingBufferSink>();
+  tracer().add_sink(ring);
+  EXPECT_TRUE(tracer().enabled(TraceLevel::kInfo));
+  EXPECT_EQ(tracer().sink_count(), 1u);
+  tracer().remove_sink(ring.get());
+  EXPECT_EQ(tracer().sink_count(), 0u);
+}
+
+TEST_F(TracerTest, JsonlSinkWritesOneObjectPerLine) {
+  tracer().clear_sinks();
+  std::ostringstream out;
+  tracer().add_sink(std::make_shared<JsonlSink>(out));
+  tracer().level() = TraceLevel::kInfo;
+
+  net::EventQueue queue;
+  tracer().set_clock(&queue);
+  queue.schedule_at(net::SimTime::milliseconds(1500), [] {
+    log_info("bgmp.join", [](std::ostream& os) { os << "he said \"hi\""; });
+  });
+  queue.run();
+
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"sim_time_seconds\":1.5"), std::string::npos);
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(line.find("\"tag\":\"bgmp.join\""), std::string::npos);
+  EXPECT_NE(line.find("\\\"hi\\\""), std::string::npos);  // quotes escaped
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST_F(TracerTest, ClearClockOnlyDetachesMatchingQueue) {
+  tracer().clear_sinks();
+  auto ring = std::make_shared<RingBufferSink>();
+  tracer().add_sink(ring);
+  tracer().level() = TraceLevel::kInfo;
+
+  net::EventQueue current;
+  net::EventQueue stale;
+  tracer().set_clock(&current);
+  tracer().clear_clock(&stale);  // no-op: not the installed clock
+  current.schedule_at(net::SimTime::seconds(2), [] {
+    log_info("t", [](std::ostream& os) { os << "timed"; });
+  });
+  current.run();
+  ASSERT_EQ(ring->records().size(), 1u);
+  EXPECT_EQ(ring->records()[0].sim_time, net::SimTime::seconds(2));
+
+  tracer().clear_clock(&current);
+  log_info("t", [](std::ostream& os) { os << "untimed"; });
+  ASSERT_EQ(ring->records().size(), 2u);
+  EXPECT_EQ(ring->records()[1].sim_time, net::SimTime());
+}
+
+// The legacy net::log_* free functions are deprecated shims over the
+// tracer; existing callers must keep compiling and land in the same sinks.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(TracerTest, DeprecatedNetShimsRouteThroughTracer) {
+  tracer().clear_sinks();
+  auto ring = std::make_shared<RingBufferSink>();
+  tracer().add_sink(ring);
+
+  net::log_level() = net::LogLevel::kInfo;  // aliases obs::tracer().level()
+  EXPECT_EQ(tracer().level(), TraceLevel::kInfo);
+
+  net::log_info("legacy", [](std::ostream& os) { os << "still works"; });
+  net::log_debug("legacy", [](std::ostream& os) { os << "gated"; });
+  ASSERT_EQ(ring->records().size(), 1u);
+  EXPECT_EQ(ring->records()[0].tag, "legacy");
+  EXPECT_EQ(ring->records()[0].message, "still works");
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace obs
