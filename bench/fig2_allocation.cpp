@@ -122,6 +122,22 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(
           metrics.counter_value("masc.expansions_executed")));
 
+  // Implied §4.1 claim latencies (each expansion waits out one waiting
+  // period at the protocol level; collisions restart it).
+  const obs::HistogramStats grant =
+      metrics.histogram_stats("masc.claim_grant_latency");
+  const obs::HistogramStats collide =
+      metrics.histogram_stats("masc.collision_resolution_latency");
+  std::printf(
+      "\n== implied claim latency (waiting period %.0f h) ==\n"
+      "  claim grants           %llu   p50 %.1f h  p95 %.1f h  p99 %.1f h\n"
+      "  collision resolutions  %llu   p50 %.1f h  p95 %.1f h  p99 %.1f h\n",
+      params.claim_waiting_period.to_seconds() / 3600.0,
+      static_cast<unsigned long long>(grant.count), grant.p50 / 3600.0,
+      grant.p95 / 3600.0, grant.p99 / 3600.0,
+      static_cast<unsigned long long>(collide.count), collide.p50 / 3600.0,
+      collide.p95 / 3600.0, collide.p99 / 3600.0);
+
   if (const char* out = arg_string(argc, argv, "--metrics-out", nullptr);
       out != nullptr) {
     std::ofstream file(out);

@@ -190,6 +190,20 @@ int protocol_check(std::uint64_t seed, const char* metrics_out) {
         snap.gauge_value("bgmp.tree_entries"),
         static_cast<unsigned long long>(
             snap.counter_value("core.deliveries")));
+    // Measured latency quantiles from the protocol run: how long a join
+    // took to graft onto the tree, and how long BGP updates took to settle.
+    const obs::HistogramStats join =
+        snap.histogram_stats("bgmp.join_propagation_latency");
+    const obs::HistogramStats route =
+        snap.histogram_stats("bgp.route_convergence_latency");
+    std::printf(
+        "                  join latency   p50 %.3fs p95 %.3fs p99 %.3fs"
+        " (n=%llu)\n"
+        "                  route converge p50 %.3fs p95 %.3fs p99 %.3fs"
+        " (n=%llu)\n",
+        join.p50, join.p95, join.p99,
+        static_cast<unsigned long long>(join.count), route.p50, route.p95,
+        route.p99, static_cast<unsigned long long>(route.count));
     if (metrics_out != nullptr) {
       std::ofstream file(metrics_out);
       snap.write_json(file);

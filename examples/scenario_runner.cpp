@@ -2,13 +2,22 @@
 // script, for exploring topologies and failure cases without writing C++.
 //
 // Usage: scenario_runner [script.msc] [--metrics-out FILE]
+//                        [--metrics-every SECONDS] [--metrics-jsonl FILE]
+//                        [--span-out FILE] [--profile-steps]
 //                        [--trace-out FILE] [--trace-level info|debug]
 //
 // Runs a built-in demo when no script is given. --metrics-out writes the
-// end-of-run metrics snapshot (every counter and gauge the stack
-// registered, stamped with the final simulation time) as JSON.
-// --trace-out streams structured JSONL trace records; --trace-level
-// raises the trace level (default off; info also prints to stderr).
+// end-of-run metrics snapshot (every counter, gauge and histogram the
+// stack registered, stamped with the final simulation time) as JSON.
+// --metrics-every samples a snapshot every SECONDS of simulated time while
+// the scenario settles, appending each as one line of the JSONL time
+// series --metrics-jsonl (default metrics.jsonl). --span-out streams
+// causal message spans (one JSON object per send/deliver/hold/drop,
+// keyed by trace id) for flight-recorder analysis. --profile-steps
+// records wall-clock event-handler durations into per-tag
+// sim.step_wall_seconds.* histograms. --trace-out streams structured
+// JSONL trace records; --trace-level raises the trace level (default off;
+// info also prints to stderr).
 //
 // Script language (one command per line, '#' comments):
 //
@@ -33,6 +42,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -40,6 +50,7 @@
 #include "core/domain.hpp"
 #include "core/internet.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -53,6 +64,11 @@ struct Scenario {
   std::map<const Domain*, std::vector<int>> last_send;
   bgp::DomainId next_id = 1;
   int failures = 0;
+  /// --metrics-every: snapshot period in simulated time (0 = off) and the
+  /// JSONL stream the periodic snapshots append to.
+  net::SimTime metrics_every = net::SimTime::nanoseconds(0);
+  std::ostream* metrics_series = nullptr;
+  net::SimTime next_sample = net::SimTime::nanoseconds(0);
 
   Scenario() {
     net.set_delivery_observer([this](const core::Delivery& d) {
@@ -66,6 +82,23 @@ struct Scenario {
       throw std::runtime_error("unknown domain '" + name + "'");
     }
     return *it->second;
+  }
+
+  /// Runs to quiescence; with --metrics-every active, pauses on the
+  /// sampling grid and appends a snapshot line per period crossed.
+  void settle() {
+    if (metrics_every.ns() <= 0 || metrics_series == nullptr) {
+      net.settle();
+      return;
+    }
+    if (next_sample <= net.events().now()) {
+      next_sample = net.events().now() + metrics_every;
+    }
+    while (!net.events().empty()) {
+      net.run_until(next_sample);
+      net.metrics_snapshot().write_jsonl(*metrics_series);
+      next_sample = next_sample + metrics_every;
+    }
   }
 };
 
@@ -145,7 +178,7 @@ void run_command(Scenario& s, const std::vector<std::string>& words) {
   } else if (cmd == "originate") {
     s.domain(words[1]).originate_group_range(net::Prefix::parse(words[2]));
   } else if (cmd == "settle") {
-    s.net.settle();
+    s.settle();
   } else if (cmd == "join" || cmd == "leave") {
     const Group group = net::Ipv4Addr::parse(words[2]);
     const migp::RouterId at =
@@ -159,7 +192,7 @@ void run_command(Scenario& s, const std::vector<std::string>& words) {
   } else if (cmd == "send") {
     s.last_send.clear();
     s.domain(words[1]).send(net::Ipv4Addr::parse(words[2]));
-    s.net.settle();
+    s.settle();
   } else if (cmd == "branch") {
     s.domain(words[1]).build_source_branch(
         s.domain(words[2]).host_address(1), net::Ipv4Addr::parse(words[3]));
@@ -261,8 +294,12 @@ expect member 1 2
 int main(int argc, char** argv) {
   std::string script_path;
   std::string metrics_out;
+  std::string metrics_jsonl = "metrics.jsonl";
+  std::string span_out;
   std::string trace_out;
   std::string trace_level;
+  double metrics_every = 0.0;
+  bool profile_steps = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -274,6 +311,18 @@ int main(int argc, char** argv) {
     };
     if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (arg == "--metrics-every") {
+      metrics_every = std::stod(next());
+      if (metrics_every <= 0.0) {
+        std::cerr << "--metrics-every needs a positive period\n";
+        return 1;
+      }
+    } else if (arg == "--metrics-jsonl") {
+      metrics_jsonl = next();
+    } else if (arg == "--span-out") {
+      span_out = next();
+    } else if (arg == "--profile-steps") {
+      profile_steps = true;
     } else if (arg == "--trace-out") {
       trace_out = next();
     } else if (arg == "--trace-level") {
@@ -316,6 +365,28 @@ int main(int argc, char** argv) {
     in = &file;
   }
   Scenario scenario;
+  std::ofstream series_file;
+  if (metrics_every > 0.0) {
+    series_file.open(metrics_jsonl);
+    if (!series_file) {
+      std::cerr << "cannot open " << metrics_jsonl << "\n";
+      return 1;
+    }
+    scenario.metrics_every = net::SimTime::seconds_f(metrics_every);
+    scenario.metrics_series = &series_file;
+  }
+  std::ofstream span_file;
+  std::unique_ptr<obs::JsonlSpanSink> span_sink;
+  if (!span_out.empty()) {
+    span_file.open(span_out);
+    if (!span_file) {
+      std::cerr << "cannot open " << span_out << "\n";
+      return 1;
+    }
+    span_sink = std::make_unique<obs::JsonlSpanSink>(span_file);
+    scenario.net.network().set_span_sink(span_sink.get());
+  }
+  if (profile_steps) scenario.net.enable_step_profiling();
   std::string line;
   int line_no = 0;
   while (std::getline(*in, line)) {
@@ -333,6 +404,15 @@ int main(int argc, char** argv) {
       std::cerr << "line " << line_no << ": " << error.what() << "\n";
       return 1;
     }
+  }
+  if (scenario.metrics_series != nullptr) {
+    // Final sample, so the series always covers the end of the run.
+    scenario.net.metrics_snapshot().write_jsonl(*scenario.metrics_series);
+    std::cout << "(metrics time series written to " << metrics_jsonl
+              << ")\n";
+  }
+  if (span_sink != nullptr) {
+    std::cout << "(message spans written to " << span_out << ")\n";
   }
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);

@@ -20,6 +20,10 @@ struct ControlMessage final : net::Message {
   Kind kind = Kind::kJoinGroup;
   Group group;
   net::Ipv4Addr source;  // valid for the source-specific kinds
+  /// When the end-to-end control operation (e.g. a leaf domain's join)
+  /// was originated; propagated hop by hop so the terminating router can
+  /// record bgmp.join_propagation_latency. Negative = unset.
+  net::SimTime origin_time = net::SimTime::nanoseconds(-1);
 
   [[nodiscard]] std::string describe() const override;
 };

@@ -43,7 +43,9 @@ Router::Router(net::Network& network, bgp::Speaker& speaker,
                &network.metrics().counter("bgmp.encapsulations"),
                &network.metrics().counter("bgmp.source_branches_built"),
                &network.metrics().counter("bgmp.entries_created"),
-               &network.metrics().counter("bgmp.entries_torn_down")} {
+               &network.metrics().counter("bgmp.entries_torn_down"),
+               &network.metrics().histogram(
+                   "bgmp.join_propagation_latency")} {
   // Tree stability under route churn (§3): when the G-RIB path toward a
   // root domain moves, shared trees migrate their parent targets (after a
   // short damping delay, so a BGP convergence burst causes one move).
@@ -57,10 +59,13 @@ Router::Router(net::Network& network, bgp::Speaker& speaker,
         }
         if (!any || reresolve_pending_) return;
         reresolve_pending_ = true;
-        network_.events().schedule_in(repair_delay_, [this]() {
-          reresolve_pending_ = false;
-          reresolve_parents();
-        });
+        network_.events().schedule_in(
+            repair_delay_,
+            [this]() {
+              reresolve_pending_ = false;
+              reresolve_parents();
+            },
+            "bgmp.reresolve");
       });
 }
 
@@ -364,6 +369,11 @@ void Router::send_control(const TargetKey& to, Router* relay,
   msg.kind = kind;
   msg.group = group;
   msg.source = source;
+  // Keep the originating operation's timestamp when regenerating the
+  // message hop by hop; a message sent outside any handler starts the
+  // clock here.
+  msg.origin_time = control_origin_.ns() >= 0 ? control_origin_
+                                              : network_.events().now();
   const bool is_join = kind == ControlMessage::Kind::kJoinGroup ||
                        kind == ControlMessage::Kind::kJoinSource;
   if (to.kind == TargetKey::Kind::kPeer) {
@@ -447,9 +457,10 @@ void Router::on_channel_down(net::ChannelId channel) {
   }
   for (const Group group : orphaned) {
     if (!star_entries_.contains(group)) continue;
-    network_.events().schedule_in(repair_delay_, [this, group]() {
-      repair_group(group, /*attempts_left=*/5);
-    });
+    network_.events().schedule_in(
+        repair_delay_,
+        [this, group]() { repair_group(group, /*attempts_left=*/5); },
+        "bgmp.repair");
   }
 }
 
@@ -465,10 +476,12 @@ void Router::repair_group(Group group, int attempts_left) {
               network_.is_up(peer_by_router(hop->parent.peer)->channel));
   if (!usable) {
     if (attempts_left > 0) {
-      network_.events().schedule_in(repair_delay_, [this, group,
-                                                    attempts_left]() {
-        repair_group(group, attempts_left - 1);
-      });
+      network_.events().schedule_in(
+          repair_delay_,
+          [this, group, attempts_left]() {
+            repair_group(group, attempts_left - 1);
+          },
+          "bgmp.repair");
     }
     return;
   }
@@ -490,6 +503,12 @@ void Router::internal_control(Router& from, const ControlMessage& msg) {
 }
 
 void Router::handle_control(const ControlMessage& msg, const TargetKey& from) {
+  // Handler-scoped origin context: messages this handler sends (directly
+  // or via an internal relay, which dispatches synchronously) inherit the
+  // operation's origin time.
+  const net::SimTime prev_origin = control_origin_;
+  control_origin_ =
+      msg.origin_time.ns() >= 0 ? msg.origin_time : network_.events().now();
   switch (msg.kind) {
     case ControlMessage::Kind::kJoinGroup:
       handle_join_group(msg.group, from);
@@ -504,10 +523,25 @@ void Router::handle_control(const ControlMessage& msg, const TargetKey& from) {
       handle_prune_source(msg.source, msg.group, from);
       break;
   }
+  control_origin_ = prev_origin;
 }
 
 void Router::handle_join_group(Group group, const TargetKey& from) {
+  const bool existed = star_entries_.contains(group);
   add_star_child(group, from);
+  // The join terminates here if it merged into an existing entry, reached
+  // the group's root domain, or found no route onward; otherwise it kept
+  // travelling (external parent, or relayed to an internal peer — which
+  // sampled already if the chain ended inside this domain).
+  const auto it = star_entries_.find(group);
+  const bool onward =
+      !existed && it != star_entries_.end() && it->second.parent &&
+      !(it->second.parent->kind == TargetKey::Kind::kMigp &&
+        it->second.parent_relay == nullptr);
+  if (!onward && control_origin_.ns() >= 0) {
+    metrics_.join_propagation_latency->observe(
+        (network_.events().now() - control_origin_).to_seconds());
+  }
 }
 
 void Router::handle_prune_group(Group group, const TargetKey& from) {
@@ -548,12 +582,17 @@ void Router::handle_join_source(net::Ipv4Addr source, Group group,
 
 void Router::schedule_prune_expiry(net::Ipv4Addr source, Group group) {
   const SourceGroup key{source, group};
-  network_.events().schedule_in(prune_lifetime_, [this, key]() {
-    const auto it = source_entries_.find(key);
-    if (it == source_entries_.end() || !it->second.children.empty()) return;
-    source_entries_.erase(it);
-    sync_migp_state(key.group);
-  });
+  network_.events().schedule_in(
+      prune_lifetime_,
+      [this, key]() {
+        const auto it = source_entries_.find(key);
+        if (it == source_entries_.end() || !it->second.children.empty()) {
+          return;
+        }
+        source_entries_.erase(it);
+        sync_migp_state(key.group);
+      },
+      "bgmp.prune_expiry");
 }
 
 void Router::handle_prune_source(net::Ipv4Addr source, Group group,

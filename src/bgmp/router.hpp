@@ -285,8 +285,16 @@ class Router final : public net::Endpoint {
     obs::Counter* source_branches_built;
     obs::Counter* entries_created;
     obs::Counter* entries_torn_down;
+    /// Origination → tree merge/root, sampled where the join terminates.
+    obs::Histogram* join_propagation_latency;
   };
   RouterMetrics metrics_;
+
+  /// Origin time of the control operation currently being handled
+  /// (negative = none): set around handle_control() from the message's
+  /// origin_time, consulted by send_control() so the stamp survives
+  /// hop-by-hop regeneration of control messages.
+  net::SimTime control_origin_ = net::SimTime::nanoseconds(-1);
 
   bool auto_branch_ = true;
   net::SimTime repair_delay_ = net::SimTime::seconds(1);

@@ -18,6 +18,10 @@ struct UpdateMessage final : net::Message {
   RouteType type = RouteType::kUnicast;
   std::vector<Route> announcements;
   std::vector<net::Prefix> withdrawals;
+  /// When the routing change this update propagates was originated
+  /// (carried across re-advertisements), so receivers can record
+  /// bgp.route_convergence_latency. Negative = unset.
+  net::SimTime origin_time = net::SimTime::nanoseconds(-1);
 
   [[nodiscard]] std::string describe() const override;
 };

@@ -40,7 +40,9 @@ Speaker::Speaker(net::Network& network, DomainId as, std::string name)
                &network.metrics().counter("bgp.updates_received"),
                &network.metrics().counter("bgp.routes_announced"),
                &network.metrics().counter("bgp.routes_withdrawn"),
-               &network.metrics().counter("bgp.routes_originated")} {}
+               &network.metrics().counter("bgp.routes_originated"),
+               &network.metrics().histogram(
+                   "bgp.route_convergence_latency")} {}
 
 net::ChannelId Speaker::connect(Speaker& a, Speaker& b,
                                 Relationship a_sees_b, net::SimTime latency,
@@ -80,6 +82,8 @@ PeerIndex Speaker::peer_by_channel(net::ChannelId channel) const {
 void Speaker::originate(RouteType type, const net::Prefix& prefix) {
   auto& origins = origins_[static_cast<std::size_t>(type)];
   if (origins.contains(prefix)) return;
+  // This call starts a routing change: stamp the updates it triggers.
+  const OriginScope scope(*this, network_.events().now(), /*remote=*/false);
   origins.insert(prefix, true);
   metrics_.routes_originated->inc();
   Candidate local;
@@ -98,6 +102,7 @@ void Speaker::originate(RouteType type, const net::Prefix& prefix) {
 void Speaker::withdraw(RouteType type, const net::Prefix& prefix) {
   auto& origins = origins_[static_cast<std::size_t>(type)];
   if (!origins.erase(prefix)) return;
+  const OriginScope scope(*this, network_.events().now(), /*remote=*/false);
   RibEntry& entry = rib_mut(type).entry(prefix);
   if (entry.remove(kLocalPeer)) best_changed(type, prefix);
   rib_mut(type).erase_if_empty(prefix);
@@ -182,6 +187,13 @@ void Speaker::handle_update(PeerIndex from, const UpdateMessage& update) {
   Peer& peer = peers_[from];
   Rib& rib = rib_mut(update.type);
   metrics_.updates_received->inc();
+  // Carry the change's origin stamp through local flips (sampled in
+  // best_changed) and into any re-advertisements this handler sends.
+  const OriginScope scope(*this,
+                          update.origin_time.ns() >= 0
+                              ? update.origin_time
+                              : network_.events().now(),
+                          /*remote=*/true);
   for (const net::Prefix& prefix : update.withdrawals) {
     metrics_.routes_withdrawn->inc();
     RibEntry& entry = rib.entry(prefix);
@@ -272,6 +284,8 @@ void Speaker::sync_peer(RouteType type, const net::Prefix& prefix,
     auto update = std::make_unique<UpdateMessage>();
     update->type = type;
     update->announcements.push_back(*desired);
+    update->origin_time = update_origin_.ns() >= 0 ? update_origin_
+                                                   : network_.events().now();
     metrics_.updates_sent->inc();
     network_.send(peer.channel, *this, std::move(update));
   } else if (current != nullptr) {
@@ -279,12 +293,20 @@ void Speaker::sync_peer(RouteType type, const net::Prefix& prefix,
     auto update = std::make_unique<UpdateMessage>();
     update->type = type;
     update->withdrawals.push_back(prefix);
+    update->origin_time = update_origin_.ns() >= 0 ? update_origin_
+                                                   : network_.events().now();
     metrics_.updates_sent->inc();
     network_.send(peer.channel, *this, std::move(update));
   }
 }
 
 void Speaker::best_changed(RouteType type, const net::Prefix& prefix) {
+  // A received update flipped this speaker's best route: the change has
+  // now "reached" this domain — record origination → here.
+  if (remote_origin_ && update_origin_.ns() >= 0) {
+    metrics_.route_convergence_latency->observe(
+        (network_.events().now() - update_origin_).to_seconds());
+  }
   sync_all_peers(type, prefix);
   for (const RouteChangeListener& listener : listeners_) {
     listener(type, prefix);

@@ -132,6 +132,30 @@ class Speaker final : public net::Endpoint {
     return ribs_[static_cast<std::size_t>(type)];
   }
 
+  /// RAII save/restore of the origin-stamp context (update_origin_ /
+  /// remote_origin_) around one originate/withdraw/handle_update.
+  class OriginScope {
+   public:
+    OriginScope(Speaker& speaker, net::SimTime origin, bool remote)
+        : speaker_(speaker),
+          prev_origin_(speaker.update_origin_),
+          prev_remote_(speaker.remote_origin_) {
+      speaker.update_origin_ = origin;
+      speaker.remote_origin_ = remote;
+    }
+    ~OriginScope() {
+      speaker_.update_origin_ = prev_origin_;
+      speaker_.remote_origin_ = prev_remote_;
+    }
+    OriginScope(const OriginScope&) = delete;
+    OriginScope& operator=(const OriginScope&) = delete;
+
+   private:
+    Speaker& speaker_;
+    net::SimTime prev_origin_;
+    bool prev_remote_;
+  };
+
   PeerIndex add_peer(Speaker& peer, net::ChannelId channel, Relationship rel,
                      ExportPolicy export_policy);
   [[nodiscard]] PeerIndex peer_by_channel(net::ChannelId channel) const;
@@ -169,8 +193,19 @@ class Speaker final : public net::Endpoint {
     obs::Counter* routes_announced;
     obs::Counter* routes_withdrawn;
     obs::Counter* routes_originated;
+    /// Origination → this speaker's best route changing, sampled at every
+    /// speaker a received update flips (the update carries origin_time).
+    obs::Histogram* route_convergence_latency;
   };
   SpeakerMetrics metrics_;
+
+  /// Origin time of the routing change being processed (negative = none):
+  /// set around originate()/withdraw()/handle_update() and copied into
+  /// updates sync_peer() sends, so the stamp survives re-advertisement.
+  net::SimTime update_origin_ = net::SimTime::nanoseconds(-1);
+  /// True while handling a *received* update — gates convergence-latency
+  /// sampling so the originator's own (zero-latency) flip is not counted.
+  bool remote_origin_ = false;
 
   bool aggregation_ = true;
   std::array<Rib, kRouteTypeCount> ribs_;

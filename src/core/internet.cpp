@@ -1,6 +1,8 @@
 #include "core/internet.hpp"
 
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 #include "bgmp/router.hpp"
 #include "obs/trace.hpp"
@@ -10,7 +12,9 @@ namespace core {
 Internet::Internet(std::uint64_t seed)
     : network_(events_),
       rng_(seed),
-      deliveries_(&network_.metrics().counter("core.deliveries")) {
+      deliveries_(&network_.metrics().counter("core.deliveries")),
+      probe_(std::make_unique<net::ConvergenceProbe>(
+          network_, network_.metrics().histogram("core.convergence_latency"))) {
   // Trace records carry simulation time, not wall time.
   obs::tracer().set_clock(&events_);
   // Domain-level state is sampled when a snapshot is taken: MASC pool
@@ -57,6 +61,9 @@ Internet::~Internet() {
 
 Domain& Internet::add_domain(Domain::Config config) {
   domains_.push_back(std::make_unique<Domain>(*this, std::move(config)));
+  // A domain joining a running internet is a perturbation worth timing;
+  // during initial topology construction (nothing run yet) it is not.
+  if (events_.events_run() > 0) probe_->arm("domain-join");
   return *domains_.back();
 }
 
@@ -70,6 +77,7 @@ void Internet::link(Domain& a, Domain& b, bgp::Relationship a_sees_b,
   const net::ChannelId bgmp_channel = bgmp::Router::connect(
       a.bgmp_router(a_border), b.bgmp_router(b_border), latency);
   links_.push_back(Link{&a, &b, bgp_channel, bgmp_channel});
+  if (events_.events_run() > 0) probe_->arm("link-add");
 }
 
 void Internet::set_link_state(const Domain& a, const Domain& b, bool up) {
@@ -87,6 +95,7 @@ void Internet::set_link_state(const Domain& a, const Domain& b, bool up) {
                                 a.name() + " and " + b.name() +
                                 " are not linked");
   }
+  probe_->arm(up ? "link-up" : "link-down");
 }
 
 void Internet::masc_parent(Domain& child, Domain& parent) {
@@ -101,6 +110,21 @@ void Internet::masc_siblings(Domain& a, Domain& b) {
 
 void Internet::settle(std::uint64_t max_events) {
   events_.run(max_events);
+}
+
+void Internet::enable_step_profiling() {
+  events_.set_profiler([this](std::string_view tag, double seconds) {
+    auto it = step_histograms_.find(tag);
+    if (it == step_histograms_.end()) {
+      std::string name = "sim.step_wall_seconds.";
+      name += tag;
+      it = step_histograms_
+               .emplace(std::string(tag),
+                        &network_.metrics().histogram(name))
+               .first;
+    }
+    it->second->observe(seconds);
+  });
 }
 
 Domain* Internet::domain_of_address(net::Ipv4Addr addr) const {

@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bgp/types.hpp"
@@ -14,6 +16,7 @@
 #include "net/event.hpp"
 #include "net/network.hpp"
 #include "net/prefix_trie.hpp"
+#include "net/probe.hpp"
 #include "topology/graph.hpp"
 
 namespace core {
@@ -62,6 +65,20 @@ class Internet {
   void masc_parent(Domain& child, Domain& parent);
   void masc_siblings(Domain& a, Domain& b);
 
+  /// The quiescence watcher feeding `core.convergence_latency`. It is armed
+  /// automatically on perturbations — set_link_state(), and link()/
+  /// add_domain() once the simulation has started running — and records one
+  /// time-to-converge sample when the network goes quiet. Arm it manually
+  /// for other perturbations (e.g. an address-range collision injected by a
+  /// test).
+  [[nodiscard]] net::ConvergenceProbe& convergence_probe() { return *probe_; }
+
+  /// Installs a wall-clock profiler on the event queue: every executed
+  /// event's handler duration is recorded into a per-tag histogram
+  /// `sim.step_wall_seconds.<tag>` ("net.deliver", "masc.waiting_period",
+  /// ...). Off by default because it adds two clock reads per event.
+  void enable_step_profiling();
+
   /// Runs the event queue to exhaustion (BGP/BGMP/MASC all settle; MASC
   /// waiting periods advance simulated time as needed).
   void settle(std::uint64_t max_events = 50'000'000);
@@ -100,6 +117,12 @@ class Internet {
   net::Network network_;
   net::Rng rng_;
   obs::Counter* deliveries_;  // core.deliveries in the network's registry
+  /// Convergence watcher over the whole simulated internet (declared after
+  /// network_: it registers itself as an activity listener).
+  std::unique_ptr<net::ConvergenceProbe> probe_;
+  /// Per-event-tag wall-clock histograms, populated only after
+  /// enable_step_profiling(). Keyed by the tag's (stable, literal) pointer.
+  std::map<std::string, obs::Histogram*, std::less<>> step_histograms_;
   std::vector<Link> links_;
   std::vector<std::unique_ptr<Domain>> domains_;
   net::PrefixTrie<Domain*> unicast_map_;

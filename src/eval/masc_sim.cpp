@@ -47,7 +47,10 @@ class Simulation {
         rng_(params.seed),
         requests_served_(&metrics_.counter("masc.requests_served")),
         allocation_failures_(&metrics_.counter("masc.allocation_failures")),
-        expansions_executed_(&metrics_.counter("masc.expansions_executed")) {
+        expansions_executed_(&metrics_.counter("masc.expansions_executed")),
+        claim_grant_latency_(&metrics_.histogram("masc.claim_grant_latency")),
+        collision_resolution_latency_(
+            &metrics_.histogram("masc.collision_resolution_latency")) {
     tops_.reserve(params.top_level_domains);
     masc::DomainId next_id = 1;
     // §4.4 exchange partitions: the first power-of-two cover of k slices.
@@ -188,6 +191,10 @@ class Simulation {
           child.pool.plan_expansion(params_.block_size, now, can_double_fn);
       if (!plan || !execute_child_plan(child, *plan, now)) break;
       expansions_executed_->inc();
+      // At the protocol level this claim would have waited out one §4.1
+      // waiting period before the block could be handed out.
+      claim_grant_latency_->observe(
+          params_.claim_waiting_period.to_seconds());
       if (child.pool
               .request_block(params_.block_size, now, params_.block_lifetime)
               .has_value()) {
@@ -206,7 +213,11 @@ class Simulation {
       const Prefix merged = *plan.target.parent();
       if (!parent.child_claims.claim(merged, child.id, net::kTimeInfinity,
                                      now)) {
-        return false;  // raced: sibling no longer free
+        // Raced: sibling no longer free. Protocol-level equivalent: a claim
+        // collision whose resolution restarts one waiting period.
+        collision_resolution_latency_->observe(
+            params_.claim_waiting_period.to_seconds());
+        return false;
       }
       parent.pool.release_block(parent.mirror.at(plan.target));
       parent.mirror.erase(plan.target);
@@ -243,6 +254,8 @@ class Simulation {
     if (!chosen) return false;
     if (!parent.child_claims.claim(*chosen, child.id, net::kTimeInfinity,
                                    now)) {
+      collision_resolution_latency_->observe(
+          params_.claim_waiting_period.to_seconds());
       return false;
     }
     const auto mirror =
@@ -298,6 +311,8 @@ class Simulation {
         const Prefix merged = *plan->target.parent();
         if (!top_registry_.claim(merged, parent.id, net::kTimeInfinity,
                                  now)) {
+          collision_resolution_latency_->observe(
+              params_.claim_waiting_period.to_seconds());
           return false;
         }
         parent.pool.apply_double(plan->target, expiry);
@@ -420,6 +435,8 @@ class Simulation {
   obs::Counter* requests_served_;
   obs::Counter* allocation_failures_;
   obs::Counter* expansions_executed_;
+  obs::Histogram* claim_grant_latency_;
+  obs::Histogram* collision_resolution_latency_;
   std::vector<TopDomain> tops_;
   std::vector<ChildDomain> children_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;

@@ -38,6 +38,13 @@ struct MascSimParams {
   net::SimTime max_interarrival = net::SimTime::hours(95);
   /// Claim-lifetime / policy parameters shared by children and parents.
   masc::PoolParams pool;
+  /// §4.1 claim waiting period, used to derive the *implied* protocol-level
+  /// latency of each allocation-level claim: this harness grants claims
+  /// instantly, but every executed expansion corresponds to one
+  /// message-level claim that would have waited this long (and one more per
+  /// collision) — recorded as masc.claim_grant_latency /
+  /// masc.collision_resolution_latency histogram samples.
+  net::SimTime claim_waiting_period = net::SimTime::hours(48);
   /// §4.4 start-up: the multicast space "is initially partitioned among
   /// one or more Internet exchange points (say, one per continent)"; each
   /// top-level domain claims from the partition of a nearby exchange.

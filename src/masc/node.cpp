@@ -45,7 +45,10 @@ MascNode::MascNode(net::Network& network, DomainId domain, std::string name,
                &network.metrics().counter("masc.claims_released"),
                &network.metrics().counter("masc.collisions_suffered"),
                &network.metrics().counter("masc.requests_failed"),
-               &network.metrics().counter("masc.advertisements_sent")} {}
+               &network.metrics().counter("masc.advertisements_sent"),
+               &network.metrics().histogram("masc.claim_grant_latency"),
+               &network.metrics().histogram(
+                   "masc.collision_resolution_latency")} {}
 
 void MascNode::connect(MascNode& a, MascNode& b, PeerKind b_is,
                        net::SimTime latency) {
@@ -104,10 +107,11 @@ void MascNode::on_message(net::ChannelId channel,
   }
 }
 
-void MascNode::send_advertisements() {
+void MascNode::send_advertisements(std::uint64_t trace_id) {
   for (const PeerLink& l : links_) {
     if (l.kind != PeerKind::kChild) continue;
     auto msg = std::make_unique<AdvertiseMessage>();
+    msg->trace_id = trace_id;  // 0 = let the network stamp it
     msg->spaces = spaces_.empty()
                       ? std::vector<net::Prefix>{}
                       : spaces_;
@@ -135,10 +139,13 @@ void MascNode::handle_advertise(const PeerLink& from,
 
 void MascNode::request_space(std::uint64_t addresses) {
   if (pending_.has_value()) return;  // one claim in flight at a time
-  start_claim(addresses, 0);
+  start_claim(addresses, 0, now());
 }
 
-void MascNode::start_claim(std::uint64_t addresses, int retries) {
+void MascNode::start_claim(std::uint64_t addresses, int retries,
+                           net::SimTime requested_at,
+                           net::SimTime first_collision_at,
+                           std::uint64_t trace_id) {
   if (retries > params_.max_retries) {
     fail_request(addresses);
     return;
@@ -186,16 +193,26 @@ void MascNode::start_claim(std::uint64_t addresses, int retries) {
   pending.renumber = renumber;
   pending.double_target = double_target;
   pending.retries = retries;
+  pending.requested_at = requested_at;
+  pending.first_collision_at = first_collision_at;
+  // Span: a retry keeps the original claim's trace id (collision → re-claim
+  // is one causal chain); a fresh request joins the ambient delivery's span
+  // or starts a new one.
+  if (trace_id == 0) trace_id = network_.current_trace_id();
+  if (trace_id == 0) trace_id = network_.allocate_trace_id();
+  pending.trace_id = trace_id;
   // Record our own claim so further local choices avoid it.
   known_claims_.claim(pending.prefix, domain_, pending.expires, now());
   pending.timer = network_.events().schedule_in(
-      params_.waiting_period, [this]() { claim_granted(); });
+      params_.waiting_period, [this]() { claim_granted(); },
+      "masc.waiting_period");
   pending_ = pending;
   obs::log_info(name_, [&](auto& os) {
     os << "claiming " << pending_->prefix.to_string() << " (waiting "
        << params_.waiting_period.to_string() << ")";
   });
-  send_claim(pending.prefix, pending.claim_time, pending.expires);
+  send_claim(pending.prefix, pending.claim_time, pending.expires,
+             pending.trace_id);
 }
 
 void MascNode::fail_request(std::uint64_t addresses) {
@@ -204,7 +221,7 @@ void MascNode::fail_request(std::uint64_t addresses) {
 }
 
 void MascNode::send_claim(const net::Prefix& prefix, net::SimTime claim_time,
-                          net::SimTime expires) {
+                          net::SimTime expires, std::uint64_t trace_id) {
   metrics_.claims_sent->inc();
   for (const PeerLink& l : links_) {
     if (l.kind != PeerKind::kParent && l.kind != PeerKind::kSibling) continue;
@@ -213,6 +230,9 @@ void MascNode::send_claim(const net::Prefix& prefix, net::SimTime claim_time,
     msg->claimant = domain_;
     msg->claim_time = claim_time;
     msg->expires = expires;
+    // One logical claim fans out to the parent and every sibling; stamping
+    // puts all copies on the same span.
+    msg->trace_id = trace_id;
     network_.send(l.channel, *this, std::move(msg));
   }
 }
@@ -248,6 +268,9 @@ void MascNode::handle_claim(const PeerLink& from, const ClaimMessage& msg) {
     }
     ++collisions_;
     metrics_.collisions_suffered->inc();
+    if (pending_->first_collision_at == net::kTimeInfinity) {
+      pending_->first_collision_at = now();
+    }
     obs::log_info(name_, [&](auto& os) {
       os << "lost claim " << pending_->prefix.to_string() << " to AS"
          << msg.claimant;
@@ -336,6 +359,9 @@ void MascNode::handle_collision(const PeerLink& from,
   if (!pending_ || !pending_->prefix.overlaps(msg.prefix)) return;
   ++collisions_;
   metrics_.collisions_suffered->inc();
+  if (pending_->first_collision_at == net::kTimeInfinity) {
+    pending_->first_collision_at = now();
+  }
   obs::log_info(name_, [&](auto& os) {
     os << "collision on " << pending_->prefix.to_string() << " from AS"
        << msg.winner << "; retrying";
@@ -363,7 +389,9 @@ void MascNode::abort_pending_and_retry() {
   const PendingClaim aborted = *pending_;
   network_.events().cancel(aborted.timer);
   pending_.reset();
-  start_claim(aborted.request_addresses, aborted.retries + 1);
+  start_claim(aborted.request_addresses, aborted.retries + 1,
+              aborted.requested_at, aborted.first_collision_at,
+              aborted.trace_id);
 }
 
 void MascNode::claim_granted() {
@@ -371,6 +399,12 @@ void MascNode::claim_granted() {
   const PendingClaim granted = *pending_;
   pending_.reset();
   metrics_.claims_granted->inc();
+  metrics_.claim_grant_latency->observe(
+      (now() - granted.requested_at).to_seconds());
+  if (granted.first_collision_at != net::kTimeInfinity) {
+    metrics_.collision_resolution_latency->observe(
+        (now() - granted.first_collision_at).to_seconds());
+  }
   if (granted.is_double) {
     pool_.apply_double(granted.double_target, granted.expires);
     const net::Prefix merged = *granted.double_target.parent();
@@ -398,7 +432,9 @@ void MascNode::claim_granted() {
       os << "granted " << granted.prefix.to_string();
     });
   }
-  send_advertisements();  // children see the enlarged space
+  // Children see the enlarged space; the advertisements ride the claim's
+  // span, closing the claim → (collision → re-claim →) grant chain.
+  send_advertisements(granted.trace_id);
 }
 
 void MascNode::age_now() {

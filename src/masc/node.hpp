@@ -150,6 +150,16 @@ class MascNode final : public net::Endpoint {
     net::Prefix double_target;  // held prefix being doubled
     net::EventId timer;
     int retries = 0;
+    /// When the *request* started — preserved across collision retries so
+    /// masc.claim_grant_latency measures request→grant, retries included.
+    net::SimTime requested_at;
+    /// First collision on this request (kTimeInfinity = none yet); basis
+    /// of masc.collision_resolution_latency.
+    net::SimTime first_collision_at = net::kTimeInfinity;
+    /// Causal span carried across the waiting-period timer, so the grant's
+    /// advertisements land on the same trace as the claim (and its
+    /// collision / re-claim, which propagate it through retries).
+    std::uint64_t trace_id = 0;
   };
 
   void handle_advertise(const PeerLink& from, const AdvertiseMessage& msg);
@@ -159,16 +169,21 @@ class MascNode final : public net::Endpoint {
   void handle_release(const PeerLink& from, const ReleaseMessage& msg);
 
   /// Starts (or retries) the claim exchange for a space request.
-  void start_claim(std::uint64_t addresses, int retries);
+  /// `requested_at` / `first_collision_at` / `trace_id` carry request
+  /// context across retries (see PendingClaim).
+  void start_claim(std::uint64_t addresses, int retries,
+                   net::SimTime requested_at,
+                   net::SimTime first_collision_at = net::kTimeInfinity,
+                   std::uint64_t trace_id = 0);
   /// Counts the failure and fires the on_failed callback.
   void fail_request(std::uint64_t addresses);
   void send_claim(const net::Prefix& prefix, net::SimTime claim_time,
-                  net::SimTime expires);
+                  net::SimTime expires, std::uint64_t trace_id);
   void propagate_claim_to_children(const ClaimMessage& msg,
                                    const PeerLink& from);
   void claim_granted();
   void abort_pending_and_retry();
-  void send_advertisements();
+  void send_advertisements(std::uint64_t trace_id = 0);
   void send_collision_to(const PeerLink& to, const net::Prefix& prefix);
 
   /// True if `ours` beats `theirs` (§4.1 footnote: winner by timestamps,
@@ -196,6 +211,8 @@ class MascNode final : public net::Endpoint {
     obs::Counter* collisions_suffered;
     obs::Counter* requests_failed;
     obs::Counter* advertisements_sent;
+    obs::Histogram* claim_grant_latency;          // request → grant, seconds
+    obs::Histogram* collision_resolution_latency;  // 1st collision → grant
   };
   NodeMetrics metrics_;
 

@@ -1,18 +1,19 @@
 #include "net/event.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace net {
 
-EventId EventQueue::schedule_at(SimTime at, Action action) {
+EventId EventQueue::schedule_at(SimTime at, Action action, const char* tag) {
   if (at < now_) {
     throw std::invalid_argument("EventQueue: scheduling in the past (" +
                                 at.to_string() + " < " + now_.to_string() +
                                 ")");
   }
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{at, seq, std::move(action)});
+  heap_.push_back(Entry{at, seq, std::move(action), tag});
   std::push_heap(heap_.begin(), heap_.end());
   heap_high_water_ = std::max(heap_high_water_, heap_.size());
   pending_.insert(seq);
@@ -41,12 +42,23 @@ bool EventQueue::pop_next(Entry& out) {
   return false;
 }
 
+void EventQueue::run_entry(Entry& entry) {
+  now_ = entry.at;
+  ++events_run_;
+  if (!profiler_) {
+    entry.action();
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  entry.action();
+  const auto stop = std::chrono::steady_clock::now();
+  profiler_(entry.tag, std::chrono::duration<double>(stop - start).count());
+}
+
 bool EventQueue::step() {
   Entry entry;
   if (!pop_next(entry)) return false;
-  now_ = entry.at;
-  ++events_run_;
-  entry.action();
+  run_entry(entry);
   return true;
 }
 
@@ -64,9 +76,7 @@ void EventQueue::run_until(SimTime deadline) {
       std::push_heap(heap_.begin(), heap_.end());
       break;
     }
-    now_ = entry.at;
-    ++events_run_;
-    entry.action();
+    run_entry(entry);
   }
   now_ = std::max(now_, deadline);
 }

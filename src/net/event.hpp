@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -15,18 +16,33 @@ namespace net {
 /// Handle for cancelling a scheduled event.
 enum class EventId : std::uint64_t {};
 
+/// Tag of events scheduled without one.
+inline constexpr const char* kDefaultEventTag = "event";
+
 class EventQueue {
  public:
   using Action = std::function<void()>;
+  /// Wall-clock profiling hook: called after each event's action with the
+  /// event's tag and the wall time the action took, in seconds.
+  using Profiler = std::function<void(std::string_view tag, double seconds)>;
 
   /// Schedules `action` to run at absolute time `at` (must be >= now()).
   /// Throws std::invalid_argument on attempts to schedule in the past.
-  EventId schedule_at(SimTime at, Action action);
+  /// `tag` buckets the event for step profiling; it must be a string
+  /// literal (or otherwise outlive the queue) — it is stored unowned.
+  EventId schedule_at(SimTime at, Action action,
+                      const char* tag = kDefaultEventTag);
 
   /// Schedules `action` to run `delay` from now.
-  EventId schedule_in(SimTime delay, Action action) {
-    return schedule_at(now_ + delay, std::move(action));
+  EventId schedule_in(SimTime delay, Action action,
+                      const char* tag = kDefaultEventTag) {
+    return schedule_at(now_ + delay, std::move(action), tag);
   }
+
+  /// Installs (or, with nullptr-like empty function, removes) the wall-clock
+  /// profiler. When unset, step() does not read the clock at all, so the
+  /// hook costs nothing unless enabled.
+  void set_profiler(Profiler profiler) { profiler_ = std::move(profiler); }
 
   /// Cancels a pending event. Returns false if it already ran or was
   /// cancelled. Cancellation is O(1); the slot is skipped at pop time.
@@ -60,6 +76,7 @@ class EventQueue {
     SimTime at;
     std::uint64_t seq = 0;  // tie-break: FIFO among equal timestamps
     Action action;
+    const char* tag = kDefaultEventTag;  // unowned; string literal
     // std::push_heap builds a max-heap; invert so the earliest event wins.
     friend bool operator<(const Entry& a, const Entry& b) {
       if (a.at != b.at) return a.at > b.at;
@@ -69,8 +86,11 @@ class EventQueue {
 
   // Pops the earliest non-cancelled entry; false when drained.
   bool pop_next(Entry& out);
+  // Advances now(), runs the action, and feeds the profiler if installed.
+  void run_entry(Entry& entry);
 
   SimTime now_;
+  Profiler profiler_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_run_ = 0;
   std::size_t heap_high_water_ = 0;

@@ -15,7 +15,8 @@ Network::Network(EventQueue& events, obs::Metrics* metrics)
       sent_(&metrics_->counter("net.messages_sent")),
       delivered_(&metrics_->counter("net.messages_delivered")),
       dropped_(&metrics_->counter("net.messages_dropped")),
-      held_total_(&metrics_->counter("net.messages_held")) {
+      held_total_(&metrics_->counter("net.messages_held")),
+      delivery_latency_(&metrics_->histogram("net.delivery_latency")) {
   // Sampled state refreshes when a snapshot is taken, keeping reads off
   // the send/deliver hot paths.
   metrics_->add_refresh_hook([this]() {
@@ -28,7 +29,7 @@ Network::Network(EventQueue& events, obs::Metrics* metrics)
         .set(static_cast<double>(events_.events_run()));
     metrics_->gauge("net.events_pending")
         .set(static_cast<double>(events_.pending()));
-    metrics_->gauge("net.events_heap_high_water")
+    metrics_->gauge("net.event_queue_high_water")
         .set(static_cast<double>(events_.heap_high_water()));
   });
 }
@@ -55,8 +56,25 @@ const Network::Channel& Network::channel(ChannelId id) const {
   return const_cast<Network*>(this)->channel(id);
 }
 
-void Network::send(ChannelId id, const Endpoint& from,
-                   std::unique_ptr<Message> msg) {
+void Network::record_span(obs::SpanEvent::Kind kind, const Message& msg,
+                          const Endpoint& from, const Endpoint& to) {
+  if (span_sink_ == nullptr) return;
+  obs::SpanEvent event;
+  event.trace_id = msg.trace_id;
+  event.sim_time = events_.now();
+  event.kind = kind;
+  event.from = from.name();
+  event.to = to.name();
+  event.message = msg.describe();
+  span_sink_->record(event);
+}
+
+void Network::notify_activity() {
+  for (const auto& listener : activity_listeners_) listener();
+}
+
+std::uint64_t Network::send(ChannelId id, const Endpoint& from,
+                            std::unique_ptr<Message> msg) {
   Channel& ch = channel(id);
   Endpoint* to = nullptr;
   if (ch.a == &from) {
@@ -67,32 +85,68 @@ void Network::send(ChannelId id, const Endpoint& from,
     throw std::invalid_argument("Network::send: endpoint not on channel");
   }
   sent_->inc();
+  // Causal stamping: keep an explicit id, else inherit from the delivery
+  // being handled, else start a fresh span.
+  if (msg->trace_id == 0) {
+    msg->trace_id = active_trace_id_ != 0 ? active_trace_id_
+                                          : allocate_trace_id();
+  }
+  const std::uint64_t trace_id = msg->trace_id;
   obs::log_debug("net", [&](auto& os) {
     os << from.name() << " -> " << to->name() << ": " << msg->describe();
   });
+  notify_activity();
   if (!ch.up) {
     if (ch.drop_when_down) {
       dropped_->inc();
+      record_span(obs::SpanEvent::Kind::kDrop, *msg, from, *to);
     } else {
       held_total_->inc();
-      ch.held.push_back(QueuedMsg{to, std::move(msg)});
+      record_span(obs::SpanEvent::Kind::kHold, *msg, from, *to);
+      ch.held.push_back(QueuedMsg{to, std::move(msg), events_.now()});
     }
-    return;
+    return trace_id;
   }
+  record_span(obs::SpanEvent::Kind::kSend, *msg, from, *to);
+  schedule_delivery(id, to, std::move(msg), events_.now(), ch.latency);
+  return trace_id;
+}
+
+void Network::schedule_delivery(ChannelId id, Endpoint* to,
+                                std::unique_ptr<Message> msg, SimTime sent_at,
+                                SimTime latency) {
   // Fixed per-channel latency plus FIFO event ordering keeps each direction
   // in order — the reliable in-order property BGP/BGMP expect from TCP.
   // std::function requires copyable captures, so the unique_ptr rides in a
   // shared_ptr wrapper until delivery.
   auto shared = std::make_shared<std::unique_ptr<Message>>(std::move(msg));
-  events_.schedule_in(ch.latency, [this, id, to, shared]() {
-    deliver(id, *to, std::move(*shared));
-  });
+  events_.schedule_in(
+      latency,
+      [this, id, to, shared, sent_at]() {
+        deliver(id, *to, std::move(*shared), sent_at);
+      },
+      "net.deliver");
 }
 
-void Network::deliver(ChannelId id, Endpoint& to,
-                      std::unique_ptr<Message> msg) {
+void Network::deliver(ChannelId id, Endpoint& to, std::unique_ptr<Message> msg,
+                      SimTime sent_at) {
   delivered_->inc();
-  to.on_message(id, std::move(msg));
+  delivery_latency_->observe((events_.now() - sent_at).to_seconds());
+  notify_activity();
+  record_span(obs::SpanEvent::Kind::kDeliver, *msg, peer_of(id, to), to);
+  // Everything the handler sends synchronously is causally downstream of
+  // this message; expose its id as the ambient trace context. The previous
+  // value is restored even on throw so a failing handler cannot leak its
+  // id into unrelated deliveries.
+  const std::uint64_t prev = active_trace_id_;
+  active_trace_id_ = msg->trace_id;
+  try {
+    to.on_message(id, std::move(msg));
+  } catch (...) {
+    active_trace_id_ = prev;
+    throw;
+  }
+  active_trace_id_ = prev;
 }
 
 void Network::set_up(ChannelId id, bool up) {
@@ -100,16 +154,16 @@ void Network::set_up(ChannelId id, bool up) {
   if (ch.up == up) return;
   ch.up = up;
   if (up) {
-    // Flush held messages in their original order.
+    // Flush held messages in their original order. Delivery latency is
+    // measured from the original send, so the partition time shows up in
+    // net.delivery_latency — exactly the outage the waiting period spans.
     while (!ch.held.empty()) {
       QueuedMsg queued = std::move(ch.held.front());
       ch.held.pop_front();
-      auto shared =
-          std::make_shared<std::unique_ptr<Message>>(std::move(queued.msg));
-      Endpoint* to = queued.to;
-      events_.schedule_in(ch.latency, [this, id, to, shared]() {
-        deliver(id, *to, std::move(*shared));
-      });
+      record_span(obs::SpanEvent::Kind::kSend, *queued.msg,
+                  peer_of(id, *queued.to), *queued.to);
+      schedule_delivery(id, queued.to, std::move(queued.msg), queued.sent_at,
+                        ch.latency);
     }
     ch.a->on_channel_up(id);
     ch.b->on_channel_up(id);

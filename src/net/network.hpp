@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "net/event.hpp"
 #include "net/time.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace net {
 
@@ -27,6 +29,14 @@ struct Message {
   virtual ~Message() = default;
   /// One-line rendering for traces.
   [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Causal span id (see obs/span.hpp). 0 = unassigned: send() stamps the
+  /// message with the ambient trace id when sent from inside a delivery
+  /// (the handler is reacting to the message being delivered), or with a
+  /// fresh id when originated outside one. Handlers that carry causality
+  /// across a timer (e.g. MASC's claim waiting period) stash the id and
+  /// set this field explicitly on derived messages.
+  std::uint64_t trace_id = 0;
 };
 
 enum class ChannelId : std::uint32_t {};
@@ -68,9 +78,12 @@ class Network {
 
   /// Sends `msg` from `from` to its peer on `channel`. Delivery happens
   /// `latency` later via the event queue; messages queue while the channel
-  /// is down and flush in order when it comes back up.
-  void send(ChannelId channel, const Endpoint& from,
-            std::unique_ptr<Message> msg);
+  /// is down and flush in order when it comes back up. Returns the trace
+  /// id the message was stamped with (kept, inherited, or freshly
+  /// assigned — see Message::trace_id), so originators can associate
+  /// later responses with the span they started.
+  std::uint64_t send(ChannelId channel, const Endpoint& from,
+                     std::unique_ptr<Message> msg);
 
   /// Partition control. Transition notifications go to both endpoints.
   void set_up(ChannelId channel, bool up);
@@ -108,10 +121,37 @@ class Network {
   /// automatically at snapshot time.
   [[nodiscard]] obs::Metrics& metrics() { return *metrics_; }
 
+  // ------------------------------------------------------------- spans
+  /// Installs the span sink every send/deliver/hold/drop is recorded to
+  /// (nullptr disables). The sink is caller-owned and must outlive the
+  /// network or be detached first.
+  void set_span_sink(obs::SpanSink* sink) { span_sink_ = sink; }
+  [[nodiscard]] obs::SpanSink* span_sink() const { return span_sink_; }
+
+  /// The trace id of the message currently being delivered (0 outside a
+  /// delivery). send() consults this to propagate causality; handlers that
+  /// defer work through timers capture it explicitly.
+  [[nodiscard]] std::uint64_t current_trace_id() const {
+    return active_trace_id_;
+  }
+
+  /// Reserves a fresh trace id without sending anything — for originators
+  /// that fan one logical operation out over several messages (a MASC
+  /// claim goes to the parent and every sibling) and want them on one span.
+  std::uint64_t allocate_trace_id() { return ++next_trace_id_; }
+
+  /// Registers a callback fired on every message send and delivery.
+  /// Convergence probes use this as their quiescence signal; callbacks
+  /// must be cheap and must not send messages.
+  void add_activity_listener(std::function<void()> listener) {
+    activity_listeners_.push_back(std::move(listener));
+  }
+
  private:
   struct QueuedMsg {
     Endpoint* to;
     std::unique_ptr<Message> msg;
+    SimTime sent_at;  // original send time: held time counts as latency
   };
   struct Channel {
     Channel(Endpoint* a_in, Endpoint* b_in, SimTime latency_in)
@@ -132,7 +172,14 @@ class Network {
 
   Channel& channel(ChannelId id);
   const Channel& channel(ChannelId id) const;
-  void deliver(ChannelId id, Endpoint& to, std::unique_ptr<Message> msg);
+  void deliver(ChannelId id, Endpoint& to, std::unique_ptr<Message> msg,
+               SimTime sent_at);
+  void schedule_delivery(ChannelId id, Endpoint* to,
+                         std::unique_ptr<Message> msg, SimTime sent_at,
+                         SimTime latency);
+  void record_span(obs::SpanEvent::Kind kind, const Message& msg,
+                   const Endpoint& from, const Endpoint& to);
+  void notify_activity();
 
   EventQueue& events_;
   std::unique_ptr<obs::Metrics> owned_metrics_;  // when none was injected
@@ -142,6 +189,11 @@ class Network {
   obs::Counter* delivered_;
   obs::Counter* dropped_;
   obs::Counter* held_total_;  // messages that entered a partition queue
+  obs::Histogram* delivery_latency_;  // net.delivery_latency, seconds
+  obs::SpanSink* span_sink_ = nullptr;
+  std::uint64_t next_trace_id_ = 0;
+  std::uint64_t active_trace_id_ = 0;  // ambient id during on_message
+  std::vector<std::function<void()>> activity_listeners_;
   std::vector<Channel> channels_;
 };
 

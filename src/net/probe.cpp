@@ -1,0 +1,55 @@
+#include "net/probe.hpp"
+
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace net {
+
+ConvergenceProbe::ConvergenceProbe(Network& network, obs::Histogram& histogram,
+                                   SimTime quiet_window)
+    : network_(network),
+      events_(network.events()),
+      histogram_(&histogram),
+      quiet_window_(quiet_window) {
+  network_.add_activity_listener([this]() { on_activity(); });
+}
+
+void ConvergenceProbe::arm(std::string label) {
+  armed_ = true;
+  label_ = std::move(label);
+  armed_at_ = events_.now();
+  last_activity_ = armed_at_;
+  schedule_check(armed_at_ + quiet_window_);
+}
+
+void ConvergenceProbe::on_activity() {
+  if (armed_) last_activity_ = events_.now();
+}
+
+void ConvergenceProbe::schedule_check(SimTime at) {
+  if (check_scheduled_) events_.cancel(check_id_);
+  check_scheduled_ = true;
+  check_id_ = events_.schedule_at(at, [this]() { check(); }, "net.probe");
+}
+
+void ConvergenceProbe::check() {
+  check_scheduled_ = false;
+  if (!armed_) return;
+  if (events_.now() - last_activity_ < quiet_window_) {
+    // Traffic since the last check; converge means a full quiet window.
+    schedule_check(last_activity_ + quiet_window_);
+    return;
+  }
+  // Quiet: the system converged at the last activity. One sample per arm().
+  armed_ = false;
+  ++samples_;
+  const SimTime converge = last_activity_ - armed_at_;
+  histogram_->observe(converge.to_seconds());
+  obs::log_info("net.probe", [&](auto& os) {
+    os << "converged" << (label_.empty() ? "" : " after ") << label_ << " in "
+       << converge.to_string();
+  });
+}
+
+}  // namespace net

@@ -1,0 +1,90 @@
+// A log-scaled latency histogram for the metrics registry.
+//
+// Latencies in this simulator span ten orders of magnitude: wall-clock
+// profiling of a single EventQueue step runs in microseconds while a MASC
+// claim waits *days* of simulated time before it is granted (§4.1's 48 h
+// waiting period). A fixed-width histogram cannot cover that range, so
+// buckets grow by powers of two starting at 1 ns:
+//
+//   bucket 0      : [0, 1e-9)            — zero and sub-nanosecond values
+//   bucket i >= 1 : [1e-9·2^(i-1), 1e-9·2^i)
+//
+// 96 buckets reach past 1e-9·2^95 ≈ 4e19 seconds, far beyond any simulated
+// or wall-clock duration, so observe() never saturates in practice (values
+// past the last bound land in the final bucket). Each bucket costs one
+// uint64, the whole histogram ~800 bytes, and observe() is a frexp plus an
+// increment — cheap enough for per-message hot paths.
+//
+// Quantiles interpolate linearly inside the selected bucket and are clamped
+// to the exact [min, max] observed, so the edge cases behave: an empty
+// histogram reports 0 everywhere, a single sample reports that sample for
+// every quantile, and a value on a bucket boundary never produces a
+// quantile outside the observed range.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace obs {
+
+/// Aggregate view of a Histogram at one point in time, as exported in
+/// metrics snapshots: exact count/sum/min/max plus interpolated quantiles.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Log2-bucketed distribution of non-negative values (seconds, by
+/// convention). References returned by Metrics::histogram() are stable for
+/// the registry's lifetime, so hot paths cache them once at construction.
+class Histogram {
+ public:
+  static constexpr int kBucketCount = 96;
+  static constexpr double kFirstBound = 1e-9;  ///< upper bound of bucket 0
+
+  /// Records one value. Negative values clamp to 0.
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Value at quantile q in [0, 1]: linear interpolation within the
+  /// covering bucket, clamped to [min(), max()]. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// count/sum/min/max/p50/p95/p99 in one pass.
+  [[nodiscard]] HistogramStats stats() const;
+
+  [[nodiscard]] std::uint64_t bucket(int index) const {
+    return buckets_[static_cast<std::size_t>(index)];
+  }
+
+  /// Index of the bucket covering `value` (see the scheme above).
+  [[nodiscard]] static int bucket_index(double value);
+  /// Inclusive lower bound of bucket `index` (0.0 for bucket 0).
+  [[nodiscard]] static double bucket_lower_bound(int index);
+  /// Exclusive upper bound of bucket `index`.
+  [[nodiscard]] static double bucket_upper_bound(int index);
+
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+};
+
+}  // namespace obs

@@ -68,25 +68,69 @@ std::size_t Snapshot::counter_count() const {
       }));
 }
 
-void Snapshot::write_json(std::ostream& os) const {
-  os << "{\n  \"sim_time_seconds\": "
-     << detail::format_double(sim_time_seconds) << ",\n  \"counters\": {";
+const HistogramSample* Snapshot::find_histogram(std::string_view name) const {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+HistogramStats Snapshot::histogram_stats(std::string_view name) const {
+  const HistogramSample* h = find_histogram(name);
+  return h != nullptr ? h->stats : HistogramStats{};
+}
+
+namespace {
+
+/// Shared body for the pretty (write_json) and single-line (write_jsonl)
+/// renderings; only the whitespace differs.
+void write_json_impl(const Snapshot& snap, std::ostream& os, bool pretty) {
+  const char* nl = pretty ? "\n  " : "";
+  const char* nl2 = pretty ? "\n    " : "";
+  const char* sp = pretty ? " " : "";
+  os << "{" << nl << "\"sim_time_seconds\":" << sp
+     << detail::format_double(snap.sim_time_seconds) << "," << nl
+     << "\"counters\":" << sp << "{";
   bool first = true;
-  for (const Sample& s : samples) {
+  for (const Sample& s : snap.samples) {
     if (s.kind != Sample::Kind::kCounter) continue;
-    os << (first ? "" : ",") << "\n    \"" << detail::json_escape(s.name)
-       << "\": " << s.count;
+    os << (first ? "" : ",") << nl2 << "\"" << detail::json_escape(s.name)
+       << "\":" << sp << s.count;
     first = false;
   }
-  os << "\n  },\n  \"gauges\": {";
+  os << (first ? "" : nl) << "}," << nl << "\"gauges\":" << sp << "{";
   first = true;
-  for (const Sample& s : samples) {
+  for (const Sample& s : snap.samples) {
     if (s.kind != Sample::Kind::kGauge) continue;
-    os << (first ? "" : ",") << "\n    \"" << detail::json_escape(s.name)
-       << "\": " << detail::format_double(s.value);
+    os << (first ? "" : ",") << nl2 << "\"" << detail::json_escape(s.name)
+       << "\":" << sp << detail::format_double(s.value);
     first = false;
   }
-  os << "\n  }\n}\n";
+  os << (first ? "" : nl) << "}," << nl << "\"histograms\":" << sp << "{";
+  first = true;
+  for (const HistogramSample& h : snap.histograms) {
+    const HistogramStats& st = h.stats;
+    os << (first ? "" : ",") << nl2 << "\"" << detail::json_escape(h.name)
+       << "\":" << sp << "{\"count\":" << sp << st.count << "," << sp
+       << "\"sum\":" << sp << detail::format_double(st.sum) << "," << sp
+       << "\"min\":" << sp << detail::format_double(st.min) << "," << sp
+       << "\"max\":" << sp << detail::format_double(st.max) << "," << sp
+       << "\"p50\":" << sp << detail::format_double(st.p50) << "," << sp
+       << "\"p95\":" << sp << detail::format_double(st.p95) << "," << sp
+       << "\"p99\":" << sp << detail::format_double(st.p99) << "}";
+    first = false;
+  }
+  os << (first ? "" : nl) << "}" << (pretty ? "\n" : "") << "}\n";
+}
+
+}  // namespace
+
+void Snapshot::write_json(std::ostream& os) const {
+  write_json_impl(*this, os, /*pretty=*/true);
+}
+
+void Snapshot::write_jsonl(std::ostream& os) const {
+  write_json_impl(*this, os, /*pretty=*/false);
 }
 
 void Snapshot::write_csv(std::ostream& os) const {
@@ -97,6 +141,16 @@ void Snapshot::write_csv(std::ostream& os) const {
     } else {
       os << s.name << ",gauge," << detail::format_double(s.value) << "\n";
     }
+  }
+  for (const HistogramSample& h : histograms) {
+    const HistogramStats& st = h.stats;
+    os << h.name << ".count,histogram," << st.count << "\n";
+    os << h.name << ".sum,histogram," << detail::format_double(st.sum) << "\n";
+    os << h.name << ".min,histogram," << detail::format_double(st.min) << "\n";
+    os << h.name << ".max,histogram," << detail::format_double(st.max) << "\n";
+    os << h.name << ".p50,histogram," << detail::format_double(st.p50) << "\n";
+    os << h.name << ".p95,histogram," << detail::format_double(st.p95) << "\n";
+    os << h.name << ".p99,histogram," << detail::format_double(st.p99) << "\n";
   }
 }
 
@@ -111,6 +165,13 @@ Gauge& Metrics::gauge(std::string_view name) {
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Metrics::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
               .first->second;
 }
 
@@ -144,6 +205,10 @@ Snapshot Metrics::snapshot(double sim_time_seconds) {
       ++g;
     }
     snap.samples.push_back(std::move(s));
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.push_back(HistogramSample{name, hist->stats()});
   }
   return snap;
 }

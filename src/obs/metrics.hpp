@@ -11,7 +11,8 @@
 // Naming convention (enforced socially, documented in DESIGN.md):
 // `<module>.<noun>_<verb>`, e.g. `net.messages_sent`,
 // `masc.claims_granted`, `bgp.updates_received`. Gauges that sample state
-// rather than count events use plain nouns: `bgmp.tree_entries`.
+// rather than count events use plain nouns: `bgmp.tree_entries`. Latency
+// histograms use `<module>.<noun>_latency` and record seconds.
 //
 // Single-threaded like the rest of the simulator: no synchronization.
 #pragma once
@@ -24,6 +25,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/histogram.hpp"
 
 namespace obs {
 
@@ -59,10 +62,17 @@ struct Sample {
   double value = 0.0;       ///< value for gauges (== count for counters)
 };
 
+/// One exported histogram distribution.
+struct HistogramSample {
+  std::string name;
+  HistogramStats stats;
+};
+
 /// A consistent export of every instrument, taken at one simulated time.
 struct Snapshot {
   double sim_time_seconds = 0.0;
   std::vector<Sample> samples;  ///< sorted by name, counters and gauges mixed
+  std::vector<HistogramSample> histograms;  ///< sorted by name
 
   [[nodiscard]] const Sample* find(std::string_view name) const;
   /// Value of a counter (0 if absent) / gauge (0.0 if absent).
@@ -70,11 +80,22 @@ struct Snapshot {
   [[nodiscard]] double gauge_value(std::string_view name) const;
   [[nodiscard]] std::size_t counter_count() const;
 
-  /// {"sim_time_seconds": T, "counters": {...}, "gauges": {...}} — the
-  /// schema bench/ and external tooling consume (see DESIGN.md).
+  [[nodiscard]] const HistogramSample* find_histogram(
+      std::string_view name) const;
+  /// Stats of a histogram; all-zero stats if absent.
+  [[nodiscard]] HistogramStats histogram_stats(std::string_view name) const;
+
+  /// {"sim_time_seconds": T, "counters": {...}, "gauges": {...},
+  ///  "histograms": {...}} — the schema bench/ and external tooling
+  /// consume (see DESIGN.md). Each histogram exports count, sum, min,
+  /// max, p50, p95, p99.
   void write_json(std::ostream& os) const;
-  /// name,kind,value rows with a header.
+  /// name,kind,value rows with a header; histograms expand into
+  /// `<name>.count/.sum/.min/.max/.p50/.p95/.p99` rows of kind histogram.
   void write_csv(std::ostream& os) const;
+  /// The write_json schema compacted onto a single line (plus '\n'), for
+  /// JSONL time series (`scenario_runner --metrics-every`).
+  void write_jsonl(std::ostream& os) const;
 };
 
 class Metrics {
@@ -89,6 +110,7 @@ class Metrics {
   /// the registry's lifetime.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// Registers a hook run at the start of every snapshot(). Harness-level
   /// owners use it to refresh sampled gauges (RIB sizes, pool utilisation,
@@ -100,13 +122,14 @@ class Metrics {
   [[nodiscard]] Snapshot snapshot(double sim_time_seconds = 0.0);
 
   [[nodiscard]] std::size_t instrument_count() const {
-    return counters_.size() + gauges_.size();
+    return counters_.size() + gauges_.size() + histograms_.size();
   }
 
  private:
   // unique_ptr-valued maps: node-stable references plus registry movability.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::vector<std::function<void()>> hooks_;
 };
 

@@ -1,0 +1,63 @@
+#include "obs/span.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/metrics.hpp"  // detail::json_escape
+
+namespace obs {
+
+std::string_view to_string(SpanEvent::Kind kind) {
+  switch (kind) {
+    case SpanEvent::Kind::kSend: return "send";
+    case SpanEvent::Kind::kDeliver: return "deliver";
+    case SpanEvent::Kind::kHold: return "hold";
+    case SpanEvent::Kind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void write_span_jsonl(const SpanEvent& event, std::ostream& os) {
+  char time_buf[32];
+  std::snprintf(time_buf, sizeof time_buf, "%.9f",
+                event.sim_time.to_seconds());
+  os << "{\"trace_id\":" << event.trace_id << ",\"sim_time_seconds\":"
+     << time_buf << ",\"event\":\"" << to_string(event.kind) << "\",\"from\":\""
+     << json_escape(event.from) << "\",\"to\":\"" << json_escape(event.to)
+     << "\",\"message\":\"" << json_escape(event.message) << "\"}\n";
+}
+
+}  // namespace detail
+
+void JsonlSpanSink::record(const SpanEvent& event) {
+  detail::write_span_jsonl(event, *os_);
+}
+
+void MemorySpanSink::record(const SpanEvent& event) {
+  events_.push_back(event);
+}
+
+std::vector<SpanEvent> MemorySpanSink::events_for(
+    std::uint64_t trace_id) const {
+  std::vector<SpanEvent> out;
+  for (const SpanEvent& e : events_) {
+    if (e.trace_id == trace_id) out.push_back(e);
+  }
+  return out;
+}
+
+void FlightRecorderSink::record(const SpanEvent& event) {
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++evicted_;
+  }
+  events_.push_back(event);
+}
+
+void FlightRecorderSink::dump(std::ostream& os) const {
+  for (const SpanEvent& e : events_) detail::write_span_jsonl(e, os);
+}
+
+}  // namespace obs

@@ -1,0 +1,112 @@
+// Causal message spans: the flight-recorder side of the observability
+// layer.
+//
+// net::Network stamps every originated message with a monotonically
+// increasing trace id and propagates it to messages derived inside a
+// delivery (see network.hpp). Each send/deliver/hold/drop becomes a
+// SpanEvent pushed at a SpanSink, so one protocol-level causal chain — a
+// BGMP join travelling leaf→root, a MASC claim through its collision and
+// re-claim — can be reconstructed after the fact by filtering the recorded
+// events on a single trace id.
+//
+// JSONL schema (one object per line, documented in DESIGN.md):
+//   {"trace_id":7,"sim_time_seconds":0.01,"event":"send",
+//    "from":"D2/bgmp","to":"D1/bgmp","message":"JOIN (*,G) ..."}
+//
+// Like obs/trace.hpp, this header must stay free of net's .cpp symbols:
+// net links obs, not the other way around, so only net's inline headers
+// (SimTime) appear here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/time.hpp"
+
+namespace obs {
+
+/// One hop-level event in a message's causal span.
+struct SpanEvent {
+  enum class Kind : std::uint8_t {
+    kSend,     ///< message handed to the network
+    kDeliver,  ///< message arrived at its destination endpoint
+    kHold,     ///< message parked in a partition queue (channel down)
+    kDrop,     ///< message lost (channel down with drop-when-down)
+  };
+
+  std::uint64_t trace_id = 0;
+  net::SimTime sim_time;
+  Kind kind = Kind::kSend;
+  std::string from;     ///< sending endpoint name
+  std::string to;       ///< receiving endpoint name
+  std::string message;  ///< Message::describe()
+};
+
+[[nodiscard]] std::string_view to_string(SpanEvent::Kind kind);
+
+/// Receives every span event the network records. Implementations must not
+/// send messages from record() (re-entrancy on the network is undefined).
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void record(const SpanEvent& event) = 0;
+};
+
+/// Streams each event as one JSON object per line (see schema above).
+class JsonlSpanSink final : public SpanSink {
+ public:
+  /// The stream must outlive the sink.
+  explicit JsonlSpanSink(std::ostream& os) : os_(&os) {}
+  void record(const SpanEvent& event) override;
+
+ private:
+  std::ostream* os_;
+};
+
+/// Keeps every event in memory; for tests and small runs.
+class MemorySpanSink final : public SpanSink {
+ public:
+  void record(const SpanEvent& event) override;
+  [[nodiscard]] const std::vector<SpanEvent>& events() const {
+    return events_;
+  }
+  /// All events of one causal chain, in recording order.
+  [[nodiscard]] std::vector<SpanEvent> events_for(std::uint64_t trace_id) const;
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<SpanEvent> events_;
+};
+
+/// Bounded ring of the most recent events — a crash/debug flight recorder
+/// that can run always-on in long simulations. dump() writes the retained
+/// window as JSONL, oldest first.
+class FlightRecorderSink final : public SpanSink {
+ public:
+  explicit FlightRecorderSink(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void record(const SpanEvent& event) override;
+  void dump(std::ostream& os) const;
+
+  [[nodiscard]] const std::deque<SpanEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t evicted_ = 0;
+  std::deque<SpanEvent> events_;
+};
+
+namespace detail {
+/// Shared JSONL rendering used by JsonlSpanSink and FlightRecorderSink.
+void write_span_jsonl(const SpanEvent& event, std::ostream& os);
+}  // namespace detail
+
+}  // namespace obs

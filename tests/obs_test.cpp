@@ -1,15 +1,19 @@
-// Tests for the observability layer: the metrics registry / snapshots and
-// the structured trace sinks (ring buffer, JSONL, level gating, sim-time
-// stamping from an attached EventQueue clock).
+// Tests for the observability layer: the metrics registry / snapshots,
+// latency histograms, causal span sinks, and the structured trace sinks
+// (ring buffer, JSONL, level gating, sim-time stamping from an attached
+// EventQueue clock).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <string>
 
 #include "net/event.hpp"
 #include "net/log.hpp"
 #include "net/time.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace obs {
@@ -82,6 +86,202 @@ TEST(Metrics, WriteCsvListsEveryInstrument) {
   const std::string csv = out.str();
   EXPECT_NE(csv.find("a.b_c"), std::string::npos);
   EXPECT_NE(csv.find("d.e"), std::string::npos);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(Histogram, EmptyHistogramReportsZeroEverywhere) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  const HistogramStats stats = h.stats();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.p50, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+}
+
+TEST(Histogram, SingleSampleQuantilesAreExact) {
+  // Quantiles clamp to [min, max], so one sample answers exactly itself at
+  // every quantile despite the log-bucket approximation.
+  Histogram h;
+  h.observe(0.037);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.037);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.037);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.037);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.037);
+}
+
+TEST(Histogram, BucketIndexFollowsLog2Scheme) {
+  // Bucket 0 holds [0, 1ns); bucket i >= 1 holds [1ns * 2^(i-1), 1ns * 2^i).
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(0.5e-9), 0);
+  EXPECT_EQ(Histogram::bucket_index(1e-9), 1);
+  EXPECT_EQ(Histogram::bucket_index(1.9e-9), 1);
+  EXPECT_EQ(Histogram::bucket_index(2e-9), 2);
+  // A value exactly on a boundary lands in the bucket it opens.
+  for (int i = 1; i < 40; ++i) {
+    const double bound = 1e-9 * std::ldexp(1.0, i - 1);
+    EXPECT_EQ(Histogram::bucket_index(bound), i) << "boundary 2^" << (i - 1);
+  }
+  // Out-of-range values saturate rather than index out of bounds.
+  EXPECT_EQ(Histogram::bucket_index(1e30), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_index(-4.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0);
+}
+
+TEST(Histogram, QuantilesClampToObservedRange) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(0.010);
+  // Every sample shares one bucket; interpolation inside the bucket must
+  // not invent values outside [min, max].
+  EXPECT_DOUBLE_EQ(h.quantile(0.01), 0.010);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 0.010);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.010);
+  EXPECT_DOUBLE_EQ(h.min(), 0.010);
+  EXPECT_DOUBLE_EQ(h.max(), 0.010);
+}
+
+TEST(Histogram, QuantilesOrderAcrossDecades) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(0.001);   // 90% fast
+  for (int i = 0; i < 10; ++i) h.observe(1.0);     // 10% slow tail
+  const HistogramStats stats = h.stats();
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_NEAR(stats.sum, 10.09, 1e-9);
+  // p50 sits in the fast bucket, p95/p99 in the tail bucket; the log
+  // buckets bound the error to a factor of two.
+  EXPECT_LT(stats.p50, 0.002);
+  EXPECT_GT(stats.p95, 0.5);
+  EXPECT_LE(stats.p95, 1.0);
+  EXPECT_LE(stats.p50, stats.p95);
+  EXPECT_LE(stats.p95, stats.p99);
+  EXPECT_DOUBLE_EQ(stats.min, 0.001);
+  EXPECT_DOUBLE_EQ(stats.max, 1.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.observe(1.0);
+  h.observe(2.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Metrics, HistogramRegistersLikeOtherInstruments) {
+  Metrics m;
+  Histogram& a = m.histogram("net.delivery_latency");
+  Histogram& b = m.histogram("net.delivery_latency");
+  EXPECT_EQ(&a, &b);
+  a.observe(0.25);
+  m.counter("x.y").inc();
+  EXPECT_EQ(m.instrument_count(), 2u);
+
+  const Snapshot snap = m.snapshot(3.0);
+  const HistogramStats stats = snap.histogram_stats("net.delivery_latency");
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.p50, 0.25);
+  // Absent histograms read as zero stats, mirroring counter_value().
+  EXPECT_EQ(snap.histogram_stats("no.such").count, 0u);
+}
+
+TEST(Metrics, WriteJsonAndJsonlIncludeHistograms) {
+  Metrics m;
+  m.histogram("bgmp.join_propagation_latency").observe(0.04);
+  std::ostringstream pretty;
+  m.snapshot(1.0).write_json(pretty);
+  const std::string json = pretty.str();
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"bgmp.join_propagation_latency\""),
+            std::string::npos);
+  for (const char* field : {"count", "sum", "min", "max", "p50", "p95",
+                            "p99"}) {
+    EXPECT_NE(json.find("\"" + std::string(field) + "\""), std::string::npos)
+        << field;
+  }
+
+  std::ostringstream compact;
+  m.snapshot(1.0).write_jsonl(compact);
+  const std::string line = compact.str();
+  // One JSON object per line: exactly one newline, at the end.
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+  EXPECT_NE(line.find("\"histograms\":{"), std::string::npos);
+}
+
+TEST(Metrics, WriteCsvExpandsHistogramRows) {
+  Metrics m;
+  m.histogram("masc.claim_grant_latency").observe(2.0);
+  std::ostringstream out;
+  m.snapshot().write_csv(out);
+  const std::string csv = out.str();
+  for (const char* suffix : {".count", ".sum", ".min", ".max", ".p50",
+                             ".p95", ".p99"}) {
+    EXPECT_NE(csv.find("masc.claim_grant_latency" + std::string(suffix)),
+              std::string::npos)
+        << suffix;
+  }
+  EXPECT_NE(csv.find("histogram"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ Spans
+
+SpanEvent make_span(std::uint64_t trace_id, SpanEvent::Kind kind) {
+  SpanEvent ev;
+  ev.trace_id = trace_id;
+  ev.sim_time = net::SimTime::milliseconds(1500);
+  ev.kind = kind;
+  ev.from = "D1/bgmp";
+  ev.to = "D2/bgmp";
+  ev.message = "JOIN (*,G)";
+  return ev;
+}
+
+TEST(Spans, MemorySinkFiltersByTraceId) {
+  MemorySpanSink sink;
+  sink.record(make_span(1, SpanEvent::Kind::kSend));
+  sink.record(make_span(2, SpanEvent::Kind::kSend));
+  sink.record(make_span(1, SpanEvent::Kind::kDeliver));
+  EXPECT_EQ(sink.events().size(), 3u);
+  const auto one = sink.events_for(1);
+  ASSERT_EQ(one.size(), 2u);
+  EXPECT_EQ(one[0].kind, SpanEvent::Kind::kSend);
+  EXPECT_EQ(one[1].kind, SpanEvent::Kind::kDeliver);
+  sink.clear();
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(Spans, JsonlSinkEmitsDocumentedSchema) {
+  std::ostringstream out;
+  JsonlSpanSink sink(out);
+  sink.record(make_span(7, SpanEvent::Kind::kSend));
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"trace_id\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"sim_time_seconds\":1.500000000"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"send\""), std::string::npos);
+  EXPECT_NE(line.find("\"from\":\"D1/bgmp\""), std::string::npos);
+  EXPECT_NE(line.find("\"to\":\"D2/bgmp\""), std::string::npos);
+  EXPECT_NE(line.find("\"message\":\"JOIN (*,G)\""), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(Spans, FlightRecorderEvictsOldestAtCapacity) {
+  FlightRecorderSink recorder(2);
+  recorder.record(make_span(1, SpanEvent::Kind::kSend));
+  recorder.record(make_span(2, SpanEvent::Kind::kSend));
+  recorder.record(make_span(3, SpanEvent::Kind::kSend));
+  EXPECT_EQ(recorder.evicted(), 1u);
+  ASSERT_EQ(recorder.events().size(), 2u);
+  EXPECT_EQ(recorder.events().front().trace_id, 2u);
+  EXPECT_EQ(recorder.events().back().trace_id, 3u);
+  std::ostringstream out;
+  recorder.dump(out);
+  EXPECT_EQ(out.str().find("\"trace_id\":1"), std::string::npos);
+  EXPECT_NE(out.str().find("\"trace_id\":3"), std::string::npos);
 }
 
 // ----------------------------------------------------------------- Tracer
