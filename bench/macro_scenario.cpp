@@ -1,0 +1,349 @@
+// M2: macro benchmark — the full MASC → MAAS → BGP → BGMP pipeline at
+// scale. Builds a backbone ring of top-level domains with customer
+// children, runs the claim–collide exchange for every child, creates
+// groups, joins members from remote domains, and pushes data down the
+// trees. Reports wall time, simulated events, and the protocol message
+// economy (the number a batching change must move) as JSON.
+//
+// Usage:
+//   macro_scenario [--domains N] [--groups G] [--joins J] [--seed S]
+//                  [--out FILE] [--check BASELINE] [--tolerance FRAC]
+//
+// --check compares this run against a previously emitted JSON file: with
+// matching parameters the converged RIB digest must match exactly, and
+// the deterministic work counters (events run, messages sent, BGP
+// updates) may grow at most FRAC (default 0.25) before the exit code
+// turns nonzero. Wall-clock throughput is reported but not gated — it is
+// a property of the host, not of the code under test.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgp/speaker.hpp"
+#include "core/domain.hpp"
+#include "core/internet.hpp"
+#include "net/prefix.hpp"
+#include "net/rng.hpp"
+
+namespace {
+
+struct Params {
+  int domains = 64;
+  int groups = 32;
+  int joins = 4;  // member domains per group
+  std::uint64_t seed = 1;
+  std::string out;
+  std::string check;
+  double tolerance = 0.25;
+};
+
+struct Results {
+  Params params;
+  double wall_seconds = 0.0;
+  std::uint64_t events_run = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bgp_updates_sent = 0;
+  std::uint64_t bgmp_joins_sent = 0;
+  std::uint64_t claims_granted = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t grib_entries_total = 0;
+  std::uint64_t rib_digest = 0;  // FNV-1a over every domain's final RIBs
+  double events_per_second = 0.0;
+  double items_per_second = 0.0;  // protocol ops (claims+joins+deliveries)
+};
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001B3ull;
+}
+
+// Digest of the converged routing state: every domain's unicast RIB and
+// G-RIB best routes, in address order. Two runs that converge to the same
+// tables produce the same digest regardless of how many messages it took.
+std::uint64_t rib_digest(core::Internet& net) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t i = 0; i < net.domain_count(); ++i) {
+    core::Domain& d = net.domain(i);
+    for (const bgp::RouteType type :
+         {bgp::RouteType::kUnicast, bgp::RouteType::kGroup}) {
+      d.speaker().rib(type).for_each_best(
+          [&](const net::Prefix& p, const bgp::Candidate& c) {
+            fnv_mix(h, p.base().value());
+            fnv_mix(h, static_cast<std::uint64_t>(p.length()));
+            fnv_mix(h, c.route.origin_as);
+            fnv_mix(h, c.route.as_path.size());
+          });
+    }
+  }
+  return h;
+}
+
+Results run_scenario(const Params& params) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  core::Internet net(params.seed);
+  const int tops = std::max(2, params.domains / 8);
+  std::vector<core::Domain*> top_domains;
+  std::vector<core::Domain*> children;
+  for (int i = 0; i < params.domains; ++i) {
+    const bool is_top = i < tops;
+    core::Domain& d = net.add_domain(
+        {.id = static_cast<bgp::DomainId>(i + 1),
+         .name = (is_top ? "T" : "C") + std::to_string(i + 1)});
+    d.announce_unicast();
+    (is_top ? top_domains : children).push_back(&d);
+  }
+  // Backbone ring of top-level domains; children hang off them
+  // round-robin as customers and MASC children.
+  for (int i = 0; i < tops; ++i) {
+    net.link(*top_domains[i], *top_domains[(i + 1) % tops]);
+    if (tops > 2 && i + 2 < tops) {  // chords shorten paths
+      net.link(*top_domains[i], *top_domains[i + 2]);
+    }
+  }
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    core::Domain& parent = *top_domains[i % tops];
+    net.link(parent, *children[i], bgp::Relationship::kCustomer);
+    net.masc_parent(*children[i], parent);
+  }
+  // Top-level domains all claim from the shared 224/4, so each must hear
+  // the others' claims: a full sibling mesh (§4.4's exchange-point role).
+  for (int i = 0; i < tops; ++i) {
+    for (int j = i + 1; j < tops; ++j) {
+      net.masc_siblings(*top_domains[i], *top_domains[j]);
+    }
+  }
+
+  // Phase 1: address claiming. Top-level domains carve 224/4 between
+  // themselves (collisions resolved by the waiting period); every child
+  // then claims a /24 out of its parent's range.
+  for (core::Domain* t : top_domains) {
+    t->masc_node().set_spaces({net::multicast_space()});
+    t->masc_node().request_space(65536);
+  }
+  net.settle();
+  for (core::Domain* c : children) c->masc_node().request_space(256);
+  net.settle();
+
+  // Phase 2: group lifetime. Children lease groups from their MAAS,
+  // remote domains join, the initiator sends one packet per group.
+  net::Rng rng(params.seed * 7919 + 17);
+  struct Live {
+    core::Domain* root;
+    core::Group group;
+  };
+  std::vector<Live> live;
+  for (int g = 0; g < params.groups && !children.empty(); ++g) {
+    core::Domain* initiator = children[g % children.size()];
+    auto lease = initiator->create_group();
+    if (!lease.has_value()) {
+      net.settle();  // claim path is asynchronous; retry once settled
+      lease = initiator->create_group();
+    }
+    if (lease.has_value()) live.push_back({initiator, lease->address});
+  }
+  net.settle();
+  for (const Live& l : live) {
+    for (int j = 0; j < params.joins; ++j) {
+      const auto pick = rng.uniform_int(0, params.domains - 1);
+      core::Domain& member = net.domain(static_cast<std::size_t>(pick));
+      if (&member != l.root) member.host_join(l.group);
+    }
+  }
+  net.settle();
+  for (const Live& l : live) l.root->send(l.group);
+  net.settle();
+
+  // Phase 3: backbone perturbation. Flapping a ring link withdraws every
+  // route carried over it and, on recovery, resyncs whole tables — the
+  // mass-reselection fallout that dominates real BGP message load.
+  for (int i = 0; i + 1 < tops; i += 2) {
+    net.set_link_state(*top_domains[i], *top_domains[i + 1], false);
+    net.settle();
+    net.set_link_state(*top_domains[i], *top_domains[i + 1], true);
+    net.settle();
+  }
+
+  const auto snap = net.metrics_snapshot();
+  Results r;
+  r.params = params;
+  r.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  r.events_run = net.events().events_run();
+  r.messages_sent = snap.counter_value("net.messages_sent");
+  r.bgp_updates_sent = snap.counter_value("bgp.updates_sent");
+  r.bgmp_joins_sent = snap.counter_value("bgmp.joins_sent");
+  r.claims_granted = snap.counter_value("masc.claims_granted");
+  r.deliveries = snap.counter_value("core.deliveries");
+  for (std::size_t i = 0; i < net.domain_count(); ++i) {
+    r.grib_entries_total +=
+        net.domain(i).speaker().rib(bgp::RouteType::kGroup).size();
+  }
+  r.rib_digest = rib_digest(net);
+  r.events_per_second =
+      static_cast<double>(r.events_run) / r.wall_seconds;
+  const auto items = r.claims_granted + r.bgmp_joins_sent + r.deliveries;
+  r.items_per_second = static_cast<double>(items) / r.wall_seconds;
+  return r;
+}
+
+void write_json(const Results& r, std::ostream& os) {
+  os << "{\n"
+     << "  \"bench\": \"macro_scenario\",\n"
+     << "  \"params\": {\"domains\": " << r.params.domains
+     << ", \"groups\": " << r.params.groups
+     << ", \"joins\": " << r.params.joins << ", \"seed\": " << r.params.seed
+     << "},\n"
+     << "  \"wall_seconds\": " << r.wall_seconds << ",\n"
+     << "  \"events_run\": " << r.events_run << ",\n"
+     << "  \"events_per_second\": " << r.events_per_second << ",\n"
+     << "  \"items_per_second\": " << r.items_per_second << ",\n"
+     << "  \"messages_sent\": " << r.messages_sent << ",\n"
+     << "  \"bgp_updates_sent\": " << r.bgp_updates_sent << ",\n"
+     << "  \"bgmp_joins_sent\": " << r.bgmp_joins_sent << ",\n"
+     << "  \"claims_granted\": " << r.claims_granted << ",\n"
+     << "  \"deliveries\": " << r.deliveries << ",\n"
+     << "  \"grib_entries_total\": " << r.grib_entries_total << ",\n"
+     << "  \"rib_digest\": " << r.rib_digest << "\n"
+     << "}\n";
+}
+
+// Minimal field scraper for our own flat JSON schema — keeps the
+// regression check self-contained (no JSON library, no python).
+bool scrape(const std::string& text, const std::string& key, double& out) {
+  const auto at = text.find('"' + key + '"');
+  if (at == std::string::npos) return false;
+  const auto colon = text.find(':', at);
+  if (colon == std::string::npos) return false;
+  out = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+int check_against(const Results& now, const std::string& path,
+                  double tolerance) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "macro_scenario: cannot read baseline " << path << "\n";
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string base = buf.str();
+
+  int failures = 0;
+  const auto exact = [&](const char* key, std::uint64_t current) {
+    double expected = 0.0;
+    if (!scrape(base, key, expected)) {
+      std::cerr << "macro_scenario: baseline lacks \"" << key << "\"\n";
+      ++failures;
+      return;
+    }
+    if (static_cast<double>(current) != expected) {
+      std::cerr << "macro_scenario: " << key << " diverged: baseline "
+                << static_cast<std::uint64_t>(expected) << ", now "
+                << current << "\n";
+      ++failures;
+    }
+  };
+  // Deterministic (hardware-independent) quantities: the message economy
+  // may grow at most `tolerance` before the check fails.
+  const auto bounded = [&](const char* key, std::uint64_t current) {
+    double expected = 0.0;
+    if (!scrape(base, key, expected)) {
+      std::cerr << "macro_scenario: baseline lacks \"" << key << "\"\n";
+      ++failures;
+      return;
+    }
+    if (static_cast<double>(current) > expected * (1.0 + tolerance)) {
+      std::cerr << "macro_scenario: " << key << " regressed > "
+                << tolerance * 100 << "%: baseline "
+                << static_cast<std::uint64_t>(expected) << ", now " << current
+                << "\n";
+      ++failures;
+    }
+  };
+  double p = 0.0;
+  const bool same_shape =
+      scrape(base, "domains", p) && static_cast<int>(p) == now.params.domains &&
+      scrape(base, "groups", p) && static_cast<int>(p) == now.params.groups &&
+      scrape(base, "joins", p) && static_cast<int>(p) == now.params.joins &&
+      scrape(base, "seed", p) &&
+      static_cast<std::uint64_t>(p) == now.params.seed;
+  if (same_shape) {
+    // Converged state must be reproduced bit-for-bit…
+    exact("grib_entries_total", now.grib_entries_total);
+    exact("rib_digest", now.rib_digest);
+    // …while the work done to get there may drift a little under
+    // legitimate changes, but not regress past the tolerance.
+    bounded("events_run", now.events_run);
+    bounded("messages_sent", now.messages_sent);
+    bounded("bgp_updates_sent", now.bgp_updates_sent);
+  } else {
+    std::cerr << "macro_scenario: baseline parameters differ; "
+                 "skipping deterministic checks\n";
+  }
+  // Wall-clock throughput varies with the host; report, don't gate.
+  double base_eps = 0.0;
+  if (scrape(base, "events_per_second", base_eps) && base_eps > 0.0) {
+    std::cerr << "macro_scenario: throughput " << now.events_per_second
+              << " events/s vs baseline " << base_eps << " ("
+              << (now.events_per_second / base_eps) << "x)\n";
+  }
+  if (failures == 0) {
+    std::cerr << "macro_scenario: within baseline (" << path << ")\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Params params;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "macro_scenario: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--domains") {
+      params.domains = std::atoi(next());
+    } else if (arg == "--groups") {
+      params.groups = std::atoi(next());
+    } else if (arg == "--joins") {
+      params.joins = std::atoi(next());
+    } else if (arg == "--seed") {
+      params.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--out") {
+      params.out = next();
+    } else if (arg == "--check") {
+      params.check = next();
+    } else if (arg == "--tolerance") {
+      params.tolerance = std::strtod(next(), nullptr);
+    } else {
+      std::cerr << "macro_scenario: unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const Results r = run_scenario(params);
+  write_json(r, std::cout);
+  if (!params.out.empty()) {
+    std::ofstream out(params.out);
+    write_json(r, out);
+  }
+  if (!params.check.empty()) {
+    return check_against(r, params.check, params.tolerance);
+  }
+  return 0;
+}

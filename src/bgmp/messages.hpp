@@ -11,6 +11,8 @@ namespace bgmp {
 
 /// Group join/prune ((*,G)) and source-specific join/prune ((S,G)).
 struct ControlMessage final : net::Message {
+  ControlMessage() : net::Message(net::MessageKind::kBgmpControl) {}
+
   enum class Kind : std::uint8_t {
     kJoinGroup,
     kPruneGroup,
@@ -36,6 +38,8 @@ struct ControlMessage final : net::Message {
 /// forwarding — the resolution this library adopts for the duplication
 /// scenarios the paper's footnote 10 leaves open.
 struct DataMessage final : net::Message {
+  DataMessage() : net::Message(net::MessageKind::kBgmpData) {}
+
   net::Ipv4Addr source;
   Group group;
   int hops = 0;

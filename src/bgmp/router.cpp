@@ -397,14 +397,20 @@ void Router::on_message(net::ChannelId channel,
   if (peer == nullptr) {
     throw std::logic_error(name_ + ": message on unknown channel");
   }
-  if (const auto* control = dynamic_cast<const ControlMessage*>(msg.get())) {
-    handle_control(*control, TargetKey::external(peer->router));
-  } else if (const auto* data = dynamic_cast<const DataMessage*>(msg.get())) {
-    handle_data(data->source, data->group, data->hops,
-                Arrival{Arrival::Kind::kExternal, peer->router},
-                data->branch_copy);
-  } else {
-    throw std::logic_error(name_ + ": unexpected message type");
+  switch (msg->kind) {
+    case net::MessageKind::kBgmpControl:
+      handle_control(static_cast<const ControlMessage&>(*msg),
+                     TargetKey::external(peer->router));
+      break;
+    case net::MessageKind::kBgmpData: {
+      const auto& data = static_cast<const DataMessage&>(*msg);
+      handle_data(data.source, data.group, data.hops,
+                  Arrival{Arrival::Kind::kExternal, peer->router},
+                  data.branch_copy);
+      break;
+    }
+    default:
+      throw std::logic_error(name_ + ": unexpected message type");
   }
 }
 

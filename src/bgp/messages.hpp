@@ -1,7 +1,7 @@
 // BGP update messages exchanged over peering channels.
 #pragma once
 
-#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,17 +11,27 @@
 
 namespace bgp {
 
-/// An UPDATE: announcements and withdrawals for one route type. (Real BGP
-/// multiplexes AFIs inside one message; one type per message is equivalent
-/// and simpler to trace.)
+/// An UPDATE carrying a batch of route deltas. A speaker coalesces all the
+/// reselection fallout of one received update (or one local originate/
+/// withdraw, or one session establishment) into at most one UpdateMessage
+/// per peer, so propagating n prefixes costs one message, not n. (Real BGP
+/// packs updates the same way: many NLRI per message.)
 struct UpdateMessage final : net::Message {
-  RouteType type = RouteType::kUnicast;
-  std::vector<Route> announcements;
-  std::vector<net::Prefix> withdrawals;
-  /// When the routing change this update propagates was originated
-  /// (carried across re-advertisements), so receivers can record
-  /// bgp.route_convergence_latency. Negative = unset.
-  net::SimTime origin_time = net::SimTime::nanoseconds(-1);
+  UpdateMessage() : net::Message(net::MessageKind::kBgpUpdate) {}
+
+  /// One announcement (route set) or withdrawal (route empty) for one
+  /// prefix of one view. Each delta carries its own origination stamp, so
+  /// batching never smears bgp.route_convergence_latency samples: the
+  /// receiver scopes each delta's origin_time individually.
+  struct Delta {
+    RouteType type = RouteType::kUnicast;
+    net::Prefix prefix;
+    std::optional<Route> route;  ///< empty = withdrawal
+    /// When the routing change this delta propagates was originated
+    /// (carried across re-advertisements). Negative = unset.
+    net::SimTime origin_time = net::SimTime::nanoseconds(-1);
+  };
+  std::vector<Delta> deltas;
 
   [[nodiscard]] std::string describe() const override;
 };

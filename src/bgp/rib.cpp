@@ -62,24 +62,25 @@ std::optional<std::pair<net::Prefix, const Candidate*>> Rib::longest_match(
 }
 
 RibEntry& Rib::entry(const net::Prefix& prefix) {
-  RibEntry* existing = trie_.find(prefix);
-  if (existing != nullptr) return *existing;
-  trie_.insert(prefix, RibEntry{});
-  return *trie_.find(prefix);
+  // Callers take this reference to mutate, so bump the version
+  // pessimistically: a spurious bump only costs a cache refill.
+  ++version_;
+  return trie_.get_or_insert(prefix);
 }
 
 void Rib::erase_if_empty(const net::Prefix& prefix) {
   const RibEntry* existing = trie_.find(prefix);
-  if (existing != nullptr && existing->empty()) trie_.erase(prefix);
+  if (existing != nullptr && existing->empty()) {
+    trie_.erase(prefix);
+    ++version_;
+  }
 }
 
 std::vector<std::pair<net::Prefix, Route>> Rib::best_routes() const {
   std::vector<std::pair<net::Prefix, Route>> out;
   out.reserve(trie_.size());
-  trie_.for_each([&](const net::Prefix& p, const RibEntry& entry) {
-    if (const Candidate* best = entry.best()) {
-      out.emplace_back(p, best->route);
-    }
+  for_each_best([&](const net::Prefix& p, const Candidate& best) {
+    out.emplace_back(p, best.route);
   });
   return out;
 }

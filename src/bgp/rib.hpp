@@ -81,15 +81,41 @@ class Rib {
   longest_match(net::Ipv4Addr addr) const;
 
   /// Mutating access used by the speaker. Creates the entry on demand.
+  /// Any call counts as a table mutation (see version()).
   RibEntry& entry(const net::Prefix& prefix);
   /// Erases the entry if it has no candidates left.
   void erase_if_empty(const net::Prefix& prefix);
+
+  /// Monotonic mutation counter: bumped whenever the table might have
+  /// changed (entry access for write, entry erase). Lookup caches compare
+  /// it to decide whether their cached results are still valid.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Read-only traversal of (prefix, best candidate) in address order —
+  /// the copy-free path for snapshots, exports and metrics refreshes.
+  template <typename Fn>
+  void for_each_best(Fn&& fn) const {
+    trie_.for_each([&](const net::Prefix& p, const RibEntry& entry) {
+      if (const Candidate* best = entry.best()) fn(p, *best);
+    });
+  }
+
+  /// Same, restricted to entries (non-strictly) inside `within` — a
+  /// subtree walk, not a table scan.
+  template <typename Fn>
+  void for_each_best_within(const net::Prefix& within, Fn&& fn) const {
+    trie_.for_each_within(
+        within, [&](const net::Prefix& p, const RibEntry& entry) {
+          if (const Candidate* best = entry.best()) fn(p, *best);
+        });
+  }
 
   [[nodiscard]] std::vector<std::pair<net::Prefix, Route>> best_routes()
       const;
 
  private:
   net::PrefixTrie<RibEntry> trie_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace bgp

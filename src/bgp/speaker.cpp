@@ -25,9 +25,13 @@ std::string Route::describe() const {
 }
 
 std::string UpdateMessage::describe() const {
-  std::string out = std::string("UPDATE ") + to_string(type);
-  for (const Route& r : announcements) out += " +" + r.prefix.to_string();
-  for (const net::Prefix& p : withdrawals) out += " -" + p.to_string();
+  std::string out = "UPDATE";
+  for (const Delta& d : deltas) {
+    out += d.route.has_value() ? " +" : " -";
+    out += d.prefix.to_string();
+    out += '/';
+    out += to_string(d.type);
+  }
   return out;
 }
 
@@ -84,6 +88,7 @@ void Speaker::originate(RouteType type, const net::Prefix& prefix) {
   if (origins.contains(prefix)) return;
   // This call starts a routing change: stamp the updates it triggers.
   const OriginScope scope(*this, network_.events().now(), /*remote=*/false);
+  const BatchScope batch(*this);
   origins.insert(prefix, true);
   metrics_.routes_originated->inc();
   Candidate local;
@@ -103,6 +108,7 @@ void Speaker::withdraw(RouteType type, const net::Prefix& prefix) {
   auto& origins = origins_[static_cast<std::size_t>(type)];
   if (!origins.erase(prefix)) return;
   const OriginScope scope(*this, network_.events().now(), /*remote=*/false);
+  const BatchScope batch(*this);
   RibEntry& entry = rib_mut(type).entry(prefix);
   if (entry.remove(kLocalPeer)) best_changed(type, prefix);
   rib_mut(type).erase_if_empty(prefix);
@@ -112,25 +118,40 @@ void Speaker::withdraw(RouteType type, const net::Prefix& prefix) {
 void Speaker::set_aggregation(bool enabled) {
   if (aggregation_ == enabled) return;
   aggregation_ = enabled;
+  const BatchScope batch(*this);
   for (Peer& peer : peers_) full_sync(peer);
 }
 
 std::optional<LookupResult> Speaker::lookup(RouteType type,
                                             net::Ipv4Addr addr) const {
-  const auto hit = rib(type).longest_match(addr);
-  if (!hit) return std::nullopt;
-  const Candidate& best = *hit->second;
-  LookupResult result;
-  result.prefix = hit->first;
-  result.route = best.route;
-  if (best.via == kLocalPeer) {
-    result.next_hop = nullptr;
-    result.internal = false;
-  } else {
-    result.next_hop = peers_[best.via].speaker;
-    result.internal = best.internal;
+  const Rib& table = rib(type);
+  // Direct-mapped cache probe, keyed by address, guarded by the table's
+  // mutation counter (any rib change makes every cached slot stale).
+  LookupCacheSlot& slot =
+      lookup_cache_[static_cast<std::size_t>(type)]
+                   [(addr.value() * 0x9E3779B9u) >> 28];
+  if (slot.version == table.version() && slot.addr == addr) {
+    return slot.result;
   }
-  return result;
+  std::optional<LookupResult> out;
+  if (const auto hit = table.longest_match(addr)) {
+    const Candidate& best = *hit->second;
+    LookupResult result;
+    result.prefix = hit->first;
+    result.route = best.route;
+    if (best.via == kLocalPeer) {
+      result.next_hop = nullptr;
+      result.internal = false;
+    } else {
+      result.next_hop = peers_[best.via].speaker;
+      result.internal = best.internal;
+    }
+    out = std::move(result);
+  }
+  slot.addr = addr;
+  slot.version = table.version();
+  slot.result = out;
+  return out;
 }
 
 std::vector<Speaker*> Speaker::peers() const {
@@ -150,25 +171,28 @@ std::optional<Relationship> Speaker::relationship_with(
 
 void Speaker::on_message(net::ChannelId channel,
                          std::unique_ptr<net::Message> msg) {
-  const auto* update = dynamic_cast<const UpdateMessage*>(msg.get());
-  if (update == nullptr) {
+  if (msg->kind != net::MessageKind::kBgpUpdate) {
     throw std::logic_error("Speaker: unexpected message type");
   }
-  handle_update(peer_by_channel(channel), *update);
+  handle_update(peer_by_channel(channel),
+                static_cast<const UpdateMessage&>(*msg));
 }
 
 void Speaker::on_channel_down(net::ChannelId channel) {
   const PeerIndex index = peer_by_channel(channel);
   Peer& peer = peers_[index];
+  // Whatever the dead session had not flushed yet dies with it.
+  peer.pending.clear();
+  const BatchScope batch(*this);
   for (int t = 0; t < kRouteTypeCount; ++t) {
     const auto type = static_cast<RouteType>(t);
     // Flush the Adj-RIB-In from this peer; best-route changes cascade.
-    std::vector<net::Prefix> learned;
     Rib& table = rib_mut(type);
-    for (const auto& [prefix, route] : table.best_routes()) {
-      (void)route;
+    std::vector<net::Prefix> learned;
+    learned.reserve(table.size());
+    table.for_each_best([&](const net::Prefix& prefix, const Candidate&) {
       learned.push_back(prefix);
-    }
+    });
     for (const net::Prefix& prefix : learned) {
       RibEntry& entry = table.entry(prefix);
       if (entry.remove(index)) best_changed(type, prefix);
@@ -185,28 +209,33 @@ void Speaker::on_channel_up(net::ChannelId channel) {
 
 void Speaker::handle_update(PeerIndex from, const UpdateMessage& update) {
   Peer& peer = peers_[from];
-  Rib& rib = rib_mut(update.type);
   metrics_.updates_received->inc();
-  // Carry the change's origin stamp through local flips (sampled in
-  // best_changed) and into any re-advertisements this handler sends.
-  const OriginScope scope(*this,
-                          update.origin_time.ns() >= 0
-                              ? update.origin_time
-                              : network_.events().now(),
-                          /*remote=*/true);
-  for (const net::Prefix& prefix : update.withdrawals) {
-    metrics_.routes_withdrawn->inc();
-    RibEntry& entry = rib.entry(prefix);
-    if (entry.remove(from)) best_changed(update.type, prefix);
-    rib.erase_if_empty(prefix);
-  }
-  for (const Route& announced : update.announcements) {
+  // Everything this delivery triggers — reselections across all deltas —
+  // coalesces into at most one outgoing update per peer.
+  const BatchScope batch(*this);
+  for (const UpdateMessage::Delta& delta : update.deltas) {
+    Rib& rib = rib_mut(delta.type);
+    // Carry each delta's own origin stamp through local flips (sampled in
+    // best_changed) and into the re-advertisements it queues.
+    const OriginScope scope(*this,
+                            delta.origin_time.ns() >= 0
+                                ? delta.origin_time
+                                : network_.events().now(),
+                            /*remote=*/true);
+    if (!delta.route.has_value()) {
+      metrics_.routes_withdrawn->inc();
+      RibEntry& entry = rib.entry(delta.prefix);
+      if (entry.remove(from)) best_changed(delta.type, delta.prefix);
+      rib.erase_if_empty(delta.prefix);
+      continue;
+    }
+    const Route& announced = *delta.route;
     metrics_.routes_announced->inc();
     RibEntry& entry = rib.entry(announced.prefix);
     // AS-path loop prevention: a route that already crossed this domain is
     // treated as unreachable via this peer.
     if (announced.contains_as(as_)) {
-      if (entry.remove(from)) best_changed(update.type, announced.prefix);
+      if (entry.remove(from)) best_changed(delta.type, announced.prefix);
       rib.erase_if_empty(announced.prefix);
       continue;
     }
@@ -222,7 +251,7 @@ void Speaker::handle_update(PeerIndex from, const UpdateMessage& update) {
     // elects one best exit domain-wide.
     candidate.exit_uid = candidate.internal ? peer.speaker->uid() : uid_;
     if (entry.upsert(std::move(candidate))) {
-      best_changed(update.type, announced.prefix);
+      best_changed(delta.type, announced.prefix);
     }
   }
 }
@@ -278,23 +307,51 @@ void Speaker::sync_peer(RouteType type, const net::Prefix& prefix,
   const std::optional<Route> desired =
       desired_advertisement(type, prefix, peer);
   const Route* current = advertised.find(prefix);
+  if (desired.has_value() ? (current != nullptr && *current == *desired)
+                          : current == nullptr) {
+    return;  // Adj-RIB-Out already agrees
+  }
+  // Queue the delta and apply it to the Adj-RIB-Out immediately, so later
+  // syncs in the same batch compute against the post-change state. The
+  // wire message goes out when the outermost batch scope flushes.
+  const auto key = std::pair(type, prefix);
+  auto it = peer.pending.find(key);
+  if (it == peer.pending.end()) {
+    it = peer.pending
+             .emplace(key,
+                      Peer::PendingDelta{
+                          current != nullptr ? std::optional<Route>(*current)
+                                             : std::nullopt,
+                          std::nullopt, net::SimTime::nanoseconds(-1)})
+             .first;
+  }
+  it->second.latest = desired;
+  it->second.origin_time =
+      update_origin_.ns() >= 0 ? update_origin_ : network_.events().now();
   if (desired.has_value()) {
-    if (current != nullptr && *current == *desired) return;
     advertised.insert(prefix, *desired);
-    auto update = std::make_unique<UpdateMessage>();
-    update->type = type;
-    update->announcements.push_back(*desired);
-    update->origin_time = update_origin_.ns() >= 0 ? update_origin_
-                                                   : network_.events().now();
-    metrics_.updates_sent->inc();
-    network_.send(peer.channel, *this, std::move(update));
-  } else if (current != nullptr) {
+  } else {
     advertised.erase(prefix);
+  }
+}
+
+void Speaker::flush_updates() {
+  for (Peer& peer : peers_) {
+    if (peer.pending.empty()) continue;
+    if (!network_.is_up(peer.channel)) {
+      // Session went away mid-batch; channel-up reconciles via full sync.
+      peer.pending.clear();
+      continue;
+    }
     auto update = std::make_unique<UpdateMessage>();
-    update->type = type;
-    update->withdrawals.push_back(prefix);
-    update->origin_time = update_origin_.ns() >= 0 ? update_origin_
-                                                   : network_.events().now();
+    update->deltas.reserve(peer.pending.size());
+    for (auto& [key, pd] : peer.pending) {
+      if (pd.before == pd.latest) continue;  // churn netted out: no change
+      update->deltas.push_back(UpdateMessage::Delta{
+          key.first, key.second, std::move(pd.latest), pd.origin_time});
+    }
+    peer.pending.clear();
+    if (update->deltas.empty()) continue;
     metrics_.updates_sent->inc();
     network_.send(peer.channel, *this, std::move(update));
   }
@@ -318,30 +375,31 @@ void Speaker::sync_all_peers(RouteType type, const net::Prefix& prefix) {
 }
 
 void Speaker::full_sync(Peer& peer) {
+  const BatchScope batch(*this);
   for (int t = 0; t < kRouteTypeCount; ++t) {
     const auto type = static_cast<RouteType>(t);
     // Sync everything currently advertised (so stale entries withdraw) and
-    // everything in the loc-RIB.
+    // everything in the loc-RIB. Prefixes are collected first because
+    // sync_peer mutates the Adj-RIB-Out trie being walked.
+    auto& advertised = peer.advertised[static_cast<std::size_t>(type)];
     std::vector<net::Prefix> prefixes;
-    peer.advertised[static_cast<std::size_t>(type)].for_each(
+    prefixes.reserve(advertised.size() + rib(type).size());
+    advertised.for_each(
         [&](const net::Prefix& p, const Route&) { prefixes.push_back(p); });
-    for (const auto& [p, route] : rib(type).best_routes()) {
-      (void)route;
+    rib(type).for_each_best([&](const net::Prefix& p, const Candidate&) {
       prefixes.push_back(p);
-    }
+    });
     for (const net::Prefix& p : prefixes) sync_peer(type, p, peer);
   }
 }
 
 void Speaker::resync_specifics(RouteType type, const net::Prefix& prefix) {
-  std::vector<net::Prefix> specifics;
-  for (const auto& [p, route] : rib(type).best_routes()) {
-    (void)route;
-    if (prefix.contains(p) && p.length() > prefix.length()) {
-      specifics.push_back(p);
-    }
-  }
-  for (const net::Prefix& p : specifics) sync_all_peers(type, p);
+  // sync_all_peers only touches Adj-RIB-Outs, never the loc-RIB being
+  // walked, so no snapshot copy is needed here.
+  rib(type).for_each_best_within(
+      prefix, [&](const net::Prefix& p, const Candidate&) {
+        if (p.length() > prefix.length()) sync_all_peers(type, p);
+      });
 }
 
 }  // namespace bgp

@@ -15,9 +15,11 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/network.hpp"
@@ -126,6 +128,16 @@ class Speaker final : public net::Endpoint {
     ExportPolicy export_policy;
     /// Last route announced to this peer, per view — the Adj-RIB-Out.
     std::array<net::PrefixTrie<Route>, kRouteTypeCount> advertised;
+    /// Deltas accumulated during the current update batch (see
+    /// BatchScope). `before` snapshots the Adj-RIB-Out content when the
+    /// batch first touched the key, so churn that nets out to no wire
+    /// change is dropped at flush. Keyed map: deterministic flush order.
+    struct PendingDelta {
+      std::optional<Route> before;
+      std::optional<Route> latest;
+      net::SimTime origin_time = net::SimTime::nanoseconds(-1);
+    };
+    std::map<std::pair<RouteType, net::Prefix>, PendingDelta> pending;
   };
 
   Rib& rib_mut(RouteType type) {
@@ -156,11 +168,35 @@ class Speaker final : public net::Endpoint {
     bool prev_remote_;
   };
 
+  /// RAII update batch: while a scope is open, sync_peer() accumulates
+  /// per-peer deltas instead of sending; when the outermost scope closes,
+  /// each peer receives at most ONE UpdateMessage carrying every coalesced
+  /// delta. One received update (or one originate/withdraw, or a session
+  /// establishment's full table) therefore costs one message per peer, not
+  /// one per prefix.
+  class BatchScope {
+   public:
+    explicit BatchScope(Speaker& speaker) : speaker_(speaker) {
+      ++speaker.batch_depth_;
+    }
+    ~BatchScope() {
+      if (--speaker_.batch_depth_ == 0) speaker_.flush_updates();
+    }
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+   private:
+    Speaker& speaker_;
+  };
+
   PeerIndex add_peer(Speaker& peer, net::ChannelId channel, Relationship rel,
                      ExportPolicy export_policy);
   [[nodiscard]] PeerIndex peer_by_channel(net::ChannelId channel) const;
 
   void handle_update(PeerIndex from, const UpdateMessage& update);
+
+  /// Sends each peer's coalesced pending deltas as one UpdateMessage.
+  void flush_updates();
 
   /// Best-route change fan-out: notifies listeners and resyncs peers.
   void best_changed(RouteType type, const net::Prefix& prefix);
@@ -208,11 +244,27 @@ class Speaker final : public net::Endpoint {
   bool remote_origin_ = false;
 
   bool aggregation_ = true;
+  int batch_depth_ = 0;
   std::array<Rib, kRouteTypeCount> ribs_;
   /// Locally-originated prefixes per view.
   std::array<net::PrefixTrie<bool>, kRouteTypeCount> origins_;
   std::vector<Peer> peers_;
   std::vector<RouteChangeListener> listeners_;
+
+  /// Direct-mapped longest-match cache per view, invalidated by the RIB
+  /// version counter. BGMP resolves "the next hop toward the root domain"
+  /// through lookup() on every join/prune/data packet, usually for the
+  /// same handful of group addresses between routing changes — a 16-slot
+  /// cache absorbs that without any invalidation hooks.
+  struct LookupCacheSlot {
+    net::Ipv4Addr addr{};
+    std::uint64_t version = UINT64_MAX;  // matches no real rib version
+    std::optional<LookupResult> result;
+  };
+  static constexpr std::size_t kLookupCacheSlots = 16;
+  mutable std::array<std::array<LookupCacheSlot, kLookupCacheSlots>,
+                     kRouteTypeCount>
+      lookup_cache_;
 };
 
 }  // namespace bgp

@@ -91,19 +91,21 @@ bool MascNode::we_win(net::SimTime our_time, net::SimTime their_time,
 void MascNode::on_message(net::ChannelId channel,
                           std::unique_ptr<net::Message> msg) {
   const PeerLink& from = link(channel);
-  if (const auto* adv = dynamic_cast<const AdvertiseMessage*>(msg.get())) {
-    handle_advertise(from, *adv);
-  } else if (const auto* claim =
-                 dynamic_cast<const ClaimMessage*>(msg.get())) {
-    handle_claim(from, *claim);
-  } else if (const auto* coll =
-                 dynamic_cast<const CollisionMessage*>(msg.get())) {
-    handle_collision(from, *coll);
-  } else if (const auto* rel =
-                 dynamic_cast<const ReleaseMessage*>(msg.get())) {
-    handle_release(from, *rel);
-  } else {
-    throw std::logic_error("MascNode: unexpected message type");
+  switch (msg->kind) {
+    case net::MessageKind::kMascAdvertise:
+      handle_advertise(from, static_cast<const AdvertiseMessage&>(*msg));
+      break;
+    case net::MessageKind::kMascClaim:
+      handle_claim(from, static_cast<const ClaimMessage&>(*msg));
+      break;
+    case net::MessageKind::kMascCollision:
+      handle_collision(from, static_cast<const CollisionMessage&>(*msg));
+      break;
+    case net::MessageKind::kMascRelease:
+      handle_release(from, static_cast<const ReleaseMessage&>(*msg));
+      break;
+    default:
+      throw std::logic_error("MascNode: unexpected message type");
   }
 }
 

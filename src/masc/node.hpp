@@ -36,12 +36,14 @@ namespace masc {
 /// Parent → children: the ranges children may claim from (§4.1: "A
 /// advertises its address range … to all its children").
 struct AdvertiseMessage final : net::Message {
+  AdvertiseMessage() : net::Message(net::MessageKind::kMascAdvertise) {}
   std::vector<net::Prefix> spaces;
   [[nodiscard]] std::string describe() const override;
 };
 
 /// A claim (or renewal): propagated to the parent and siblings.
 struct ClaimMessage final : net::Message {
+  ClaimMessage() : net::Message(net::MessageKind::kMascClaim) {}
   net::Prefix prefix;
   DomainId claimant = 0;
   net::SimTime claim_time;  ///< timestamp for winner resolution
@@ -51,6 +53,7 @@ struct ClaimMessage final : net::Message {
 
 /// Collision announcement: the addressee's claim on `prefix` lost.
 struct CollisionMessage final : net::Message {
+  CollisionMessage() : net::Message(net::MessageKind::kMascCollision) {}
   net::Prefix prefix;
   DomainId winner = 0;
   [[nodiscard]] std::string describe() const override;
@@ -58,6 +61,7 @@ struct CollisionMessage final : net::Message {
 
 /// Release of a previously held claim.
 struct ReleaseMessage final : net::Message {
+  ReleaseMessage() : net::Message(net::MessageKind::kMascRelease) {}
   net::Prefix prefix;
   DomainId claimant = 0;
   [[nodiscard]] std::string describe() const override;

@@ -6,6 +6,24 @@
 
 namespace net {
 
+std::uint32_t EventQueue::allocate_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.push_back(Slot{});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::free_slot(std::uint32_t slot) {
+  // Bumping the generation on free invalidates every outstanding EventId
+  // for this tenancy immediately.
+  ++slots_[slot].generation;
+  slots_[slot].cancelled = false;
+  free_slots_.push_back(slot);
+}
+
 EventId EventQueue::schedule_at(SimTime at, Action action, const char* tag) {
   if (at < now_) {
     throw std::invalid_argument("EventQueue: scheduling in the past (" +
@@ -13,19 +31,24 @@ EventId EventQueue::schedule_at(SimTime at, Action action, const char* tag) {
                                 ")");
   }
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{at, seq, std::move(action), tag});
+  const std::uint32_t slot = allocate_slot();
+  heap_.push_back(Entry{at, seq, slot, std::move(action), tag});
   std::push_heap(heap_.begin(), heap_.end());
   heap_high_water_ = std::max(heap_high_water_, heap_.size());
-  pending_.insert(seq);
-  return EventId{seq};
+  ++live_;
+  return EventId{(static_cast<std::uint64_t>(slots_[slot].generation) << 32) |
+                 slot};
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto seq = static_cast<std::uint64_t>(id);
-  // Only mark if still pending; a stale id for an already-run event is a
-  // no-op rather than poisoning a future seq (seqs are never reused).
-  if (!pending_.contains(seq) || cancelled_.contains(seq)) return false;
-  cancelled_.insert(seq);
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  // A mismatched generation means the event already ran or was cancelled
+  // (the slot was recycled); a stale id is a no-op.
+  if (s.generation != generation_of(id) || s.cancelled) return false;
+  s.cancelled = true;
+  --live_;
   return true;
 }
 
@@ -34,8 +57,9 @@ bool EventQueue::pop_next(Entry& out) {
     std::pop_heap(heap_.begin(), heap_.end());
     Entry entry = std::move(heap_.back());
     heap_.pop_back();
-    pending_.erase(entry.seq);
-    if (cancelled_.erase(entry.seq) > 0) continue;
+    const bool cancelled = slots_[entry.slot].cancelled;
+    free_slot(entry.slot);
+    if (cancelled) continue;
     out = std::move(entry);
     return true;
   }
@@ -45,6 +69,7 @@ bool EventQueue::pop_next(Entry& out) {
 void EventQueue::run_entry(Entry& entry) {
   now_ = entry.at;
   ++events_run_;
+  --live_;
   if (!profiler_) {
     entry.action();
     return;
@@ -63,19 +88,19 @@ bool EventQueue::step() {
 }
 
 void EventQueue::run_until(SimTime deadline) {
-  Entry entry;
-  while (true) {
-    if (heap_.empty()) break;
-    // Peek: the heap front is the earliest entry, but it may be cancelled;
-    // pop_next handles that, so pop and possibly re-push.
-    if (!pop_next(entry)) break;
-    if (entry.at > deadline) {
-      // Not due yet; put it back.
-      pending_.insert(entry.seq);
-      heap_.push_back(std::move(entry));
-      std::push_heap(heap_.begin(), heap_.end());
-      break;
+  while (!heap_.empty()) {
+    // Peek: the heap front is the earliest entry. Cancelled fronts are
+    // discarded lazily; a live front beyond the deadline stays put (its
+    // EventId remains valid, so it can still be cancelled later).
+    if (slots_[heap_.front().slot].cancelled) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      free_slot(heap_.back().slot);
+      heap_.pop_back();
+      continue;
     }
+    if (heap_.front().at > deadline) break;
+    Entry entry;
+    pop_next(entry);  // cannot fail: the front is live and due
     run_entry(entry);
   }
   now_ = std::max(now_, deadline);

@@ -6,14 +6,16 @@
 #include <cstdint>
 #include <functional>
 #include <string_view>
-#include <unordered_set>
 #include <vector>
 
+#include "net/small_function.hpp"
 #include "net/time.hpp"
 
 namespace net {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Packs a slot index and a
+/// generation counter, so a stale handle (the event already ran or was
+/// cancelled) is detected in O(1) without any per-event hash-set lookups.
 enum class EventId : std::uint64_t {};
 
 /// Tag of events scheduled without one.
@@ -21,7 +23,11 @@ inline constexpr const char* kDefaultEventTag = "event";
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  /// Scheduled actions are move-only callables with inline storage: one
+  /// scheduled event costs no heap allocation unless its captures exceed
+  /// the inline buffer, and move-only captures (unique_ptr payloads) are
+  /// supported directly.
+  using Action = SmallFunction<void()>;
   /// Wall-clock profiling hook: called after each event's action with the
   /// event's tag and the wall time the action took, in seconds.
   using Profiler = std::function<void(std::string_view tag, double seconds)>;
@@ -49,10 +55,8 @@ class EventQueue {
   bool cancel(EventId id);
 
   [[nodiscard]] SimTime now() const { return now_; }
-  [[nodiscard]] std::size_t pending() const {
-    return heap_.size() - cancelled_.size();
-  }
-  [[nodiscard]] bool empty() const { return pending() == 0; }
+  [[nodiscard]] std::size_t pending() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::uint64_t events_run() const { return events_run_; }
   /// Largest heap size ever reached — the memory high-water mark of a run.
   [[nodiscard]] std::size_t heap_high_water() const {
@@ -75,6 +79,7 @@ class EventQueue {
   struct Entry {
     SimTime at;
     std::uint64_t seq = 0;  // tie-break: FIFO among equal timestamps
+    std::uint32_t slot = 0;  // cancellation slot (see slots_)
     Action action;
     const char* tag = kDefaultEventTag;  // unowned; string literal
     // std::push_heap builds a max-heap; invert so the earliest event wins.
@@ -83,6 +88,24 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+
+  /// Per-pending-event cancellation state. Slots are recycled through a
+  /// free list; the generation distinguishes a slot's successive tenants,
+  /// so a stale EventId can never cancel an unrelated later event.
+  struct Slot {
+    std::uint32_t generation = 0;
+    bool cancelled = false;
+  };
+
+  static constexpr std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(id));
+  }
+  static constexpr std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(id) >> 32);
+  }
+
+  std::uint32_t allocate_slot();
+  void free_slot(std::uint32_t slot);
 
   // Pops the earliest non-cancelled entry; false when drained.
   bool pop_next(Entry& out);
@@ -93,10 +116,11 @@ class EventQueue {
   Profiler profiler_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_run_ = 0;
+  std::size_t live_ = 0;  // scheduled minus run minus cancelled
   std::size_t heap_high_water_ = 0;
   std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> pending_;  // seqs currently in heap_
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace net

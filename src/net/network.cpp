@@ -117,13 +117,12 @@ void Network::schedule_delivery(ChannelId id, Endpoint* to,
                                 SimTime latency) {
   // Fixed per-channel latency plus FIFO event ordering keeps each direction
   // in order — the reliable in-order property BGP/BGMP expect from TCP.
-  // std::function requires copyable captures, so the unique_ptr rides in a
-  // shared_ptr wrapper until delivery.
-  auto shared = std::make_shared<std::unique_ptr<Message>>(std::move(msg));
+  // The scheduled action is a move-only SmallFunction, so the message
+  // unique_ptr rides in the closure directly with no extra allocation.
   events_.schedule_in(
       latency,
-      [this, id, to, shared, sent_at]() {
-        deliver(id, *to, std::move(*shared), sent_at);
+      [this, id, to, msg = std::move(msg), sent_at]() mutable {
+        deliver(id, *to, std::move(msg), sent_at);
       },
       "net.deliver");
 }

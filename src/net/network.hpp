@@ -24,11 +24,31 @@
 
 namespace net {
 
+/// Cheap run-time tag identifying a concrete Message type, so receivers
+/// dispatch with a switch + static_cast instead of a dynamic_cast chain
+/// per candidate type on every delivery. Each protocol message type sets
+/// its kind at construction; kOther is for ad-hoc (e.g. test) messages.
+enum class MessageKind : std::uint8_t {
+  kOther = 0,
+  kBgpUpdate,
+  kBgmpControl,
+  kBgmpData,
+  kMascAdvertise,
+  kMascClaim,
+  kMascCollision,
+  kMascRelease,
+};
+
 /// Base class for every protocol message carried by the network.
 struct Message {
+  constexpr explicit Message(MessageKind kind_in = MessageKind::kOther)
+      : kind(kind_in) {}
   virtual ~Message() = default;
   /// One-line rendering for traces.
   [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Concrete-type tag for switch-based dispatch (set at construction).
+  MessageKind kind = MessageKind::kOther;
 
   /// Causal span id (see obs/span.hpp). 0 = unassigned: send() stamps the
   /// message with the ambient trace id when sent from inside a delivery

@@ -1,14 +1,31 @@
-// Binary radix trie keyed by CIDR prefixes.
+// Path-compressed (Patricia) radix trie keyed by CIDR prefixes.
 //
 // This is the workhorse behind every routing table in the library: the BGP
 // RIB/G-RIB longest-prefix match (§4.2 — "uses its more specific G-RIB entry
 // … to direct packets to the root domain"), the MASC bookkeeping of claimed
 // ranges, and the free-space search of the claim algorithm (§4.3.3).
+//
+// Unlike a one-bit-per-level binary trie (one heap node and one pointer
+// dereference per bit), nodes here cover whole runs of bits: a node exists
+// only where a stored prefix ends or where two stored prefixes diverge, so
+// a lookup touches O(log n) nodes instead of O(32). Nodes live in one
+// contiguous pool (a vector with an index-based free list), which keeps
+// traversals cache-friendly and makes inserts allocation-free once the pool
+// has warmed up.
+//
+// Structural invariant: every node either stores a value or has two
+// children. Erase splices out the nodes this would orphan, so the trie
+// never accumulates dead interior nodes.
+//
+// T must be default-constructible and movable. References and pointers
+// returned by find()/get_or_insert()/longest_match() are invalidated by any
+// subsequent insert/erase/clear (the pool may move), like vector iterators.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
-#include <functional>
-#include <memory>
+#include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -18,105 +35,211 @@
 namespace net {
 
 /// Maps CIDR prefixes to values with exact lookup, longest-prefix match and
-/// ordered traversal. One node per distinct bit-path; O(32) per operation.
+/// ordered traversal.
 template <typename T>
 class PrefixTrie {
  public:
   /// Inserts or overwrites the value at `key`. Returns true if newly added.
   bool insert(const Prefix& key, T value) {
-    Node* node = descend_or_create(key);
-    const bool added = !node->value.has_value();
-    node->value = std::move(value);
+    invalidate_jump();
+    const std::uint32_t node = ensure_node(key);
+    Node& n = nodes_[node];
+    const bool added = !n.has_value;
+    n.has_value = true;
+    n.value = std::move(value);
     if (added) ++size_;
     return added;
   }
 
+  /// The value at `key`, default-constructing it if absent. One descent
+  /// where find-then-insert would take two.
+  T& get_or_insert(const Prefix& key) {
+    invalidate_jump();
+    const std::uint32_t node = ensure_node(key);
+    Node& n = nodes_[node];
+    if (!n.has_value) {
+      n.has_value = true;
+      ++size_;
+    }
+    return n.value;
+  }
+
   /// Removes `key`. Returns true if it was present.
   bool erase(const Prefix& key) {
-    Node* node = descend(key);
-    if (node == nullptr || !node->value.has_value()) return false;
-    node->value.reset();
+    const std::uint32_t kbase = key.base().value();
+    const int klen = key.length();
+    // Descend, recording the path for the splice fix-up below.
+    std::uint32_t path[33];
+    int sides[33];
+    int depth = 0;
+    std::uint32_t cur = root_;
+    while (cur != kNull) {
+      const Node& n = nodes_[cur];
+      if (n.len >= klen) {
+        cur = (n.len == klen && n.base == kbase) ? cur : kNull;
+        break;
+      }
+      if (!same_prefix(n.base, kbase, n.len)) return false;
+      path[depth] = cur;
+      sides[depth] = bit_at(kbase, n.len);
+      cur = n.child[sides[depth]];
+      ++depth;
+    }
+    if (cur == kNull || !nodes_[cur].has_value) return false;
+    invalidate_jump();
+    Node& n = nodes_[cur];
+    n.has_value = false;
+    n.value = T{};  // release resources held by the value now
     --size_;
-    prune_from(key);
+    const auto parent_link = [&](int d) -> std::uint32_t& {
+      return d == 0 ? root_ : nodes_[path[d - 1]].child[sides[d - 1]];
+    };
+    const int child_count =
+        (n.child[0] != kNull ? 1 : 0) + (n.child[1] != kNull ? 1 : 0);
+    if (child_count == 2) return true;  // still a valid branch node
+    if (child_count == 1) {
+      // Valueless with one child: splice the node out.
+      parent_link(depth) =
+          n.child[0] != kNull ? n.child[0] : n.child[1];
+      free_node(cur);
+      return true;
+    }
+    // Leaf: unlink it, then splice a parent this leaves as a valueless
+    // one-child node (by the invariant it had two children before).
+    parent_link(depth) = kNull;
+    free_node(cur);
+    if (depth > 0) {
+      const std::uint32_t p = path[depth - 1];
+      Node& pn = nodes_[p];
+      if (!pn.has_value) {
+        parent_link(depth - 1) =
+            pn.child[0] != kNull ? pn.child[0] : pn.child[1];
+        free_node(p);
+      }
+    }
     return true;
   }
 
   [[nodiscard]] bool contains(const Prefix& key) const {
-    const Node* node = descend(key);
-    return node != nullptr && node->value.has_value();
+    return find(key) != nullptr;
   }
 
   /// Exact-match lookup.
   [[nodiscard]] const T* find(const Prefix& key) const {
-    const Node* node = descend(key);
-    return (node != nullptr && node->value.has_value()) ? &*node->value
-                                                        : nullptr;
+    const std::uint32_t kbase = key.base().value();
+    const int klen = key.length();
+    std::uint32_t cur = root_;
+    while (cur != kNull) {
+      const Node& n = nodes_[cur];
+      if (n.len >= klen) {
+        return (n.len == klen && n.base == kbase && n.has_value) ? &n.value
+                                                                 : nullptr;
+      }
+      if (!same_prefix(n.base, kbase, n.len)) return nullptr;
+      cur = n.child[bit_at(kbase, n.len)];
+    }
+    return nullptr;
   }
   [[nodiscard]] T* find(const Prefix& key) {
     return const_cast<T*>(std::as_const(*this).find(key));
   }
 
   /// Longest stored prefix containing `addr`, with its value.
+  ///
+  /// Large tries additionally keep a level-compressed jump table over the
+  /// top address bits: one array load replaces the whole upper descent, so
+  /// a lookup touches the node pool only for the few levels below the
+  /// table. The table is rebuilt lazily after mutations (see rebuild_jump).
   [[nodiscard]] std::optional<std::pair<Prefix, const T*>> longest_match(
       Ipv4Addr addr) const {
-    const Node* node = &root_;
-    std::optional<std::pair<Prefix, const T*>> best;
-    for (int depth = 0;; ++depth) {
-      if (node->value.has_value()) {
-        best = {Prefix::containing(addr, depth), &*node->value};
+    const std::uint32_t a = addr.value();
+    std::uint32_t best = kNull;
+    std::uint32_t cur = root_;
+    if (size_ >= kJumpMinSize) {
+      if (!jump_valid_ &&
+          ++stale_lookups_ >= (jump_.size() + size_) / 64 + 32) {
+        rebuild_jump();
       }
-      if (depth == 32) break;
-      const int bit = (addr.value() >> (31 - depth)) & 1;
-      const Node* child = node->children[bit].get();
-      if (child == nullptr) break;
-      node = child;
+      if (jump_valid_) {
+        const JumpEntry e = jump_[a >> (32 - jump_bits_)];
+        best = e.best;
+        cur = e.resume;
+      }
     }
-    return best;
+    while (cur != kNull) {
+      const Node& n = nodes_[cur];
+      // A mismatch inside this node's bit run rules out its whole subtree:
+      // every stored prefix below extends these bits.
+      if (!same_prefix(n.base, a, n.len)) break;
+      if (n.has_value) best = cur;
+      if (n.len == 32) break;
+      cur = n.child[bit_at(a, n.len)];
+    }
+    if (best == kNull) return std::nullopt;
+    const Node& b = nodes_[best];
+    return {{Prefix::containing(Ipv4Addr{b.base}, b.len), &b.value}};
   }
 
   /// Longest stored prefix that (non-strictly) contains `key`.
   [[nodiscard]] std::optional<std::pair<Prefix, const T*>> longest_match(
       const Prefix& key) const {
-    const Node* node = &root_;
-    std::optional<std::pair<Prefix, const T*>> best;
-    for (int depth = 0;; ++depth) {
-      if (node->value.has_value()) {
-        best = {Prefix::containing(key.base(), depth), &*node->value};
-      }
-      if (depth == key.length()) break;
-      const int bit = (key.base().value() >> (31 - depth)) & 1;
-      const Node* child = node->children[bit].get();
-      if (child == nullptr) break;
-      node = child;
+    const std::uint32_t kbase = key.base().value();
+    const int klen = key.length();
+    const Node* best = nullptr;
+    std::uint32_t cur = root_;
+    while (cur != kNull) {
+      const Node& n = nodes_[cur];
+      if (n.len > klen || !same_prefix(n.base, kbase, n.len)) break;
+      if (n.has_value) best = &n;
+      if (n.len == klen) break;
+      cur = n.child[bit_at(kbase, n.len)];
     }
-    return best;
+    if (best == nullptr) return std::nullopt;
+    return {{Prefix::containing(Ipv4Addr{best->base}, best->len),
+             &best->value}};
   }
 
   /// True if any stored prefix overlaps `key` (contains it or is contained).
   [[nodiscard]] bool overlaps_any(const Prefix& key) const {
-    const Node* node = &root_;
-    for (int depth = 0; depth < key.length(); ++depth) {
-      if (node->value.has_value()) return true;  // an ancestor is stored
-      const int bit = (key.base().value() >> (31 - depth)) & 1;
-      const Node* child = node->children[bit].get();
-      if (child == nullptr) return false;
-      node = child;
+    const std::uint32_t kbase = key.base().value();
+    const int klen = key.length();
+    std::uint32_t cur = root_;
+    while (cur != kNull) {
+      const Node& n = nodes_[cur];
+      if (n.len >= klen) {
+        // Any node inside `key` proves a stored descendant (every node has
+        // a value or two children, so a subtree is never empty).
+        return same_prefix(n.base, kbase, klen);
+      }
+      if (!same_prefix(n.base, kbase, n.len)) return false;
+      if (n.has_value) return true;  // an ancestor is stored
+      cur = n.child[bit_at(kbase, n.len)];
     }
-    return subtree_nonempty(*node);  // key itself or any descendant stored
+    return false;
   }
 
   /// Calls `fn(prefix, value)` for every entry, in trie (address) order.
-  void for_each(
-      const std::function<void(const Prefix&, const T&)>& fn) const {
-    visit(root_, Prefix{}, fn);
+  /// `fn` is any callable — no std::function indirection on this path.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit(root_, fn);
   }
 
   /// Calls `fn` for every stored entry contained within `within`.
-  void for_each_within(
-      const Prefix& within,
-      const std::function<void(const Prefix&, const T&)>& fn) const {
-    const Node* node = descend(within);
-    if (node != nullptr) visit(*node, within, fn);
+  template <typename Fn>
+  void for_each_within(const Prefix& within, Fn&& fn) const {
+    const std::uint32_t wbase = within.base().value();
+    const int wlen = within.length();
+    std::uint32_t cur = root_;
+    while (cur != kNull) {
+      const Node& n = nodes_[cur];
+      if (n.len >= wlen) {
+        if (same_prefix(n.base, wbase, wlen)) visit(cur, fn);
+        return;
+      }
+      if (!same_prefix(n.base, wbase, n.len)) return;
+      cur = n.child[bit_at(wbase, n.len)];
+    }
   }
 
   /// All entries, in address order. Convenience for tests and snapshots.
@@ -130,71 +253,207 @@ class PrefixTrie {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
   void clear() {
-    root_ = Node{};
+    nodes_.clear();
+    free_.clear();
+    root_ = kNull;
     size_ = 0;
+    invalidate_jump();
   }
 
  private:
+  static constexpr std::uint32_t kNull = UINT32_MAX;
+
   struct Node {
-    std::optional<T> value;
-    std::unique_ptr<Node> children[2];
+    std::uint32_t base = 0;  // prefix bits, host bits zero
+    std::uint8_t len = 0;    // prefix length in [0, 32]
+    bool has_value = false;
+    std::uint32_t child[2] = {kNull, kNull};
+    T value{};
   };
 
-  [[nodiscard]] const Node* descend(const Prefix& key) const {
-    const Node* node = &root_;
-    for (int depth = 0; depth < key.length(); ++depth) {
-      const int bit = (key.base().value() >> (31 - depth)) & 1;
-      node = node->children[bit].get();
-      if (node == nullptr) return nullptr;
+  /// True if the top `len` bits of `a` and `b` agree (len in [0, 32]).
+  static bool same_prefix(std::uint32_t a, std::uint32_t b, int len) {
+    return len == 0 || ((a ^ b) >> (32 - len)) == 0;
+  }
+  static int bit_at(std::uint32_t v, int pos) {  // pos in [0, 31]
+    return static_cast<int>((v >> (31 - pos)) & 1u);
+  }
+  static std::uint32_t mask_to(std::uint32_t v, int len) {
+    return len == 0 ? 0 : (v & (~std::uint32_t{0} << (32 - len)));
+  }
+  static int common_prefix_len(std::uint32_t a, int a_len, std::uint32_t b,
+                               int b_len) {
+    const std::uint32_t diff = a ^ b;
+    const int agree = diff == 0 ? 32 : std::countl_zero(diff);
+    return std::min({agree, a_len, b_len});
+  }
+
+  std::uint32_t new_node(std::uint32_t base, int len) {
+    std::uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      idx = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.emplace_back();
     }
-    return node;
-  }
-  [[nodiscard]] Node* descend(const Prefix& key) {
-    return const_cast<Node*>(std::as_const(*this).descend(key));
+    Node& n = nodes_[idx];
+    n.base = base;
+    n.len = static_cast<std::uint8_t>(len);
+    return idx;
   }
 
-  Node* descend_or_create(const Prefix& key) {
-    Node* node = &root_;
-    for (int depth = 0; depth < key.length(); ++depth) {
-      const int bit = (key.base().value() >> (31 - depth)) & 1;
-      if (!node->children[bit]) node->children[bit] = std::make_unique<Node>();
-      node = node->children[bit].get();
+  void free_node(std::uint32_t idx) {
+    Node& n = nodes_[idx];
+    n.has_value = false;
+    n.child[0] = kNull;
+    n.child[1] = kNull;
+    n.value = T{};
+    free_.push_back(idx);
+  }
+
+  /// Finds or creates the node for `key`, splitting edges as needed.
+  /// Returns its index; the caller marks/installs the value.
+  std::uint32_t ensure_node(const Prefix& key) {
+    const std::uint32_t kbase = key.base().value();
+    const int klen = key.length();
+    if (root_ == kNull) return root_ = new_node(kbase, klen);
+    std::uint32_t parent = kNull;
+    int side = 0;
+    std::uint32_t cur = root_;
+    const auto relink = [&](std::uint32_t v) {
+      if (parent == kNull) {
+        root_ = v;
+      } else {
+        nodes_[parent].child[side] = v;
+      }
+    };
+    for (;;) {
+      // Note: new_node() may grow the pool, so node references are
+      // re-fetched by index after any allocation.
+      const int cpl =
+          common_prefix_len(kbase, klen, nodes_[cur].base, nodes_[cur].len);
+      if (cpl == nodes_[cur].len) {
+        if (cpl == klen) return cur;  // exact node already exists
+        // `key` lies below this node: descend (or hang a new leaf).
+        const int b = bit_at(kbase, nodes_[cur].len);
+        const std::uint32_t next = nodes_[cur].child[b];
+        if (next == kNull) {
+          const std::uint32_t leaf = new_node(kbase, klen);
+          nodes_[cur].child[b] = leaf;
+          return leaf;
+        }
+        parent = cur;
+        side = b;
+        cur = next;
+        continue;
+      }
+      if (cpl == klen) {
+        // `key` is a strict ancestor of this node: interpose its node.
+        const std::uint32_t mid = new_node(kbase, klen);
+        nodes_[mid].child[bit_at(nodes_[cur].base, cpl)] = cur;
+        relink(mid);
+        return mid;
+      }
+      // Paths diverge inside this node's bit run: split with a valueless
+      // branch node at the divergence point.
+      const std::uint32_t mid = new_node(mask_to(kbase, cpl), cpl);
+      const std::uint32_t leaf = new_node(kbase, klen);
+      nodes_[mid].child[bit_at(kbase, cpl)] = leaf;
+      nodes_[mid].child[bit_at(nodes_[cur].base, cpl)] = cur;
+      relink(mid);
+      return leaf;
     }
-    return node;
   }
 
-  static bool subtree_nonempty(const Node& node) {
-    if (node.value.has_value()) return true;
-    for (const auto& child : node.children) {
-      if (child && subtree_nonempty(*child)) return true;
+  // ------------------------------------------- level-compressed jump table
+  //
+  // For tries with >= kJumpMinSize entries, `jump_` caches, per value of
+  // the top `jump_bits_` address bits: the deepest valued node shallower
+  // than `jump_bits_` containing those addresses (`best`), and the node
+  // where the Patricia descent resumes (`resume`, checked in full by the
+  // lookup loop so a stale-looking resume target is still safe). Any
+  // mutation invalidates the whole table; it is rebuilt lazily once enough
+  // lookups have queried a stale table to amortise the O(2^bits + n)
+  // rebuild, and plain descents serve lookups in between. Small tries
+  // never allocate it.
+
+  struct JumpEntry {
+    std::uint32_t best;
+    std::uint32_t resume;
+  };
+  static constexpr std::size_t kJumpMinSize = 256;
+
+  void invalidate_jump() {
+    jump_valid_ = false;
+    stale_lookups_ = 0;
+  }
+
+  void rebuild_jump() const {
+    const int bits = std::min(
+        16, std::max(10, static_cast<int>(std::bit_width(size_)) + 2));
+    jump_bits_ = bits;
+    jump_.assign(std::size_t{1} << bits, JumpEntry{kNull, kNull});
+    fill_jump(root_, 0, std::size_t{1} << bits, kNull);
+    jump_valid_ = true;
+    stale_lookups_ = 0;
+  }
+
+  /// Fills `jump_[lo, hi)` — the slots whose addresses reach `cur` after
+  /// passing every ancestor's bit-run check — given the deepest valued
+  /// ancestor `best`.
+  void fill_jump(std::uint32_t cur, std::size_t lo, std::size_t hi,
+                 std::uint32_t best) const {
+    if (cur == kNull) {
+      std::fill(jump_.begin() + lo, jump_.begin() + hi,
+                JumpEntry{best, kNull});
+      return;
     }
-    return false;
-  }
-
-  // Removes now-useless interior nodes on the path to `key`.
-  void prune_from(const Prefix& key) {
-    prune_recursive(root_, key, 0);
-  }
-  // Returns true if `node` can be deleted by its parent.
-  static bool prune_recursive(Node& node, const Prefix& key, int depth) {
-    if (depth < key.length()) {
-      const int bit = (key.base().value() >> (31 - depth)) & 1;
-      auto& child = node.children[bit];
-      if (child && prune_recursive(*child, key, depth + 1)) child.reset();
+    const Node& n = nodes_[cur];
+    if (n.len >= jump_bits_) {
+      // Descent must resume at (and fully check) this node.
+      std::fill(jump_.begin() + lo, jump_.begin() + hi,
+                JumpEntry{best, cur});
+      return;
     }
-    return !node.value.has_value() && !node.children[0] && !node.children[1];
+    // The slots actually matching this node's bit run; the rest of [lo, hi)
+    // is a guaranteed mismatch within the table-covered bits, so those
+    // lookups can stop at `best` without touching the pool.
+    const auto nlo = std::size_t{n.base >> (32 - jump_bits_)};
+    const auto nhi = nlo + (std::size_t{1} << (jump_bits_ - n.len));
+    std::fill(jump_.begin() + lo, jump_.begin() + nlo,
+              JumpEntry{best, kNull});
+    std::fill(jump_.begin() + nhi, jump_.begin() + hi,
+              JumpEntry{best, kNull});
+    if (n.has_value) best = cur;
+    const std::size_t mid = nlo + (std::size_t{1} << (jump_bits_ - n.len - 1));
+    fill_jump(n.child[0], nlo, mid, best);
+    fill_jump(n.child[1], mid, nhi, best);
   }
 
-  static void visit(const Node& node, const Prefix& at,
-                    const std::function<void(const Prefix&, const T&)>& fn) {
-    if (node.value.has_value()) fn(at, *node.value);
-    if (at.length() == 32) return;
-    if (node.children[0]) visit(*node.children[0], at.left_child(), fn);
-    if (node.children[1]) visit(*node.children[1], at.right_child(), fn);
+  template <typename Fn>
+  void visit(std::uint32_t idx, Fn& fn) const {
+    if (idx == kNull) return;
+    const Node& n = nodes_[idx];
+    // Value first, children in bit order: ancestors precede descendants
+    // and siblings come out in address order.
+    if (n.has_value) {
+      fn(Prefix::containing(Ipv4Addr{n.base}, n.len), n.value);
+    }
+    visit(n.child[0], fn);
+    visit(n.child[1], fn);
   }
 
-  Node root_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t root_ = kNull;
   std::size_t size_ = 0;
+
+  // Lazily (re)built by const lookups — see rebuild_jump().
+  mutable std::vector<JumpEntry> jump_;
+  mutable int jump_bits_ = 0;
+  mutable bool jump_valid_ = false;
+  mutable std::size_t stale_lookups_ = 0;
 };
 
 }  // namespace net

@@ -1,0 +1,136 @@
+// A move-only callable with inline (small-buffer) storage.
+//
+// The event queue schedules millions of short-lived closures per run; with
+// std::function each of them costs a heap allocation (std::function also
+// requires copyable captures, which forced unique_ptr message payloads into
+// shared_ptr wrappers). SmallFunction stores captures up to kInlineSize
+// bytes in place, accepts move-only captures, and falls back to the heap
+// only for oversized closures.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace net {
+
+template <typename Signature, std::size_t InlineSize = 48>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t InlineSize>
+class SmallFunction<R(Args...), InlineSize> {
+ public:
+  SmallFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, SmallFunction>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, SmallFunction>>>
+  SmallFunction& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage(), std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*move)(void* from, void* to);  // destroys `from` after the move
+    void (*destroy)(void*);
+  };
+
+  // Inline storage: the closure object itself when it fits, otherwise a
+  // single owning pointer to a heap copy.
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= InlineSize &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (storage()) Fn(std::forward<F>(f));
+      static const VTable table{
+          [](void* s, Args&&... args) -> R {
+            return (*std::launder(static_cast<Fn*>(s)))(
+                std::forward<Args>(args)...);
+          },
+          [](void* from, void* to) {
+            Fn* src = std::launder(static_cast<Fn*>(from));
+            ::new (to) Fn(std::move(*src));
+            src->~Fn();
+          },
+          [](void* s) { std::launder(static_cast<Fn*>(s))->~Fn(); },
+      };
+      vtable_ = &table;
+    } else {
+      ::new (storage()) Fn*(new Fn(std::forward<F>(f)));
+      static const VTable table{
+          [](void* s, Args&&... args) -> R {
+            return (**std::launder(static_cast<Fn**>(s)))(
+                std::forward<Args>(args)...);
+          },
+          [](void* from, void* to) {
+            Fn** src = std::launder(static_cast<Fn**>(from));
+            ::new (to) Fn*(*src);
+          },
+          [](void* s) { delete *std::launder(static_cast<Fn**>(s)); },
+      };
+      vtable_ = &table;
+    }
+  }
+
+  void move_from(SmallFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->move(other.storage(), storage());
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage());
+      vtable_ = nullptr;
+    }
+  }
+
+  void* storage() noexcept { return &storage_; }
+
+  alignas(std::max_align_t) std::byte storage_[InlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace net
