@@ -39,6 +39,16 @@ const char* arg_string(int argc, char** argv, const char* name,
   return fallback;
 }
 
+// Default output lands next to the binary (i.e. under build/), not in the
+// invoking directory, so runs from a source checkout never litter the
+// repo root with generated artifacts.
+std::string beside_binary(const char* argv0, const char* filename) {
+  const std::string self(argv0);
+  const auto slash = self.find_last_of('/');
+  if (slash == std::string::npos) return filename;
+  return self.substr(0, slash + 1) + filename;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,8 +65,10 @@ int main(int argc, char** argv) {
       static_cast<int>(arg_value(argc, argv, "--max-prefixes", 2));
   params.exchanges =
       static_cast<std::size_t>(arg_value(argc, argv, "--exchanges", 0));
+  const std::string default_csv =
+      beside_binary(argv[0], "fig2_allocation.csv");
   const std::string csv_path =
-      arg_string(argc, argv, "--csv", "fig2_allocation.csv");
+      arg_string(argc, argv, "--csv", default_csv.c_str());
 
   std::printf(
       "== Figure 2: MASC address allocation (%zu top-level x %zu children, "

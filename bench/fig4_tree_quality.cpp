@@ -58,6 +58,16 @@ const char* arg_string(int argc, char** argv, const char* name,
   return fallback;
 }
 
+// Default output lands next to the binary (i.e. under build/), not in the
+// invoking directory, so runs from a source checkout never litter the
+// repo root with generated artifacts.
+std::string beside_binary(const char* argv0, const char* filename) {
+  const std::string self(argv0);
+  const auto slash = self.find_last_of('/');
+  if (slash == std::string::npos) return filename;
+  return self.substr(0, slash + 1) + filename;
+}
+
 bool arg_flag(int argc, char** argv, const char* name) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], name) == 0) return true;
@@ -228,8 +238,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1998));
   const std::string kind = arg_string(argc, argv, "--topology", "ba");
   const std::string file = arg_string(argc, argv, "--topology-file", "");
+  const std::string default_csv =
+      beside_binary(argv[0], "fig4_tree_quality.csv");
   const std::string csv_path =
-      arg_string(argc, argv, "--csv", "fig4_tree_quality.csv");
+      arg_string(argc, argv, "--csv", default_csv.c_str());
 
   net::Rng rng(seed);
   topology::Graph graph;

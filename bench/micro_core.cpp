@@ -5,12 +5,15 @@
 #include <memory>
 #include <vector>
 
+#include "bgp/path_table.hpp"
 #include "bgp/rib.hpp"
 #include "bgp/speaker.hpp"
 #include "eval/tree_model.hpp"
 #include "masc/claim_algorithm.hpp"
 #include "masc/registry.hpp"
 #include "net/event.hpp"
+#include "net/message_pool.hpp"
+#include "net/network.hpp"
 #include "net/prefix_trie.hpp"
 #include "net/rng.hpp"
 #include "topology/generators.hpp"
@@ -94,8 +97,8 @@ void BM_RibDecision(benchmark::State& state) {
   for (int i = 0; i < peers; ++i) {
     bgp::Candidate c;
     c.route.prefix = Prefix::parse("224.0.0.0/16");
-    c.route.as_path.resize(
-        static_cast<std::size_t>(rng.uniform_int(1, 6)), 1);
+    c.route.as_path = bgp::PathRef::intern(std::vector<bgp::DomainId>(
+        static_cast<std::size_t>(rng.uniform_int(1, 6)), 1));
     c.route.local_pref = static_cast<int>(rng.uniform_int(80, 100));
     c.via = static_cast<bgp::PeerIndex>(i);
     c.exit_uid = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20));
@@ -153,6 +156,83 @@ void BM_TreeModel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TreeModel)->Arg(100)->Arg(1000);
+
+// ------------------------------------------------------ message allocation
+
+// The strict allocate→deliver→free cycle every protocol message lives
+// through, with and without free-list recycling. The payload mirrors a
+// typical BGP update message size.
+void BM_MessageAllocation(benchmark::State& state) {
+  struct FakeUpdate : net::Message {
+    std::uint64_t payload[12] = {};
+    [[nodiscard]] std::string describe() const override { return "bench"; }
+  };
+  const bool use_pool = state.range(0) != 0;
+  const bool was_enabled = net::MessagePool::set_enabled(use_pool);
+  net::MessagePool::trim();
+  net::MessagePool::reset_stats();
+  for (auto _ : state) {
+    auto msg = std::make_unique<FakeUpdate>();
+    benchmark::DoNotOptimize(msg.get());
+    msg.reset();
+  }
+  const auto stats = net::MessagePool::stats();
+  state.counters["hit_rate"] = stats.hit_rate();
+  state.SetItemsProcessed(state.iterations());
+  net::MessagePool::trim();
+  (void)net::MessagePool::set_enabled(was_enabled);
+}
+BENCHMARK(BM_MessageAllocation)
+    ->Arg(0)  // malloc/free every message
+    ->Arg(1)  // thread-local free-list recycling
+    ->ArgNames({"pool"});
+
+// ---------------------------------------------------------- path interning
+
+// Route copies are the dominant consumer of AS paths: with interning a
+// copy is a refcount bump, without it each copy clones a vector. The
+// interleave of intern() calls models a speaker re-learning the same few
+// paths over and over (the hit-rate counter shows the consing working).
+void BM_PathIntern(benchmark::State& state) {
+  const int distinct = static_cast<int>(state.range(0));
+  std::vector<std::vector<bgp::DomainId>> paths;
+  for (int i = 0; i < distinct; ++i) {
+    std::vector<bgp::DomainId> hops;
+    for (int h = 0; h <= i % 6; ++h) {
+      hops.push_back(static_cast<bgp::DomainId>(900000 + i + h));
+    }
+    paths.push_back(std::move(hops));
+  }
+  // Keep one ref per path alive, as RIBs do — otherwise each iteration's
+  // release would free the entry and every intern would miss.
+  std::vector<bgp::PathRef> keep;
+  for (const auto& hops : paths) keep.push_back(bgp::PathRef::intern(hops));
+  bgp::PathTable::instance().reset_stats();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const bgp::PathRef ref = bgp::PathRef::intern(paths[i++ % paths.size()]);
+    benchmark::DoNotOptimize(ref.id());
+  }
+  state.counters["hit_rate"] =
+      bgp::PathTable::instance().stats().hit_rate();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathIntern)->Arg(16)->Arg(256)->ArgNames({"distinct"});
+
+void BM_RouteCopy(benchmark::State& state) {
+  // Copying a Route with a 5-hop path: the operation Adj-RIB-Out fills,
+  // update deltas and decision results all reduce to.
+  bgp::Route route;
+  route.prefix = Prefix::parse("224.0.0.0/16");
+  route.as_path = bgp::PathRef::intern({1, 2, 3, 4, 5});
+  route.origin_as = 5;
+  for (auto _ : state) {
+    bgp::Route copy = route;
+    benchmark::DoNotOptimize(copy.as_path.id());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteCopy);
 
 // ----------------------------------------------- BGP propagation end-to-end
 

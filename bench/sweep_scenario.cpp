@@ -1,0 +1,134 @@
+// M3: parallel parameter sweep over the full simulation pipeline. Fans a
+// (scenario × domain-count × seed) grid across a work-stealing thread
+// pool (src/eval/sweep.hpp); every cell is an isolated core::Internet, so
+// per-cell results are byte-identical at any --threads value. Emits one
+// JSON report: per-cell rib digests and work counters plus a merged
+// metrics snapshot with cross-run histogram quantiles.
+//
+// Usage:
+//   sweep_scenario [--threads N] [--scenarios claim,join,flap]
+//                  [--domains 16,32,48] [--seeds 1,2,3,4]
+//                  [--groups G] [--joins J] [--out FILE] [--smoke]
+//
+// --smoke shrinks the grid to a seconds-long run for CI (the TSan job
+// drives it with --threads 4). Exit code is nonzero if any cell failed.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/sweep.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<int> parse_ints(const std::string& text) {
+  std::vector<int> out;
+  for (const std::string& s : split_csv(text)) out.push_back(std::atoi(s.c_str()));
+  return out;
+}
+
+std::vector<std::uint64_t> parse_seeds(const std::string& text) {
+  std::vector<std::uint64_t> out;
+  for (const std::string& s : split_csv(text)) {
+    out.push_back(std::strtoull(s.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 1;
+  int groups = 0;
+  int joins = 4;
+  std::vector<std::string> scenarios = eval::scenario_names();
+  std::vector<int> domains = {16, 32, 48};
+  std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "sweep_scenario: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else if (arg == "--scenarios") {
+      scenarios = split_csv(next());
+    } else if (arg == "--domains") {
+      domains = parse_ints(next());
+    } else if (arg == "--seeds") {
+      seeds = parse_seeds(next());
+    } else if (arg == "--groups") {
+      groups = std::atoi(next());
+    } else if (arg == "--joins") {
+      joins = std::atoi(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--smoke") {
+      domains = {8, 16};
+      seeds = {1, 2};
+    } else {
+      std::cerr << "sweep_scenario: unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  eval::SweepConfig config;
+  config.threads = threads;
+  config.cells = eval::make_grid(scenarios, domains, seeds);
+  for (eval::SweepCell& cell : config.cells) {
+    cell.groups = groups;
+    cell.joins = joins;
+  }
+
+  eval::SweepResult result;
+  try {
+    result = eval::run_sweep(config);
+  } catch (const std::exception& e) {
+    std::cerr << "sweep_scenario: " << e.what() << "\n";
+    return 2;
+  }
+
+  result.write_json(std::cout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "sweep_scenario: cannot write " << out_path << "\n";
+      return 2;
+    }
+    result.write_json(out);
+  }
+
+  if (const std::size_t failed = result.failed_cells(); failed > 0) {
+    for (const eval::SweepCellResult& c : result.cells) {
+      if (!c.error.empty()) {
+        std::cerr << "sweep_scenario: cell " << c.cell.scenario << "/"
+                  << c.cell.domains << "/" << c.cell.seed << " failed: "
+                  << c.error << "\n";
+      }
+    }
+    return 1;
+  }
+  std::cerr << "sweep_scenario: " << result.cells.size() << " cells, "
+            << result.threads << " threads, " << result.wall_seconds
+            << "s\n";
+  return 0;
+}

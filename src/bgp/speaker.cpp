@@ -5,20 +5,13 @@
 
 namespace bgp {
 
-namespace {
-
-std::uint64_t next_uid() {
-  static std::uint64_t counter = 0;
-  return ++counter;
-}
-
-}  // namespace
-
 std::string Route::describe() const {
   std::string out = prefix.to_string() + " path[";
-  for (std::size_t i = 0; i < as_path.size(); ++i) {
-    if (i > 0) out += ' ';
-    out += std::to_string(as_path[i]);
+  bool first = true;
+  for (const DomainId hop : as_path) {
+    if (!first) out += ' ';
+    out += std::to_string(hop);
+    first = false;
   }
   out += "] origin AS" + std::to_string(origin_as);
   return out;
@@ -39,7 +32,10 @@ Speaker::Speaker(net::Network& network, DomainId as, std::string name)
     : network_(network),
       as_(as),
       name_(std::move(name)),
-      uid_(next_uid()),
+      // Per-network allocation: uid tie-breaks are a function of creation
+      // order within this simulation, never of process-global history —
+      // required for parallel sweep cells to be schedule-independent.
+      uid_(network.allocate_uid()),
       metrics_{&network.metrics().counter("bgp.updates_sent"),
                &network.metrics().counter("bgp.updates_received"),
                &network.metrics().counter("bgp.routes_announced"),
@@ -294,7 +290,7 @@ std::optional<Route> Speaker::desired_advertisement(RouteType type,
     }
   }
   Route exported = best->route;
-  exported.as_path.insert(exported.as_path.begin(), as_);
+  exported.as_path = exported.as_path.prepend(as_);
   exported.local_pref = 100;  // reset; the importer assigns its own
   return exported;
 }

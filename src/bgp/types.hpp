@@ -11,11 +11,9 @@
 #include <vector>
 
 #include "net/prefix.hpp"
+#include "bgp/path_table.hpp"
 
 namespace bgp {
-
-/// An Autonomous System / domain identifier.
-using DomainId = std::uint32_t;
 
 /// The logical routing-table views of §2 (MBGP route types).
 enum class RouteType : std::uint8_t {
@@ -38,9 +36,12 @@ inline constexpr int kRouteTypeCount = 3;
 /// destination (or group range) plus path attributes.
 struct Route {
   net::Prefix prefix;
-  /// AS path, nearest AS first. Empty for a locally-originated route that
-  /// has not yet crossed an external peering.
-  std::vector<DomainId> as_path;
+  /// AS path, nearest AS first — a 4-byte handle into the thread's
+  /// hash-consed path table (see path_table.hpp), so copying a route bumps
+  /// a refcount instead of cloning a vector and path equality is an id
+  /// compare. Empty for a locally-originated route that has not yet
+  /// crossed an external peering.
+  PathRef as_path;
   /// The domain that originated the route (the root domain for group
   /// routes).
   DomainId origin_as = 0;
@@ -49,10 +50,7 @@ struct Route {
   int local_pref = 100;
 
   [[nodiscard]] bool contains_as(DomainId as) const {
-    for (const DomainId hop : as_path) {
-      if (hop == as) return true;
-    }
-    return false;
+    return as_path.contains(as);
   }
 
   [[nodiscard]] std::string describe() const;

@@ -1,0 +1,370 @@
+#include "eval/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/domain.hpp"
+#include "core/internet.hpp"
+#include "net/prefix.hpp"
+#include "net/rng.hpp"
+
+namespace eval {
+
+namespace {
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001B3ull;
+}
+
+// ------------------------------------------------------------- scenarios
+//
+// Every scenario is a pure function of (cell) run against a fresh
+// Internet: the backbone topology of bench/macro_scenario (a top-level
+// ring with chords, customer children hanging off round-robin, a full
+// MASC sibling mesh between the top-level domains), then the protocol
+// phases the scenario name selects.
+
+struct Topology {
+  std::vector<core::Domain*> tops;
+  std::vector<core::Domain*> children;
+};
+
+Topology build_backbone(core::Internet& net, int domains) {
+  Topology topo;
+  const int tops = std::max(2, domains / 8);
+  for (int i = 0; i < domains; ++i) {
+    const bool is_top = i < tops;
+    core::Domain& d = net.add_domain(
+        {.id = static_cast<bgp::DomainId>(i + 1),
+         .name = (is_top ? "T" : "C") + std::to_string(i + 1)});
+    d.announce_unicast();
+    (is_top ? topo.tops : topo.children).push_back(&d);
+  }
+  for (int i = 0; i < tops; ++i) {
+    net.link(*topo.tops[i], *topo.tops[(i + 1) % tops]);
+    if (tops > 2 && i + 2 < tops) {
+      net.link(*topo.tops[i], *topo.tops[i + 2]);
+    }
+  }
+  for (std::size_t i = 0; i < topo.children.size(); ++i) {
+    core::Domain& parent = *topo.tops[i % tops];
+    net.link(parent, *topo.children[i], bgp::Relationship::kCustomer);
+    net.masc_parent(*topo.children[i], parent);
+  }
+  for (int i = 0; i < tops; ++i) {
+    for (int j = i + 1; j < tops; ++j) {
+      net.masc_siblings(*topo.tops[i], *topo.tops[j]);
+    }
+  }
+  return topo;
+}
+
+/// Address claiming: top-level domains carve 224/4 between themselves,
+/// children claim /24s out of their parents' ranges.
+void phase_claim(core::Internet& net, const Topology& topo) {
+  for (core::Domain* t : topo.tops) {
+    t->masc_node().set_spaces({net::multicast_space()});
+    t->masc_node().request_space(65536);
+  }
+  net.settle();
+  for (core::Domain* c : topo.children) c->masc_node().request_space(256);
+  net.settle();
+}
+
+/// Group lifetime: children lease groups, remote domains join, every
+/// initiator sends one packet down its tree.
+void phase_groups(core::Internet& net, const SweepCell& cell,
+                  const Topology& topo) {
+  const int groups =
+      cell.groups > 0 ? cell.groups : std::max(1, cell.domains / 4);
+  net::Rng rng(cell.seed * 7919 + 17);
+  struct Live {
+    core::Domain* root;
+    core::Group group;
+  };
+  std::vector<Live> live;
+  for (int g = 0; g < groups && !topo.children.empty(); ++g) {
+    core::Domain* initiator = topo.children[static_cast<std::size_t>(g) %
+                                            topo.children.size()];
+    auto lease = initiator->create_group();
+    if (!lease.has_value()) {
+      net.settle();
+      lease = initiator->create_group();
+    }
+    if (lease.has_value()) live.push_back({initiator, lease->address});
+  }
+  net.settle();
+  for (const Live& l : live) {
+    for (int j = 0; j < cell.joins; ++j) {
+      const auto pick = rng.uniform_int(0, cell.domains - 1);
+      core::Domain& member = net.domain(static_cast<std::size_t>(pick));
+      if (&member != l.root) member.host_join(l.group);
+    }
+  }
+  net.settle();
+  for (const Live& l : live) l.root->send(l.group);
+  net.settle();
+}
+
+/// Backbone perturbation: flap alternating ring links; every flap
+/// withdraws and re-learns whole tables.
+void phase_flap(core::Internet& net, const Topology& topo) {
+  const int tops = static_cast<int>(topo.tops.size());
+  for (int i = 0; i + 1 < tops; i += 2) {
+    net.set_link_state(*topo.tops[i], *topo.tops[i + 1], false);
+    net.settle();
+    net.set_link_state(*topo.tops[i], *topo.tops[i + 1], true);
+    net.settle();
+  }
+}
+
+using ScenarioFn = void (*)(core::Internet&, const SweepCell&);
+
+void scenario_claim(core::Internet& net, const SweepCell& cell) {
+  const Topology topo = build_backbone(net, cell.domains);
+  phase_claim(net, topo);
+}
+
+void scenario_join(core::Internet& net, const SweepCell& cell) {
+  const Topology topo = build_backbone(net, cell.domains);
+  phase_claim(net, topo);
+  phase_groups(net, cell, topo);
+}
+
+void scenario_flap(core::Internet& net, const SweepCell& cell) {
+  const Topology topo = build_backbone(net, cell.domains);
+  phase_claim(net, topo);
+  phase_groups(net, cell, topo);
+  phase_flap(net, topo);
+}
+
+struct ScenarioSpec {
+  const char* name;
+  ScenarioFn run;
+};
+
+constexpr ScenarioSpec kScenarios[] = {
+    {"claim", scenario_claim},
+    {"join", scenario_join},
+    {"flap", scenario_flap},
+};
+
+ScenarioFn find_scenario(const std::string& name) {
+  for (const ScenarioSpec& s : kScenarios) {
+    if (name == s.name) return s.run;
+  }
+  throw std::invalid_argument("sweep: unknown scenario \"" + name + "\"");
+}
+
+SweepCellResult run_cell(const SweepCell& cell, ScenarioFn scenario) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  SweepCellResult out;
+  out.cell = cell;
+  try {
+    core::Internet net(cell.seed);
+    scenario(net, cell);
+    out.rib_digest = rib_digest(net);
+    out.metrics = net.metrics_snapshot();
+    out.events_run = net.events().events_run();
+    out.messages_sent = out.metrics.counter_value("net.messages_sent");
+    out.sim_seconds = net.events().now().to_seconds();
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+// ------------------------------------------------------ work distribution
+
+/// Per-worker task deques with stealing. Tasks are the cell indices,
+/// dealt round-robin up front; a worker drains its own deque from the
+/// back and steals from other workers' fronts when empty. No tasks are
+/// ever produced after start, so "every deque empty" is the exit
+/// condition — no condition variables needed.
+class CellQueues {
+ public:
+  CellQueues(std::size_t workers, std::size_t tasks) : queues_(workers) {
+    for (std::size_t i = 0; i < tasks; ++i) {
+      queues_[i % workers].items.push_back(i);
+    }
+  }
+
+  bool next(std::size_t worker, std::size_t& out) {
+    if (pop(queues_[worker], /*from_back=*/true, out)) return true;
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+      Queue& victim = queues_[(worker + i) % queues_.size()];
+      if (pop(victim, /*from_back=*/false, out)) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::size_t> items;
+  };
+
+  static bool pop(Queue& q, bool from_back, std::size_t& out) {
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.items.empty()) return false;
+    if (from_back) {
+      out = q.items.back();
+      q.items.pop_back();
+    } else {
+      out = q.items.front();
+      q.items.pop_front();
+    }
+    return true;
+  }
+
+  std::vector<Queue> queues_;
+};
+
+}  // namespace
+
+bool cell_key_less(const SweepCell& a, const SweepCell& b) {
+  if (a.scenario != b.scenario) return a.scenario < b.scenario;
+  if (a.domains != b.domains) return a.domains < b.domains;
+  return a.seed < b.seed;
+}
+
+std::vector<SweepCell> make_grid(const std::vector<std::string>& scenarios,
+                                 const std::vector<int>& domain_counts,
+                                 const std::vector<std::uint64_t>& seeds) {
+  std::vector<SweepCell> cells;
+  cells.reserve(scenarios.size() * domain_counts.size() * seeds.size());
+  for (const std::string& scenario : scenarios) {
+    for (const int domains : domain_counts) {
+      for (const std::uint64_t seed : seeds) {
+        SweepCell cell;
+        cell.scenario = scenario;
+        cell.domains = domains;
+        cell.seed = seed;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  std::sort(cells.begin(), cells.end(), cell_key_less);
+  return cells;
+}
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const ScenarioSpec& s : kScenarios) out.emplace_back(s.name);
+    return out;
+  }();
+  return names;
+}
+
+std::uint64_t rib_digest(core::Internet& net) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t i = 0; i < net.domain_count(); ++i) {
+    core::Domain& d = net.domain(i);
+    for (const bgp::RouteType type :
+         {bgp::RouteType::kUnicast, bgp::RouteType::kGroup}) {
+      d.speaker().rib(type).for_each_best(
+          [&](const net::Prefix& p, const bgp::Candidate& c) {
+            fnv_mix(h, p.base().value());
+            fnv_mix(h, static_cast<std::uint64_t>(p.length()));
+            fnv_mix(h, c.route.origin_as);
+            fnv_mix(h, c.route.as_path.size());
+          });
+    }
+  }
+  return h;
+}
+
+SweepResult run_sweep(const SweepConfig& config) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  // Resolve every scenario before spawning anything: an unknown name is a
+  // caller error, not a per-cell failure.
+  std::vector<ScenarioFn> scenarios;
+  scenarios.reserve(config.cells.size());
+  for (const SweepCell& cell : config.cells) {
+    scenarios.push_back(find_scenario(cell.scenario));
+  }
+
+  SweepResult result;
+  result.threads = std::max(1, config.threads);
+  result.cells.resize(config.cells.size());
+
+  const auto workers = static_cast<std::size_t>(result.threads);
+  CellQueues queues(workers, config.cells.size());
+  // results[i] slots are disjoint, so workers write them without locks;
+  // the joins below publish everything to this thread.
+  const auto worker_main = [&](std::size_t worker) {
+    std::size_t index = 0;
+    while (queues.next(worker, index)) {
+      result.cells[index] = run_cell(config.cells[index], scenarios[index]);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back(worker_main, w);
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Schedule-independent output: sort by cell key, then aggregate in that
+  // order (merge order affects nothing, but determinism is cheap to keep
+  // absolute).
+  std::sort(result.cells.begin(), result.cells.end(),
+            [](const SweepCellResult& a, const SweepCellResult& b) {
+              return cell_key_less(a.cell, b.cell);
+            });
+  for (const SweepCellResult& cell : result.cells) {
+    if (cell.error.empty()) result.merged.merge_from(cell.metrics);
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+std::size_t SweepResult::failed_cells() const {
+  return static_cast<std::size_t>(
+      std::count_if(cells.begin(), cells.end(), [](const SweepCellResult& c) {
+        return !c.error.empty();
+      }));
+}
+
+void SweepResult::write_json(std::ostream& os) const {
+  os << "{\n  \"bench\": \"sweep\",\n  \"threads\": " << threads
+     << ",\n  \"wall_seconds\": " << wall_seconds
+     << ",\n  \"cells_total\": " << cells.size()
+     << ",\n  \"cells_failed\": " << failed_cells() << ",\n  \"cells\": [";
+  bool first = true;
+  for (const SweepCellResult& c : cells) {
+    os << (first ? "" : ",") << "\n    {\"scenario\": \""
+       << obs::detail::json_escape(c.cell.scenario)
+       << "\", \"domains\": " << c.cell.domains
+       << ", \"seed\": " << c.cell.seed << ", \"groups\": " << c.cell.groups
+       << ", \"joins\": " << c.cell.joins
+       << ", \"rib_digest\": " << c.rib_digest
+       << ", \"events_run\": " << c.events_run
+       << ", \"messages_sent\": " << c.messages_sent
+       << ", \"sim_seconds\": " << c.sim_seconds
+       << ", \"wall_seconds\": " << c.wall_seconds;
+    if (!c.error.empty()) {
+      os << ", \"error\": \"" << obs::detail::json_escape(c.error) << "\"";
+    }
+    os << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"merged\": ";
+  merged.write_jsonl(os);  // single line, ends in '\n'
+  os << "}\n";
+}
+
+}  // namespace eval

@@ -1,0 +1,125 @@
+#include "net/message_pool.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MASC_POOL_DEFAULT_OFF 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MASC_POOL_DEFAULT_OFF 1
+#endif
+#endif
+#ifndef MASC_POOL_DEFAULT_OFF
+#define MASC_POOL_DEFAULT_OFF 0
+#endif
+
+namespace net {
+
+namespace {
+
+constexpr std::size_t kClassCount =
+    MessagePool::kMaxPooledBytes / MessagePool::kGranularity;
+constexpr std::uint32_t kRawClass = UINT32_MAX;  // malloc pass-through
+
+/// Every block starts with one max-aligned header holding its size class,
+/// so release() is exact without trusting the (possibly unsized) delete.
+struct alignas(std::max_align_t) Header {
+  std::uint32_t size_class;
+};
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+struct ThreadPool {
+  FreeBlock* free_lists[kClassCount] = {};
+  std::size_t free_counts[kClassCount] = {};
+  MessagePool::Stats stats;
+  bool enabled = MASC_POOL_DEFAULT_OFF == 0;
+
+  ~ThreadPool() { drop_all(); }
+
+  void drop_all() {
+    for (std::size_t c = 0; c < kClassCount; ++c) {
+      FreeBlock* block = free_lists[c];
+      while (block != nullptr) {
+        FreeBlock* next = block->next;
+        std::free(block);
+        block = next;
+      }
+      free_lists[c] = nullptr;
+      free_counts[c] = 0;
+    }
+  }
+};
+
+ThreadPool& pool() {
+  thread_local ThreadPool instance;
+  return instance;
+}
+
+}  // namespace
+
+void* MessagePool::allocate(std::size_t bytes) {
+  ThreadPool& p = pool();
+  ++p.stats.allocations;
+  const std::size_t total = bytes + sizeof(Header);
+  if (p.enabled && total <= kMaxPooledBytes) {
+    const std::size_t cls = (total + kGranularity - 1) / kGranularity - 1;
+    if (FreeBlock* block = p.free_lists[cls]; block != nullptr) {
+      p.free_lists[cls] = block->next;
+      --p.free_counts[cls];
+      ++p.stats.pool_hits;
+      auto* header = reinterpret_cast<Header*>(block);
+      header->size_class = static_cast<std::uint32_t>(cls);
+      return header + 1;
+    }
+    ++p.stats.pool_misses;
+    void* raw = std::malloc((cls + 1) * kGranularity);
+    if (raw == nullptr) throw std::bad_alloc();
+    auto* header = static_cast<Header*>(raw);
+    header->size_class = static_cast<std::uint32_t>(cls);
+    return header + 1;
+  }
+  ++p.stats.pool_misses;
+  void* raw = std::malloc(total);
+  if (raw == nullptr) throw std::bad_alloc();
+  auto* header = static_cast<Header*>(raw);
+  header->size_class = kRawClass;
+  return header + 1;
+}
+
+void MessagePool::release(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  auto* header = static_cast<Header*>(ptr) - 1;
+  const std::uint32_t cls = header->size_class;
+  ThreadPool& p = pool();
+  if (cls == kRawClass || !p.enabled ||
+      p.free_counts[cls] >= kMaxFreePerClass) {
+    std::free(header);
+    return;
+  }
+  auto* block = reinterpret_cast<FreeBlock*>(header);
+  block->next = p.free_lists[cls];
+  p.free_lists[cls] = block;
+  ++p.free_counts[cls];
+  ++p.stats.recycled;
+}
+
+MessagePool::Stats MessagePool::stats() { return pool().stats; }
+
+void MessagePool::reset_stats() { pool().stats = Stats{}; }
+
+bool MessagePool::set_enabled(bool enabled) {
+  ThreadPool& p = pool();
+  const bool previous = p.enabled;
+  p.enabled = enabled;
+  return previous;
+}
+
+bool MessagePool::enabled() { return pool().enabled; }
+
+void MessagePool::trim() { pool().drop_all(); }
+
+}  // namespace net

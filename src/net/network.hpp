@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/event.hpp"
+#include "net/message_pool.hpp"
 #include "net/time.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -44,6 +45,21 @@ struct Message {
   constexpr explicit Message(MessageKind kind_in = MessageKind::kOther)
       : kind(kind_in) {}
   virtual ~Message() = default;
+
+  /// Messages live a strict allocate→deliver→free cycle with a handful of
+  /// repeating sizes, so allocation goes through the thread-local
+  /// MessagePool free lists instead of the general-purpose heap. Derived
+  /// classes inherit these, keeping `std::make_unique<...>` and the
+  /// default `unique_ptr` deleter as the API while the buffers recycle.
+  static void* operator new(std::size_t size) {
+    return MessagePool::allocate(size);
+  }
+  static void operator delete(void* ptr) noexcept {
+    MessagePool::release(ptr);
+  }
+  static void operator delete(void* ptr, std::size_t /*size*/) noexcept {
+    MessagePool::release(ptr);
+  }
   /// One-line rendering for traces.
   [[nodiscard]] virtual std::string describe() const = 0;
 
@@ -160,6 +176,12 @@ class Network {
   /// claim goes to the parent and every sibling) and want them on one span.
   std::uint64_t allocate_trace_id() { return ++next_trace_id_; }
 
+  /// Monotonic per-network id for endpoints that tie-break on creation
+  /// order (BGP's lowest-uid best-exit election). Scoped to the network —
+  /// not a process-wide static — so concurrent simulations never share a
+  /// counter and every run hands out the same sequence.
+  std::uint64_t allocate_uid() { return ++next_uid_; }
+
   /// Registers a callback fired on every message send and delivery.
   /// Convergence probes use this as their quiescence signal; callbacks
   /// must be cheap and must not send messages.
@@ -212,6 +234,7 @@ class Network {
   obs::Histogram* delivery_latency_;  // net.delivery_latency, seconds
   obs::SpanSink* span_sink_ = nullptr;
   std::uint64_t next_trace_id_ = 0;
+  std::uint64_t next_uid_ = 0;
   std::uint64_t active_trace_id_ = 0;  // ambient id during on_message
   std::vector<std::function<void()>> activity_listeners_;
   std::vector<Channel> channels_;

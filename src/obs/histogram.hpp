@@ -54,6 +54,13 @@ class Histogram {
   /// Records one value. Negative values clamp to 0.
   void observe(double value);
 
+  /// Folds `other` into this histogram: buckets add element-wise (the two
+  /// histograms share one fixed bucket scheme, so no realignment is ever
+  /// needed), count/sum add, min/max combine. After merging, stats() is
+  /// exact for count/sum/min/max and quantiles interpolate over the
+  /// combined distribution — the aggregation path for cross-run sweeps.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }

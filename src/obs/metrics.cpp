@@ -80,6 +80,51 @@ HistogramStats Snapshot::histogram_stats(std::string_view name) const {
   return h != nullptr ? h->stats : HistogramStats{};
 }
 
+void Snapshot::merge_from(const Snapshot& other) {
+  sim_time_seconds = std::max(sim_time_seconds, other.sim_time_seconds);
+  // Samples are name-sorted in every snapshot; a linear merge keeps them
+  // that way. Counters add; gauges add (cross-cell sums).
+  std::vector<Sample> merged;
+  merged.reserve(samples.size() + other.samples.size());
+  auto a = samples.begin();
+  auto b = other.samples.begin();
+  while (a != samples.end() || b != other.samples.end()) {
+    if (b == other.samples.end() ||
+        (a != samples.end() && a->name < b->name)) {
+      merged.push_back(std::move(*a++));
+    } else if (a == samples.end() || b->name < a->name) {
+      merged.push_back(*b++);
+    } else {
+      Sample s = std::move(*a++);
+      s.count += b->count;
+      s.value += b->value;
+      merged.push_back(s);
+      ++b;
+    }
+  }
+  samples = std::move(merged);
+
+  std::vector<HistogramSample> hists;
+  hists.reserve(histograms.size() + other.histograms.size());
+  auto ha = histograms.begin();
+  auto hb = other.histograms.begin();
+  while (ha != histograms.end() || hb != other.histograms.end()) {
+    if (hb == other.histograms.end() ||
+        (ha != histograms.end() && ha->name < hb->name)) {
+      hists.push_back(std::move(*ha++));
+    } else if (ha == histograms.end() || hb->name < ha->name) {
+      hists.push_back(*hb++);
+    } else {
+      HistogramSample h = std::move(*ha++);
+      h.distribution.merge(hb->distribution);
+      h.stats = h.distribution.stats();
+      hists.push_back(std::move(h));
+      ++hb;
+    }
+  }
+  histograms = std::move(hists);
+}
+
 namespace {
 
 /// Shared body for the pretty (write_json) and single-line (write_jsonl)
@@ -208,7 +253,7 @@ Snapshot Metrics::snapshot(double sim_time_seconds) {
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) {
-    snap.histograms.push_back(HistogramSample{name, hist->stats()});
+    snap.histograms.push_back(HistogramSample{name, hist->stats(), *hist});
   }
   return snap;
 }

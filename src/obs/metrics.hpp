@@ -62,10 +62,14 @@ struct Sample {
   double value = 0.0;       ///< value for gauges (== count for counters)
 };
 
-/// One exported histogram distribution.
+/// One exported histogram distribution. Snapshots carry the full bucket
+/// array (not just the stats) so snapshots from independent runs can be
+/// merged with exact counts and honestly interpolated quantiles — the
+/// cross-run aggregation path the sweep engine rests on.
 struct HistogramSample {
   std::string name;
   HistogramStats stats;
+  Histogram distribution;
 };
 
 /// A consistent export of every instrument, taken at one simulated time.
@@ -96,6 +100,15 @@ struct Snapshot {
   /// The write_json schema compacted onto a single line (plus '\n'), for
   /// JSONL time series (`scenario_runner --metrics-every`).
   void write_jsonl(std::ostream& os) const;
+
+  /// Folds another run's snapshot into this one: counters and gauges add
+  /// by name (instruments absent on either side are kept/adopted), and
+  /// histograms merge at bucket level, so the combined quantiles reflect
+  /// every underlying sample rather than an average of averages.
+  /// sim_time_seconds becomes the max of the two (the longest run). The
+  /// aggregation semantics of the sweep engine: counters are event totals
+  /// across cells, gauges become cross-cell sums.
+  void merge_from(const Snapshot& other);
 };
 
 class Metrics {

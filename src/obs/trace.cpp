@@ -87,7 +87,11 @@ void Tracer::reset() {
 }
 
 Tracer& tracer() {
-  static Tracer instance;
+  // Thread-local, not process-global: each sweep worker thread owns an
+  // independent tracer (default level kOff), so concurrent simulations
+  // never race on the level, clock, or sink list. Single-threaded tools
+  // see exactly the old process-wide behaviour.
+  thread_local Tracer instance;
   return instance;
 }
 

@@ -84,9 +84,10 @@ class JsonlSink final : public TraceSink {
   std::ostream& out_;
 };
 
-/// The dispatcher: level filter, sim-time clock, sink fan-out. One global
-/// instance (obs::tracer()) serves the whole process, mirroring the old
-/// global net::log_level().
+/// The dispatcher: level filter, sim-time clock, sink fan-out. One
+/// instance per thread (obs::tracer()) serves that thread's simulations,
+/// mirroring the old global net::log_level() for single-threaded tools
+/// while keeping parallel sweep workers fully isolated.
 class Tracer {
  public:
   Tracer();
@@ -126,7 +127,7 @@ class Tracer {
   std::vector<std::shared_ptr<TraceSink>> sinks_;
 };
 
-/// The process-wide tracer.
+/// The calling thread's tracer (process-wide for single-threaded tools).
 [[nodiscard]] Tracer& tracer();
 
 /// Lazily-formatted logging: the callable receives an ostream and is only

@@ -24,7 +24,7 @@ Candidate make_candidate(PeerIndex via, std::vector<DomainId> path,
                          int local_pref, std::uint64_t exit_uid,
                          bool internal = false) {
   Candidate c;
-  c.route = Route{Prefix::parse("224.0.0.0/16"), std::move(path), 1,
+  c.route = Route{Prefix::parse("224.0.0.0/16"), PathRef::intern(path), 1,
                   local_pref};
   c.via = via;
   c.internal = internal;
@@ -503,6 +503,102 @@ TEST(Speaker, Figure1GroupRouteDistribution) {
     ASSERT_TRUE(hit.has_value());
     EXPECT_EQ(hit->next_hop, &a3) << s->name();
     EXPECT_TRUE(hit->internal);
+  }
+}
+
+// --------------------------------------------------------------- PathTable
+
+TEST(PathTable, InterningIsCanonical) {
+  const PathRef a = PathRef::intern({7, 8, 9});
+  const PathRef b = PathRef::intern({7, 8, 9});
+  const PathRef c = PathRef::intern({7, 8});
+  EXPECT_EQ(a.id(), b.id());  // hash-consing: same hops, same handle
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.id(), c.id());
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a == std::vector<DomainId>({7, 8, 9}));
+  EXPECT_FALSE(a == std::vector<DomainId>({7, 8}));
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a.contains(8));
+  EXPECT_FALSE(a.contains(10));
+}
+
+TEST(PathTable, EmptyPathIsIdZeroAndFree) {
+  const PathRef empty;
+  EXPECT_EQ(empty.id(), 0u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.data(), nullptr);
+  EXPECT_EQ(PathRef::intern(nullptr, 0).id(), 0u);
+  EXPECT_EQ(empty, PathRef::intern({}));
+}
+
+TEST(PathTable, PrependBuildsTheExportPath) {
+  const PathRef tail = PathRef::intern({5, 6});
+  const PathRef full = tail.prepend(4);
+  EXPECT_TRUE(full == std::vector<DomainId>({4, 5, 6}));
+  // Prepending onto the empty path yields the one-hop origin path.
+  const PathRef origin = PathRef().prepend(9);
+  EXPECT_TRUE(origin == std::vector<DomainId>({9}));
+  // And the result is canonical with a direct intern of the same hops.
+  EXPECT_EQ(full.id(), PathRef::intern({4, 5, 6}).id());
+}
+
+TEST(PathTable, RefcountFreesAndRecyclesIds) {
+  const auto live_before = PathTable::instance().stats().live_paths;
+  std::uint32_t freed_id = 0;
+  {
+    const PathRef only = PathRef::intern({1000001, 1000002});
+    freed_id = only.id();
+    EXPECT_EQ(PathTable::instance().stats().live_paths, live_before + 1);
+    const PathRef copy = only;  // copies share the entry…
+    EXPECT_EQ(PathTable::instance().stats().live_paths, live_before + 1);
+    EXPECT_EQ(copy.id(), only.id());
+  }
+  // …and when the last ref dies the entry is gone: re-interning a new
+  // path recycles the freed id instead of growing the table.
+  EXPECT_EQ(PathTable::instance().stats().live_paths, live_before);
+  const PathRef next = PathRef::intern({1000003});
+  EXPECT_EQ(next.id(), freed_id);
+}
+
+TEST(PathTable, StatsCountHitsAndMisses) {
+  PathTable::instance().reset_stats();
+  const PathRef a = PathRef::intern({2000001, 2000002});  // miss
+  const PathRef b = PathRef::intern({2000001, 2000002});  // hit
+  const PathRef c = PathRef::intern({2000003});           // miss
+  (void)a;
+  (void)b;
+  (void)c;
+  const PathTable::Stats stats = PathTable::instance().stats();
+  EXPECT_EQ(stats.interned, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 1.0 / 3.0);
+}
+
+TEST(PathTable, MoveTransfersOwnershipWithoutRefTraffic) {
+  const auto live_before = PathTable::instance().stats().live_paths;
+  PathRef a = PathRef::intern({3000001, 3000002, 3000003});
+  const std::uint32_t id = a.id();
+  PathRef b = std::move(a);
+  EXPECT_EQ(b.id(), id);
+  EXPECT_EQ(a.id(), 0u);  // moved-from is the empty path
+  EXPECT_EQ(PathTable::instance().stats().live_paths, live_before + 1);
+  b = PathRef();  // releasing the only ref frees the entry
+  EXPECT_EQ(PathTable::instance().stats().live_paths, live_before);
+}
+
+TEST(PathTable, SurvivesBucketGrowth) {
+  // Intern enough distinct paths to force several rehashes, then verify
+  // canonical lookup still works for all of them.
+  std::vector<PathRef> keep;
+  keep.reserve(300);
+  for (DomainId i = 0; i < 300; ++i) {
+    keep.push_back(PathRef::intern({4000000 + i, 4100000 + i}));
+  }
+  for (DomainId i = 0; i < 300; ++i) {
+    EXPECT_EQ(PathRef::intern({4000000 + i, 4100000 + i}).id(),
+              keep[i].id());
   }
 }
 
