@@ -1,0 +1,158 @@
+// Chaos CLI: seeded failure schedules against the full architecture with
+// the invariant checkers (src/check) sweeping throughout. One run per
+// seed; each emits a JSON record whose {seed, step, schedule} triple
+// replays any violation exactly (src/eval/chaos.hpp).
+//
+// Usage:
+//   chaos_scenario [--seeds N | --seed S] [--domains D] [--steps T]
+//                  [--check-every K] [--loss P] [--reorder P]
+//                  [--groups G] [--joins J] [--out FILE] [--check]
+//                  [--inject-skip-waiting] [--expect-violations]
+//
+// --check exits 1 unless every seed passes (zero violations + final
+// quiescence). --inject-skip-waiting collapses the MASC waiting period to
+// ~zero (and forces --check-every 1): the deliberate §4.1 bug the overlap
+// checker must catch. --expect-violations inverts the gate — exit 0 only
+// if every seed reports at least one violation (the CI detection
+// self-test). On any violation the run's JSON is also written to
+// chaos-violation-seed<S>.json for artifact upload.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/chaos.hpp"
+
+int main(int argc, char** argv) {
+  eval::ChaosConfig base;
+  std::uint64_t first_seed = 1;
+  int seed_count = 1;
+  bool gate = false;
+  bool expect_violations = false;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "chaos_scenario: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seed_count = std::atoi(next());
+    } else if (arg == "--seed") {
+      first_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--domains") {
+      base.domains = std::atoi(next());
+    } else if (arg == "--steps") {
+      base.steps = std::atoi(next());
+    } else if (arg == "--check-every") {
+      base.check_every = std::atoi(next());
+    } else if (arg == "--loss") {
+      base.loss_rate = std::atof(next());
+    } else if (arg == "--reorder") {
+      base.reorder_rate = std::atof(next());
+    } else if (arg == "--groups") {
+      base.groups = std::atoi(next());
+    } else if (arg == "--joins") {
+      base.joins = std::atoi(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--check") {
+      gate = true;
+    } else if (arg == "--inject-skip-waiting") {
+      base.inject_skip_waiting_period = true;
+      base.check_every = 1;  // the overlap window is narrow; sweep every step
+    } else if (arg == "--expect-violations") {
+      expect_violations = true;
+    } else {
+      std::cerr << "chaos_scenario: unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (seed_count < 1) {
+    std::cerr << "chaos_scenario: --seeds must be >= 1\n";
+    return 2;
+  }
+
+  std::ofstream out;
+  if (!out_path.empty()) {
+    out.open(out_path);
+    if (!out) {
+      std::cerr << "chaos_scenario: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << "[\n";
+  }
+
+  int failed = 0;
+  int violated = 0;
+  double wall = 0.0;
+  for (int s = 0; s < seed_count; ++s) {
+    eval::ChaosConfig config = base;
+    config.seed = first_seed + static_cast<std::uint64_t>(s);
+    eval::ChaosResult result;
+    try {
+      result = eval::run_chaos(config);
+    } catch (const std::exception& e) {
+      std::cerr << "chaos_scenario: seed " << config.seed
+                << " threw: " << e.what() << "\n";
+      ++failed;
+      continue;
+    }
+    wall += result.wall_seconds;
+    if (out.is_open()) {
+      if (s > 0) out << ",\n";
+      result.write_json(out);
+    }
+    if (!result.violations.empty()) {
+      ++violated;
+      std::cerr << "chaos_scenario: seed " << config.seed << " violated "
+                << result.violations.size() << " invariant(s):\n";
+      for (const eval::ChaosViolation& v : result.violations) {
+        std::cerr << "  step " << v.step << " [" << v.invariant << "] "
+                  << v.subject << ": " << v.detail << "\n";
+      }
+      std::cerr << "  replay: chaos_scenario --seed " << config.seed
+                << " --domains " << config.domains << " --steps "
+                << config.steps << " --check-every " << config.check_every
+                << (config.inject_skip_waiting_period
+                        ? " --inject-skip-waiting"
+                        : "")
+                << "\n";
+      const std::string dump =
+          "chaos-violation-seed" + std::to_string(config.seed) + ".json";
+      std::ofstream dump_out(dump);
+      if (dump_out) {
+        result.write_json(dump_out);
+        std::cerr << "  wrote " << dump << "\n";
+      }
+    } else if (!result.quiesced) {
+      ++failed;
+      std::cerr << "chaos_scenario: seed " << config.seed
+                << " did not quiesce after the final heal\n";
+    }
+    if (!expect_violations && result.violations.empty() &&
+        result.quiesced) {
+      std::cerr << "chaos_scenario: seed " << config.seed << " ok ("
+                << result.schedule.size() << " steps, "
+                << result.checks_run << " sweeps, " << result.events_run
+                << " events)\n";
+    }
+  }
+  if (out.is_open()) out << "]\n";
+
+  std::cerr << "chaos_scenario: " << seed_count << " seed(s), " << violated
+            << " with violations, " << failed << " failed, " << wall
+            << "s\n";
+  if (expect_violations) {
+    // Detection self-test: the injected bug must be caught on EVERY seed.
+    return violated == seed_count && failed == 0 ? 0 : 1;
+  }
+  if (gate) return violated == 0 && failed == 0 ? 0 : 1;
+  return 0;
+}

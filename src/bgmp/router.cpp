@@ -294,6 +294,21 @@ void Router::sync_migp_state(Group group) {
   service_.migp_border_state(*this, group, want);
 }
 
+void Router::lose_all_state() {
+  // A crashed router cannot send prunes or notifications — state simply
+  // vanishes. MIGP border state is withdrawn through the domain service
+  // (the MIGP is the domain's state, not this router's), everything else
+  // is dropped on the floor.
+  for (auto& [group, have] : migp_state_) {
+    if (have) service_.migp_border_state(*this, group, false);
+  }
+  migp_state_.clear();
+  star_entries_.clear();
+  source_entries_.clear();
+  encapsulators_.clear();
+  reresolve_pending_ = false;
+}
+
 void Router::add_star_child(Group group, const TargetKey& child) {
   const auto [it, created] = star_entries_.try_emplace(group);
   GroupEntry& entry = it->second;

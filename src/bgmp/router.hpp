@@ -177,6 +177,25 @@ class Router final : public net::Endpoint {
   [[nodiscard]] bgp::Speaker& speaker() { return speaker_; }
   [[nodiscard]] const bgp::Speaker& speaker() const { return speaker_; }
 
+  /// Full tree-state views for the invariant checkers, which walk the
+  /// target-list graph across routers (bidirectionality, acyclicity,
+  /// G-RIB consistency).
+  [[nodiscard]] const std::map<Group, GroupEntry>& star_entries() const {
+    return star_entries_;
+  }
+  [[nodiscard]] const std::map<SourceGroup, SourceEntry>& source_entries()
+      const {
+    return source_entries_;
+  }
+
+  /// Models a router crash: all soft state (tree entries, MIGP border
+  /// state, encapsulator bookkeeping) vanishes without notifying anyone —
+  /// peers only find out when their transport sessions reset. The paper's
+  /// soft-state robustness argument is that the tree re-converges from
+  /// peers' reactions plus re-expressed membership; the chaos harness
+  /// pairs this with session bounces and a rejoin.
+  void lose_all_state();
+
   // net::Endpoint:
   void on_message(net::ChannelId channel,
                   std::unique_ptr<net::Message> msg) override;

@@ -113,6 +113,15 @@ class Rib {
   [[nodiscard]] std::vector<std::pair<net::Prefix, Route>> best_routes()
       const;
 
+  /// Full-entry traversal (prefix, RibEntry) in address order — lets an
+  /// invariant checker recompute the decision process over the candidate
+  /// set and compare against the stored selection.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    trie_.for_each(
+        [&](const net::Prefix& p, const RibEntry& entry) { fn(p, entry); });
+  }
+
  private:
   net::PrefixTrie<RibEntry> trie_;
   std::uint64_t version_ = 0;

@@ -111,6 +111,19 @@ class Speaker final : public net::Endpoint {
   [[nodiscard]] std::optional<Relationship> relationship_with(
       const Speaker& peer) const;
 
+  /// Session introspection for invariant checkers: the number of peerings
+  /// (the PeerIndex range), the speaker behind one, and whether its
+  /// transport session is currently up. A RIB candidate whose `via` names
+  /// a down session is stale state the session teardown should have
+  /// flushed.
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+  [[nodiscard]] Speaker* peer_speaker(PeerIndex index) const {
+    return peers_.at(index).speaker;
+  }
+  [[nodiscard]] bool peer_session_up(PeerIndex index) const {
+    return network_.is_up(peers_.at(index).channel);
+  }
+
   // net::Endpoint:
   void on_message(net::ChannelId channel,
                   std::unique_ptr<net::Message> msg) override;

@@ -1,0 +1,166 @@
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgmp/router.hpp"
+#include "bgmp/types.hpp"
+#include "check/invariant.hpp"
+#include "core/internet.hpp"
+
+namespace check {
+
+namespace {
+
+std::vector<bgmp::Router*> all_routers(core::Internet& net) {
+  std::vector<bgmp::Router*> routers;
+  for (std::size_t i = 0; i < net.domain_count(); ++i) {
+    core::Domain& d = net.domain(i);
+    for (std::size_t b = 0; b < d.border_count(); ++b) {
+      routers.push_back(&d.bgmp_router(b));
+    }
+  }
+  return routers;
+}
+
+/// The next router on the rootward walk implied by an entry's parent
+/// target, or nullptr if the entry terminates here (self-rooted,
+/// membership-only, or orphaned).
+bgmp::Router* parent_hop(const bgmp::GroupEntry& entry) {
+  if (!entry.parent) return nullptr;
+  if (entry.parent->kind == bgmp::TargetKey::Kind::kPeer) {
+    return entry.parent->peer;
+  }
+  return entry.parent_relay;  // nullptr = rooted at this domain
+}
+
+std::string group_subject(const bgmp::Router* router, bgmp::Group group) {
+  return router->name() + " (*," + group.to_string() + ")";
+}
+
+}  // namespace
+
+void BgmpBidirectionalInvariant::check(core::Internet& net,
+                                       std::vector<Violation>& out) {
+  for (bgmp::Router* router : all_routers(net)) {
+    for (const auto& [group, entry] : router->star_entries()) {
+      // Parent side: our external parent must list us as a child.
+      if (entry.parent &&
+          entry.parent->kind == bgmp::TargetKey::Kind::kPeer) {
+        bgmp::Router* parent = entry.parent->peer;
+        const bgmp::GroupEntry* theirs = parent->star_entry(group);
+        if (theirs == nullptr ||
+            !theirs->children.contains(bgmp::TargetKey::external(router))) {
+          out.push_back(Violation{
+              std::string(name()), group_subject(router, group),
+              "joined parent " + parent->name() +
+                  " but is not on its child list"});
+        }
+      }
+      // Child side: every external child must point back at us as parent.
+      for (const auto& [child, refcount] : entry.children) {
+        if (child.kind != bgmp::TargetKey::Kind::kPeer) continue;
+        (void)refcount;
+        const bgmp::GroupEntry* theirs = child.peer->star_entry(group);
+        const bgmp::TargetKey us = bgmp::TargetKey::external(router);
+        if (theirs == nullptr || !theirs->parent || *theirs->parent != us) {
+          out.push_back(Violation{
+              std::string(name()), group_subject(router, group),
+              "lists " + child.peer->name() +
+                  " as a child, but that router's parent is elsewhere"});
+        }
+      }
+    }
+  }
+}
+
+void BgmpAcyclicInvariant::check(core::Internet& net,
+                                 std::vector<Violation>& out) {
+  const std::vector<bgmp::Router*> routers = all_routers(net);
+  std::set<bgmp::Group> groups;
+  for (bgmp::Router* router : routers) {
+    for (const auto& [group, entry] : router->star_entries()) {
+      (void)entry;
+      groups.insert(group);
+    }
+  }
+  for (const bgmp::Group group : groups) {
+    std::set<const bgmp::Router*> implicated;
+    for (bgmp::Router* start : routers) {
+      if (implicated.contains(start)) continue;
+      std::set<const bgmp::Router*> visited;
+      const bgmp::Router* walk = start;
+      while (walk != nullptr) {
+        if (!visited.insert(walk).second) {
+          out.push_back(Violation{
+              std::string(name()), group_subject(walk, group),
+              "parent chain cycles through " + walk->name()});
+          implicated.insert(visited.begin(), visited.end());
+          break;
+        }
+        const bgmp::GroupEntry* entry = walk->star_entry(group);
+        walk = entry != nullptr ? parent_hop(*entry) : nullptr;
+      }
+    }
+  }
+}
+
+void BgmpGribAgreementInvariant::check(core::Internet& net,
+                                       std::vector<Violation>& out) {
+  // Resolve "the next hop toward the group's root domain" exactly as the
+  // routers do (§5.2): a G-RIB lookup, external next hops becoming peer
+  // parents, internal next hops a MIGP parent relayed through that router.
+  std::map<const bgp::Speaker*, bgmp::Router*> by_speaker;
+  for (bgmp::Router* router : all_routers(net)) {
+    by_speaker[&router->speaker()] = router;
+  }
+  for (bgmp::Router* router : all_routers(net)) {
+    for (const auto& [group, entry] : router->star_entries()) {
+      const auto hit =
+          router->speaker().lookup(bgp::RouteType::kGroup, group);
+      if (!hit) {
+        // No route toward any root: the entry may survive as an orphan
+        // (membership with nowhere to join), but a peer parent without a
+        // route is stale tree state.
+        if (entry.parent &&
+            entry.parent->kind == bgmp::TargetKey::Kind::kPeer) {
+          out.push_back(Violation{
+              std::string(name()), group_subject(router, group),
+              "parent " + entry.parent->peer->name() +
+                  " held with no G-RIB route toward a root"});
+        }
+        continue;
+      }
+      bgmp::TargetKey expected = bgmp::TargetKey::migp();
+      bgmp::Router* expected_relay = nullptr;
+      if (hit->next_hop != nullptr) {
+        const auto mapped = by_speaker.find(hit->next_hop);
+        if (mapped == by_speaker.end()) continue;  // no BGMP mirror
+        if (hit->internal) {
+          expected_relay = mapped->second;
+        } else {
+          expected = bgmp::TargetKey::external(mapped->second);
+        }
+      }
+      if (!entry.parent) {
+        out.push_back(Violation{
+            std::string(name()), group_subject(router, group),
+            "entry is orphaned although the G-RIB resolves a rootward "
+            "parent"});
+        continue;
+      }
+      const bool matches =
+          *entry.parent == expected &&
+          (expected.kind != bgmp::TargetKey::Kind::kMigp ||
+           entry.parent_relay == expected_relay);
+      if (!matches) {
+        out.push_back(Violation{
+            std::string(name()), group_subject(router, group),
+            "parent disagrees with a fresh G-RIB resolution (stale tree "
+            "direction)"});
+      }
+    }
+  }
+}
+
+}  // namespace check

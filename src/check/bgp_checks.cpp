@@ -1,0 +1,81 @@
+#include <string>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "bgp/speaker.hpp"
+#include "check/invariant.hpp"
+#include "core/internet.hpp"
+
+namespace check {
+
+namespace {
+
+template <typename Fn>
+void for_each_speaker(core::Internet& net, Fn&& fn) {
+  for (std::size_t i = 0; i < net.domain_count(); ++i) {
+    core::Domain& d = net.domain(i);
+    for (std::size_t b = 0; b < d.border_count(); ++b) fn(d.speaker(b));
+  }
+}
+
+}  // namespace
+
+void BgpDecisionInvariant::check(core::Internet& net,
+                                 std::vector<Violation>& out) {
+  for_each_speaker(net, [&](bgp::Speaker& speaker) {
+    for (int t = 0; t < bgp::kRouteTypeCount; ++t) {
+      const auto type = static_cast<bgp::RouteType>(t);
+      speaker.rib(type).for_each_entry(
+          [&](const net::Prefix& prefix, const bgp::RibEntry& entry) {
+            const bgp::Candidate* best = entry.best();
+            if (best == nullptr) {
+              if (!entry.empty()) {
+                out.push_back(Violation{
+                    std::string(name()),
+                    speaker.name() + " " + bgp::to_string(type) + " " +
+                        prefix.to_string(),
+                    "entry has candidates but no selection"});
+              }
+              return;
+            }
+            for (const bgp::Candidate& candidate : entry.candidates()) {
+              if (bgp::better(candidate, *best)) {
+                out.push_back(Violation{
+                    std::string(name()),
+                    speaker.name() + " " + bgp::to_string(type) + " " +
+                        prefix.to_string(),
+                    "stored best route is not maximal under the decision "
+                    "process (a better candidate exists)"});
+                break;
+              }
+            }
+          });
+    }
+  });
+}
+
+void BgpNextHopLiveInvariant::check(core::Internet& net,
+                                    std::vector<Violation>& out) {
+  for_each_speaker(net, [&](bgp::Speaker& speaker) {
+    for (int t = 0; t < bgp::kRouteTypeCount; ++t) {
+      const auto type = static_cast<bgp::RouteType>(t);
+      speaker.rib(type).for_each_entry(
+          [&](const net::Prefix& prefix, const bgp::RibEntry& entry) {
+            for (const bgp::Candidate& candidate : entry.candidates()) {
+              if (candidate.via == bgp::kLocalPeer) continue;
+              if (speaker.peer_session_up(candidate.via)) continue;
+              const bgp::Speaker* peer = speaker.peer_speaker(candidate.via);
+              out.push_back(Violation{
+                  std::string(name()),
+                  speaker.name() + " " + bgp::to_string(type) + " " +
+                      prefix.to_string(),
+                  "candidate learned from " +
+                      (peer != nullptr ? peer->name() : std::string("?")) +
+                      " survives while that session is down"});
+            }
+          });
+    }
+  });
+}
+
+}  // namespace check

@@ -1,0 +1,122 @@
+#include <map>
+#include <set>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "core/internet.hpp"
+#include "masc/node.hpp"
+#include "masc/pool.hpp"
+
+namespace check {
+
+namespace {
+
+/// Transitive allocation ancestors per domain, from the recorded MASC
+/// parent peerings (child claims from ancestor space, so overlap between
+/// the two is containment, not collision).
+std::map<const core::Domain*, std::set<const core::Domain*>> ancestor_map(
+    core::Internet& net) {
+  std::map<const core::Domain*, const core::Domain*> parent;
+  for (const core::Internet::MascPeering& peering : net.masc_peerings()) {
+    if (peering.b_is == masc::MascNode::PeerKind::kParent) {
+      parent[peering.a] = peering.b;
+    }
+  }
+  std::map<const core::Domain*, std::set<const core::Domain*>> ancestors;
+  for (const auto& [child, _] : parent) {
+    std::set<const core::Domain*>& up = ancestors[child];
+    const core::Domain* walk = child;
+    while (true) {
+      const auto it = parent.find(walk);
+      if (it == parent.end() || !up.insert(it->second).second) break;
+      walk = it->second;
+    }
+  }
+  return ancestors;
+}
+
+struct HeldRange {
+  const core::Domain* domain;
+  net::Prefix prefix;
+};
+
+std::vector<HeldRange> held_ranges(core::Internet& net) {
+  std::vector<HeldRange> held;
+  for (std::size_t i = 0; i < net.domain_count(); ++i) {
+    core::Domain& d = net.domain(i);
+    for (const masc::ClaimedPrefix& p : d.masc_node().pool().prefixes()) {
+      held.push_back(HeldRange{&d, p.prefix});
+    }
+  }
+  return held;
+}
+
+}  // namespace
+
+void MascOverlapInvariant::check(core::Internet& net,
+                                 std::vector<Violation>& out) {
+  const std::vector<HeldRange> held = held_ranges(net);
+  const auto ancestors = ancestor_map(net);
+  const auto related = [&](const core::Domain* x, const core::Domain* y) {
+    const auto xa = ancestors.find(x);
+    if (xa != ancestors.end() && xa->second.contains(y)) return true;
+    const auto ya = ancestors.find(y);
+    return ya != ancestors.end() && ya->second.contains(x);
+  };
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    for (std::size_t j = i + 1; j < held.size(); ++j) {
+      if (held[i].domain == held[j].domain) continue;
+      if (!held[i].prefix.overlaps(held[j].prefix)) continue;
+      if (related(held[i].domain, held[j].domain)) continue;
+      out.push_back(Violation{
+          std::string(name()),
+          held[i].domain->name() + "+" + held[j].domain->name(),
+          held[i].domain->name() + " holds " + held[i].prefix.to_string() +
+              " overlapping " + held[j].prefix.to_string() + " held by " +
+              held[j].domain->name()});
+    }
+  }
+}
+
+void MascLifetimeInvariant::check(core::Internet& net,
+                                  std::vector<Violation>& out) {
+  const net::SimTime now = net.events().now();
+  for (std::size_t i = 0; i < net.domain_count(); ++i) {
+    core::Domain& d = net.domain(i);
+    for (const masc::ClaimedPrefix& p : d.masc_node().pool().prefixes()) {
+      if (p.expires > now) continue;
+      out.push_back(Violation{
+          std::string(name()), d.name(),
+          "held range " + p.prefix.to_string() + " lapsed at " +
+              p.expires.to_string() + " but was not released (now " +
+              now.to_string() + ")"});
+    }
+  }
+}
+
+void MascContainmentInvariant::check(core::Internet& net,
+                                     std::vector<Violation>& out) {
+  for (const core::Internet::MascPeering& peering : net.masc_peerings()) {
+    if (peering.b_is != masc::MascNode::PeerKind::kParent) continue;
+    core::Domain* child = peering.a;
+    core::Domain* parent = peering.b;
+    const auto& parent_held = parent->masc_node().pool().prefixes();
+    for (const masc::ClaimedPrefix& p : child->masc_node().pool().prefixes()) {
+      bool contained = false;
+      for (const masc::ClaimedPrefix& q : parent_held) {
+        if (q.prefix.contains(p.prefix)) {
+          contained = true;
+          break;
+        }
+      }
+      if (!contained) {
+        out.push_back(Violation{
+            std::string(name()), child->name(),
+            "held range " + p.prefix.to_string() +
+                " is outside every range held by parent " + parent->name()});
+      }
+    }
+  }
+}
+
+}  // namespace check

@@ -367,4 +367,24 @@ void Domain::on_group_absent(Group group) {
   joined_via_.erase(it);
 }
 
+void Domain::crash() {
+  for (Border& border : borders_) border.bgmp->lose_all_state();
+  joined_via_.clear();
+}
+
+void Domain::restart() {
+  for (const Group group : migp_->groups_with_members()) {
+    on_group_present(group);
+    if (!joined_via_.contains(group) && !borders_.empty()) {
+      // The G-RIB is still empty right after the crash (BGP sessions only
+      // just came back). Rejoin through the first border anyway: the (*,G)
+      // entry starts orphaned and re-parents via the route-change listener
+      // once routes re-arrive, instead of the membership being lost.
+      bgmp::Router* fallback = borders_.front().bgmp.get();
+      joined_via_[group] = fallback;
+      fallback->local_members_present(group);
+    }
+  }
+}
+
 }  // namespace core

@@ -109,6 +109,17 @@ class Domain final : public bgmp::DomainService,
   /// tree path to this source is poor.
   void build_source_branch(net::Ipv4Addr source, Group group);
 
+  // -- failure injection -----------------------------------------------------
+  /// Border-router crash: every border's BGMP soft state and the domain's
+  /// join bookkeeping vanish silently. Host membership (MIGP state) and
+  /// MASC allocations (stable storage, §4.1) survive. Peers learn of the
+  /// crash only through session resets — Internet::crash_restart_domain
+  /// bounces the channels around this call.
+  void crash();
+  /// Restart recovery: re-expresses local membership so the (new) best
+  /// exit routers rejoin the inter-domain trees.
+  void restart();
+
   // -- bgmp::DomainService ---------------------------------------------------
   bool deliver_data(bgmp::Router& self, net::Ipv4Addr source, Group group,
                     int hops) override;

@@ -95,17 +95,64 @@ void Internet::set_link_state(const Domain& a, const Domain& b, bool up) {
                                 a.name() + " and " + b.name() +
                                 " are not linked");
   }
+  // A partition between the pair severs their MASC peering too (claims
+  // hold and flush on heal — the outage §4.1's waiting period spans).
+  for (const MascPeering& peering : masc_peerings_) {
+    const bool match = (peering.a == &a && peering.b == &b) ||
+                       (peering.a == &b && peering.b == &a);
+    if (match) network_.set_up(peering.channel, up);
+  }
   probe_->arm(up ? "link-up" : "link-down");
 }
 
+void Internet::set_domain_connectivity(const Domain& d, bool up) {
+  for (const Link& link : links_) {
+    if (link.a != &d && link.b != &d) continue;
+    network_.set_up(link.bgp_channel, up);
+    network_.set_up(link.bgmp_channel, up);
+  }
+  for (const MascPeering& peering : masc_peerings_) {
+    if (peering.a != &d && peering.b != &d) continue;
+    network_.set_up(peering.channel, up);
+  }
+  probe_->arm(up ? "domain-up" : "domain-down");
+}
+
+void Internet::crash_restart_domain(Domain& d) {
+  // Snapshot which channels touching the domain are up, so an ongoing
+  // partition stays partitioned across the restart.
+  std::vector<net::ChannelId> bounce;
+  for (const Link& link : links_) {
+    if (link.a != &d && link.b != &d) continue;
+    if (network_.is_up(link.bgp_channel)) bounce.push_back(link.bgp_channel);
+    if (network_.is_up(link.bgmp_channel)) bounce.push_back(link.bgmp_channel);
+  }
+  for (const MascPeering& peering : masc_peerings_) {
+    if (peering.a != &d && peering.b != &d) continue;
+    if (network_.is_up(peering.channel)) bounce.push_back(peering.channel);
+  }
+  // State vanishes first — a crashed router sends no prunes or withdrawals
+  // on its way down; peers find out from the session resets alone.
+  d.crash();
+  for (const net::ChannelId channel : bounce) network_.set_up(channel, false);
+  for (const net::ChannelId channel : bounce) network_.set_up(channel, true);
+  d.restart();
+  probe_->arm("domain-crash");
+}
+
 void Internet::masc_parent(Domain& child, Domain& parent) {
-  masc::MascNode::connect(child.masc_node(), parent.masc_node(),
-                          masc::MascNode::PeerKind::kParent);
+  const net::ChannelId channel =
+      masc::MascNode::connect(child.masc_node(), parent.masc_node(),
+                              masc::MascNode::PeerKind::kParent);
+  masc_peerings_.push_back(
+      MascPeering{&child, &parent, masc::MascNode::PeerKind::kParent, channel});
 }
 
 void Internet::masc_siblings(Domain& a, Domain& b) {
-  masc::MascNode::connect(a.masc_node(), b.masc_node(),
-                          masc::MascNode::PeerKind::kSibling);
+  const net::ChannelId channel = masc::MascNode::connect(
+      a.masc_node(), b.masc_node(), masc::MascNode::PeerKind::kSibling);
+  masc_peerings_.push_back(
+      MascPeering{&a, &b, masc::MascNode::PeerKind::kSibling, channel});
 }
 
 void Internet::settle(std::uint64_t max_events) {

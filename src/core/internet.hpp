@@ -57,13 +57,38 @@ class Internet {
             bgp::ExportPolicy b_export = bgp::ExportPolicy::kAdvertiseAll);
 
   /// Takes every link between two domains down (or back up): the eBGP and
-  /// BGMP sessions reset; routes flush, trees repair once BGP reconverges.
+  /// BGMP sessions reset, and any MASC peering between the pair partitions
+  /// too (its messages hold and flush on heal — the outage the waiting
+  /// period spans); routes flush, trees repair once BGP reconverges.
   /// Throws std::invalid_argument if the domains are not linked.
   void set_link_state(const Domain& a, const Domain& b, bool up);
+
+  /// Takes every link and MASC peering touching `d` down (or back up) —
+  /// a whole-domain partition.
+  void set_domain_connectivity(const Domain& d, bool up);
+
+  /// Crash-restarts a domain: every channel touching it bounces (sessions
+  /// reset, in-flight messages die), its BGMP soft state vanishes, and on
+  /// restart local membership is re-expressed so trees re-converge.
+  /// Channels that were already down (an ongoing partition) stay down.
+  void crash_restart_domain(Domain& d);
 
   /// MASC hierarchy wiring.
   void masc_parent(Domain& child, Domain& parent);
   void masc_siblings(Domain& a, Domain& b);
+
+  /// The recorded MASC peerings, for partition control and for the
+  /// invariant checkers to reconstruct the allocation hierarchy.
+  struct MascPeering {
+    Domain* a;
+    Domain* b;
+    /// What b is to a: kParent (a claims from b's space) or kSibling.
+    masc::MascNode::PeerKind b_is;
+    net::ChannelId channel;
+  };
+  [[nodiscard]] const std::vector<MascPeering>& masc_peerings() const {
+    return masc_peerings_;
+  }
 
   /// The quiescence watcher feeding `core.convergence_latency`. It is armed
   /// automatically on perturbations — set_link_state(), and link()/
@@ -124,6 +149,7 @@ class Internet {
   /// enable_step_profiling(). Keyed by the tag's (stable, literal) pointer.
   std::map<std::string, obs::Histogram*, std::less<>> step_histograms_;
   std::vector<Link> links_;
+  std::vector<MascPeering> masc_peerings_;
   std::vector<std::unique_ptr<Domain>> domains_;
   net::PrefixTrie<Domain*> unicast_map_;
   DeliveryObserver observer_;

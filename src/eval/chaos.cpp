@@ -1,0 +1,378 @@
+#include "eval/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "core/domain.hpp"
+#include "core/internet.hpp"
+#include "net/prefix.hpp"
+#include "net/rng.hpp"
+
+namespace eval {
+
+namespace {
+
+// The sweep backbone (bench/macro_scenario's shape), but with every linked
+// pair recorded so the schedule can pick flap victims.
+struct ChaosTopology {
+  std::vector<core::Domain*> tops;
+  std::vector<core::Domain*> children;
+  std::vector<std::pair<core::Domain*, core::Domain*>> links;
+};
+
+ChaosTopology build_topology(core::Internet& net, int domains) {
+  ChaosTopology topo;
+  const int tops = std::max(2, domains / 8);
+  for (int i = 0; i < domains; ++i) {
+    const bool is_top = i < tops;
+    core::Domain& d = net.add_domain(
+        {.id = static_cast<bgp::DomainId>(i + 1),
+         .name = (is_top ? "T" : "C") + std::to_string(i + 1)});
+    d.announce_unicast();
+    (is_top ? topo.tops : topo.children).push_back(&d);
+  }
+  const auto link = [&](core::Domain& a, core::Domain& b,
+                        bgp::Relationship rel) {
+    net.link(a, b, rel);
+    topo.links.emplace_back(&a, &b);
+  };
+  for (int i = 0; i < tops; ++i) {
+    link(*topo.tops[i], *topo.tops[(i + 1) % tops],
+         bgp::Relationship::kLateral);
+    if (tops > 2 && i + 2 < tops) {
+      link(*topo.tops[i], *topo.tops[i + 2], bgp::Relationship::kLateral);
+    }
+  }
+  for (std::size_t i = 0; i < topo.children.size(); ++i) {
+    core::Domain& parent = *topo.tops[i % tops];
+    link(parent, *topo.children[i], bgp::Relationship::kCustomer);
+    net.masc_parent(*topo.children[i], parent);
+  }
+  for (int i = 0; i < tops; ++i) {
+    for (int j = i + 1; j < tops; ++j) {
+      net.masc_siblings(*topo.tops[i], *topo.tops[j]);
+    }
+  }
+  return topo;
+}
+
+/// One leased group with its member bookkeeping (domain indices into the
+/// Internet), so churn can join/leave/send coherently.
+struct LiveGroup {
+  core::Domain* root;
+  std::size_t root_index;
+  core::Group group;
+  std::set<std::size_t> members;
+};
+
+/// A link or whole-domain partition scheduled to heal at a later step.
+struct PendingHeal {
+  int heal_step;
+  core::Domain* a;
+  core::Domain* b;  ///< nullptr = whole-domain partition of `a`
+};
+
+}  // namespace
+
+ChaosResult run_chaos(const ChaosConfig& config) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  ChaosResult result;
+  result.config = config;
+
+  // Three independent streams, all derived from the one seed: the
+  // perturbation schedule, the transport disturbance, and the workload
+  // (group placement and churn picks). The disturbance RNG outlives every
+  // use: the network holds a pointer to it until the final heal disables
+  // the disturbance again.
+  net::Rng schedule_rng(config.seed * 0x9E3779B97F4A7C15ull + 1);
+  net::Rng disturbance_rng = schedule_rng.split();
+  net::Rng workload_rng(config.seed * 7919 + 17);
+
+  core::Internet net(config.seed);
+  const ChaosTopology topo = build_topology(net, config.domains);
+
+  if (config.inject_skip_waiting_period) {
+    for (std::size_t i = 0; i < net.domain_count(); ++i) {
+      net.domain(i).masc_node().debug_set_waiting_period(
+          net::SimTime::milliseconds(1));
+    }
+  }
+
+  // ---- setup: claims, groups, initial membership (the sweep phases) ----
+  for (core::Domain* t : topo.tops) {
+    t->masc_node().set_spaces({net::multicast_space()});
+    t->masc_node().request_space(65536);
+  }
+  net.settle();
+  for (core::Domain* c : topo.children) c->masc_node().request_space(256);
+  net.settle();
+
+  const int groups =
+      config.groups > 0 ? config.groups : std::max(1, config.domains / 4);
+  std::vector<LiveGroup> live;
+  for (int g = 0; g < groups && !topo.children.empty(); ++g) {
+    const std::size_t pick =
+        static_cast<std::size_t>(g) % topo.children.size();
+    core::Domain* initiator = topo.children[pick];
+    auto lease = initiator->create_group();
+    if (!lease.has_value()) {
+      net.settle();
+      lease = initiator->create_group();
+    }
+    if (lease.has_value()) {
+      const std::size_t root_index =
+          topo.tops.size() + pick;  // domains were added tops-first
+      live.push_back({initiator, root_index, lease->address, {}});
+    }
+  }
+  net.settle();
+  for (LiveGroup& l : live) {
+    for (int j = 0; j < config.joins; ++j) {
+      const std::size_t pick = workload_rng.index(net.domain_count());
+      if (pick == l.root_index) continue;
+      if (!l.members.insert(pick).second) continue;
+      net.domain(pick).host_join(l.group);
+    }
+  }
+  net.settle();
+  for (const LiveGroup& l : live) l.root->send(l.group);
+  net.settle();
+
+  // ---- chaos phase ------------------------------------------------------
+  const net::Network::Disturbance base_disturbance{
+      config.loss_rate, config.retransmit_delay, config.reorder_rate,
+      config.max_jitter};
+  net.network().set_disturbance(base_disturbance, &disturbance_rng);
+
+  check::CheckerSuite suite = check::CheckerSuite::standard();
+  const auto sweep = [&](int step, bool quiescent) {
+    // The lifetime invariant is over *aged* state: renew/expire first.
+    for (std::size_t i = 0; i < net.domain_count(); ++i) {
+      net.domain(i).masc_node().age_now();
+    }
+    ++result.checks_run;
+    for (check::Violation& v : suite.run(net, quiescent)) {
+      result.violations.push_back(ChaosViolation{
+          step, std::move(v.invariant), std::move(v.subject),
+          std::move(v.detail)});
+    }
+  };
+
+  std::vector<PendingHeal> pending;
+  std::set<std::pair<core::Domain*, core::Domain*>> down_links;
+  std::set<core::Domain*> down_domains;
+  bool burst_active = false;
+
+  const int weight_total = config.w_flap + config.w_partition +
+                           config.w_crash + config.w_claim_storm +
+                           config.w_churn + config.w_loss_burst;
+  const auto note = [&](int step, const std::string& what) {
+    result.schedule.push_back("step " + std::to_string(step) + ": " + what);
+  };
+
+  for (int step = 0; step < config.steps && result.violations.empty();
+       ++step) {
+    // Heal whatever is due, and end any loss burst from the last step.
+    if (burst_active) {
+      net.network().set_disturbance(base_disturbance, &disturbance_rng);
+      burst_active = false;
+    }
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->heal_step > step) {
+        ++it;
+        continue;
+      }
+      if (it->b != nullptr) {
+        net.set_link_state(*it->a, *it->b, true);
+        down_links.erase({it->a, it->b});
+      } else {
+        net.set_domain_connectivity(*it->a, true);
+        down_domains.erase(it->a);
+      }
+      it = pending.erase(it);
+    }
+
+    // Draw this step's perturbation. Under waiting-period injection the
+    // first step is forced to be a claim storm, so the deliberately
+    // broken claim–collide exchange is exercised on every seed.
+    int draw = static_cast<int>(
+        schedule_rng.uniform_int(0, weight_total - 1));
+    if (config.inject_skip_waiting_period && step == 0) {
+      draw = config.w_flap + config.w_partition + config.w_crash;
+    }
+    const auto takes = [&](int weight) {
+      if (draw < weight) return true;
+      draw -= weight;
+      return false;
+    };
+    if (takes(config.w_flap)) {
+      const auto& victim = topo.links[schedule_rng.index(topo.links.size())];
+      if (!down_links.contains(victim) && !down_domains.contains(victim.first) &&
+          !down_domains.contains(victim.second)) {
+        const int heal =
+            step + 1 + static_cast<int>(schedule_rng.uniform_int(0, 2));
+        net.set_link_state(*victim.first, *victim.second, false);
+        down_links.insert(victim);
+        pending.push_back({heal, victim.first, victim.second});
+        note(step, "flap " + victim.first->name() + "--" +
+                       victim.second->name() + " (heal @" +
+                       std::to_string(heal) + ")");
+      } else {
+        note(step, "flap skipped (victim already partitioned)");
+      }
+    } else if (takes(config.w_partition)) {
+      core::Domain& d = net.domain(schedule_rng.index(net.domain_count()));
+      if (!down_domains.contains(&d)) {
+        const int heal =
+            step + 1 + static_cast<int>(schedule_rng.uniform_int(0, 2));
+        net.set_domain_connectivity(d, false);
+        down_domains.insert(&d);
+        pending.push_back({heal, &d, nullptr});
+        note(step, "partition " + d.name() + " (heal @" +
+                       std::to_string(heal) + ")");
+      } else {
+        note(step, "partition skipped (already isolated)");
+      }
+    } else if (takes(config.w_crash)) {
+      core::Domain& d = net.domain(schedule_rng.index(net.domain_count()));
+      net.crash_restart_domain(d);
+      note(step, "crash-restart " + d.name());
+    } else if (takes(config.w_claim_storm)) {
+      // Two sibling tops claim concurrently — the claim–collide exchange
+      // under load (and, with the waiting period injected away, the very
+      // overlap the checker must catch) — plus one child expanding.
+      std::string storm = "claim-storm";
+      const std::size_t first = schedule_rng.index(topo.tops.size());
+      topo.tops[first]->masc_node().request_space(4096);
+      storm += " " + topo.tops[first]->name();
+      if (topo.tops.size() > 1) {
+        const std::size_t second =
+            (first + 1 + schedule_rng.index(topo.tops.size() - 1)) %
+            topo.tops.size();
+        topo.tops[second]->masc_node().request_space(4096);
+        storm += "," + topo.tops[second]->name();
+      }
+      if (!topo.children.empty()) {
+        core::Domain& c =
+            *topo.children[schedule_rng.index(topo.children.size())];
+        c.masc_node().request_space(256);
+        storm += ",+" + c.name();
+      }
+      note(step, storm);
+    } else if (takes(config.w_churn)) {
+      std::string churn = "churn";
+      const int ops = 1 + static_cast<int>(schedule_rng.uniform_int(0, 2));
+      for (int op = 0; op < ops && !live.empty(); ++op) {
+        LiveGroup& l = live[schedule_rng.index(live.size())];
+        const int kind = static_cast<int>(schedule_rng.uniform_int(0, 9));
+        if (kind < 5) {  // join
+          const std::size_t pick = schedule_rng.index(net.domain_count());
+          if (pick != l.root_index && l.members.insert(pick).second) {
+            net.domain(pick).host_join(l.group);
+            churn += " join(" + net.domain(pick).name() + "," +
+                     l.group.to_string() + ")";
+          }
+        } else if (kind < 8) {  // leave
+          if (!l.members.empty()) {
+            auto it = l.members.begin();
+            std::advance(it, schedule_rng.index(l.members.size()));
+            net.domain(*it).host_leave(l.group);
+            churn += " leave(" + net.domain(*it).name() + "," +
+                     l.group.to_string() + ")";
+            l.members.erase(it);
+          }
+        } else {  // send
+          l.root->send(l.group);
+          churn += " send(" + l.group.to_string() + ")";
+        }
+      }
+      note(step, churn);
+    } else {
+      // Loss burst: one step of a much dirtier transport.
+      net::Network::Disturbance burst = base_disturbance;
+      burst.loss_rate = std::min(0.25, config.loss_rate * 10 + 0.05);
+      burst.reorder_rate = std::min(0.5, config.reorder_rate * 4 + 0.1);
+      net.network().set_disturbance(burst, &disturbance_rng);
+      burst_active = true;
+      note(step, "loss-burst");
+    }
+
+    // Let the perturbation land, sweep if due, then run out the gap.
+    net.run_until(net.events().now() + net::SimTime::milliseconds(5));
+    if ((step + 1) % std::max(1, config.check_every) == 0) {
+      sweep(step, /*quiescent=*/false);
+    }
+    net.run_until(net.events().now() + config.step_gap);
+  }
+
+  // ---- final heal, quiescence, full sweep -------------------------------
+  net.network().set_disturbance({}, nullptr);
+  if (result.violations.empty()) {
+    for (const PendingHeal& heal : pending) {
+      if (heal.b != nullptr) {
+        net.set_link_state(*heal.a, *heal.b, true);
+      } else {
+        net.set_domain_connectivity(*heal.a, true);
+      }
+    }
+    net.settle();
+    net::ConvergenceProbe& probe = net.convergence_probe();
+    probe.arm("chaos-final");
+    net.settle();
+    result.quiesced = !probe.armed();
+    sweep(config.steps, /*quiescent=*/true);
+  }
+
+  result.events_run = net.events().events_run();
+  result.sim_seconds = net.events().now().to_seconds();
+  result.metrics = net.metrics_snapshot();
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+void ChaosResult::write_json(std::ostream& os) const {
+  os << "{\n  \"bench\": \"chaos\",\n  \"seed\": " << config.seed
+     << ",\n  \"domains\": " << config.domains
+     << ",\n  \"steps\": " << config.steps
+     << ",\n  \"check_every\": " << config.check_every
+     << ",\n  \"loss_rate\": " << config.loss_rate
+     << ",\n  \"reorder_rate\": " << config.reorder_rate
+     << ",\n  \"inject_skip_waiting_period\": "
+     << (config.inject_skip_waiting_period ? "true" : "false")
+     << ",\n  \"passed\": " << (passed() ? "true" : "false")
+     << ",\n  \"quiesced\": " << (quiesced ? "true" : "false")
+     << ",\n  \"events_run\": " << events_run
+     << ",\n  \"checks_run\": " << checks_run
+     << ",\n  \"sim_seconds\": " << sim_seconds
+     << ",\n  \"wall_seconds\": " << wall_seconds << ",\n  \"schedule\": [";
+  bool first = true;
+  for (const std::string& line : schedule) {
+    os << (first ? "" : ",") << "\n    \"" << obs::detail::json_escape(line)
+       << "\"";
+    first = false;
+  }
+  os << "\n  ],\n  \"violations\": [";
+  first = true;
+  for (const ChaosViolation& v : violations) {
+    os << (first ? "" : ",") << "\n    {\"step\": " << v.step
+       << ", \"invariant\": \"" << obs::detail::json_escape(v.invariant)
+       << "\", \"subject\": \"" << obs::detail::json_escape(v.subject)
+       << "\", \"detail\": \"" << obs::detail::json_escape(v.detail)
+       << "\"}";
+    first = false;
+  }
+  os << "\n  ],\n  \"metrics\": ";
+  metrics.write_jsonl(os);  // single line, ends in '\n'
+  os << "}\n";
+}
+
+}  // namespace eval

@@ -50,8 +50,8 @@ MascNode::MascNode(net::Network& network, DomainId domain, std::string name,
                &network.metrics().histogram(
                    "masc.collision_resolution_latency")} {}
 
-void MascNode::connect(MascNode& a, MascNode& b, PeerKind b_is,
-                       net::SimTime latency) {
+net::ChannelId MascNode::connect(MascNode& a, MascNode& b, PeerKind b_is,
+                                 net::SimTime latency) {
   const net::ChannelId channel = a.network_.connect(a, b, latency);
   PeerKind a_is;  // what a is to b
   switch (b_is) {
@@ -68,6 +68,7 @@ void MascNode::connect(MascNode& a, MascNode& b, PeerKind b_is,
   } else if (b_is == PeerKind::kChild) {
     a.send_advertisements();
   }
+  return channel;
 }
 
 void MascNode::set_spaces(std::vector<net::Prefix> spaces) {

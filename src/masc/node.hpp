@@ -102,9 +102,12 @@ class MascNode final : public net::Endpoint {
   enum class PeerKind { kParent, kChild, kSibling };
 
   /// Connects two nodes; `b_is` states what `b` is to `a` (kParent means b
-  /// is a's parent; a is then registered as b's child, etc.).
-  static void connect(MascNode& a, MascNode& b, PeerKind b_is,
-                      net::SimTime latency = net::SimTime::milliseconds(50));
+  /// is a's parent; a is then registered as b's child, etc.). Returns the
+  /// channel so topology owners can partition MASC peerings alongside the
+  /// physical links they ride on.
+  static net::ChannelId connect(
+      MascNode& a, MascNode& b, PeerKind b_is,
+      net::SimTime latency = net::SimTime::milliseconds(50));
 
   /// Configures the claiming space directly — for top-level domains, which
   /// claim "from the entire multicast address space, 224/4" (or from the
@@ -130,6 +133,15 @@ class MascNode final : public net::Endpoint {
   [[nodiscard]] int collisions_suffered() const { return collisions_; }
   [[nodiscard]] bool has_pending_claim() const {
     return pending_.has_value();
+  }
+
+  /// Fault injection: overrides the claim waiting period (applies to
+  /// claims started after the call). Shrinking it below the claim
+  /// propagation latency deliberately breaks §4.1's safety argument —
+  /// the chaos harness uses this to prove the overlap checker catches
+  /// the resulting overlapping sibling allocations.
+  void debug_set_waiting_period(net::SimTime period) {
+    params_.waiting_period = period;
   }
 
   // net::Endpoint:

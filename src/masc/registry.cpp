@@ -14,12 +14,16 @@ bool is_live(const ClaimRegistry::Entry& entry, net::SimTime now) {
 
 bool ClaimRegistry::live_overlap_exists(const net::Prefix& prefix,
                                         net::SimTime now) const {
-  // An overlap is an ancestor (on the path to the prefix) or any descendant.
+  // An overlap is an ancestor (on the path to the prefix) or any
+  // descendant. Expiry is lazy, so the whole ancestor chain must be
+  // walked: an expired deep entry must not shadow a live shallow one.
   bool found = false;
-  const auto ancestor = trie_.longest_match(prefix);
-  if (ancestor && is_live(*ancestor->second, now)) return true;
-  trie_.for_each_within(prefix, [&](const net::Prefix&, const Entry& e) {
+  trie_.for_each_ancestor(prefix, [&](const net::Prefix&, const Entry& e) {
     if (is_live(e, now)) found = true;
+  });
+  if (found) return true;
+  trie_.for_each_within(prefix, [&](const net::Prefix& p, const Entry& e) {
+    if (p.length() > prefix.length() && is_live(e, now)) found = true;
   });
   return found;
 }
@@ -40,12 +44,11 @@ bool ClaimRegistry::claim(const net::Prefix& prefix, DomainId owner,
       foreign = true;
     }
   };
-  const auto ancestor = trie_.longest_match(prefix);
-  if (ancestor) consider(ancestor->first, *ancestor->second);
+  trie_.for_each_ancestor(prefix, [&](const net::Prefix& p, const Entry& e) {
+    consider(p, e);
+  });
   trie_.for_each_within(prefix, [&](const net::Prefix& p, const Entry& e) {
-    if (p != (ancestor ? ancestor->first : net::Prefix{}) || !ancestor) {
-      consider(p, e);
-    }
+    if (p.length() > prefix.length()) consider(p, e);
   });
   if (foreign) return false;
   // Doubling/renewal: own claims covered by (or covering) the new prefix
@@ -66,13 +69,14 @@ bool ClaimRegistry::is_free(const net::Prefix& prefix,
 
 std::optional<std::pair<net::Prefix, ClaimRegistry::Entry>>
 ClaimRegistry::conflicting(const net::Prefix& prefix, net::SimTime now) const {
-  const auto ancestor = trie_.longest_match(prefix);
-  if (ancestor && is_live(*ancestor->second, now)) {
-    return {{ancestor->first, *ancestor->second}};
-  }
   std::optional<std::pair<net::Prefix, Entry>> hit;
-  trie_.for_each_within(prefix, [&](const net::Prefix& p, const Entry& e) {
+  trie_.for_each_ancestor(prefix, [&](const net::Prefix& p, const Entry& e) {
     if (!hit && is_live(e, now)) hit = {{p, e}};
+  });
+  trie_.for_each_within(prefix, [&](const net::Prefix& p, const Entry& e) {
+    if (!hit && p.length() > prefix.length() && is_live(e, now)) {
+      hit = {{p, e}};
+    }
   });
   return hit;
 }
@@ -100,13 +104,11 @@ void ClaimRegistry::free_decompose(const net::Prefix& space, net::SimTime now,
   }
   // Some live claim overlaps. If a live claim covers the whole space (or
   // equals it), nothing is free here; otherwise split and recurse.
-  const auto ancestor = trie_.longest_match(space);
-  if (ancestor && is_live(*ancestor->second, now)) return;  // covered
-  if (const Entry* exact = trie_.find(space);
-      exact != nullptr && is_live(*exact, now)) {
-    return;
-  }
-  if (space.length() == 32) return;
+  bool covered = false;
+  trie_.for_each_ancestor(space, [&](const net::Prefix&, const Entry& e) {
+    if (is_live(e, now)) covered = true;
+  });
+  if (covered || space.length() == 32) return;
   free_decompose(space.left_child(), now, out);
   free_decompose(space.right_child(), now, out);
 }

@@ -85,6 +85,10 @@ class Migp {
   [[nodiscard]] virtual bool has_members(Group group) const = 0;
   [[nodiscard]] virtual bool router_has_members(RouterId at,
                                                 Group group) const = 0;
+  /// Every group with at least one local member, in address order. Host
+  /// membership survives a border-router crash, so restart recovery
+  /// re-expresses exactly this set to the new BGMP state.
+  [[nodiscard]] virtual std::vector<Group> groups_with_members() const = 0;
 
   // -- border-router group state (driven by BGMP) --------------------------
   /// The BGMP component at `border` joined `group` on the inter-domain

@@ -63,6 +63,14 @@ bool MigpBase::router_has_members(RouterId at, Group group) const {
   return g != members_.end() && g->second.contains(at);
 }
 
+std::vector<Group> MigpBase::groups_with_members() const {
+  std::vector<Group> groups;
+  for (const auto& [group, routers] : members_) {
+    if (!routers.empty()) groups.push_back(group);
+  }
+  return groups;
+}
+
 void MigpBase::border_join(RouterId border, Group group) {
   check_router(border);
   if (!is_border(border)) {

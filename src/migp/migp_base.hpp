@@ -25,6 +25,7 @@ class MigpBase : public Migp {
   [[nodiscard]] bool has_members(Group group) const override;
   [[nodiscard]] bool router_has_members(RouterId at,
                                         Group group) const override;
+  [[nodiscard]] std::vector<Group> groups_with_members() const override;
 
   void border_join(RouterId border, Group group) override;
   void border_leave(RouterId border, Group group) override;

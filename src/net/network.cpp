@@ -16,6 +16,7 @@ Network::Network(EventQueue& events, obs::Metrics* metrics)
       delivered_(&metrics_->counter("net.messages_delivered")),
       dropped_(&metrics_->counter("net.messages_dropped")),
       held_total_(&metrics_->counter("net.messages_held")),
+      retransmitted_(&metrics_->counter("net.messages_retransmitted")),
       delivery_latency_(&metrics_->histogram("net.delivery_latency")) {
   // Sampled state refreshes when a snapshot is taken, keeping reads off
   // the send/deliver hot paths.
@@ -112,16 +113,53 @@ std::uint64_t Network::send(ChannelId id, const Endpoint& from,
   return trace_id;
 }
 
+SimTime Network::disturbance_delay() {
+  if (disturbance_rng_ == nullptr) return SimTime{};
+  SimTime extra;
+  // Geometric retransmission: each lost transmission costs one timeout.
+  // Capped so a pathological loss_rate cannot stall the simulation.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (!disturbance_rng_->chance(disturbance_.loss_rate)) break;
+    retransmitted_->inc();
+    extra = extra + disturbance_.retransmit_delay;
+  }
+  if (disturbance_.reorder_rate > 0.0 &&
+      disturbance_rng_->chance(disturbance_.reorder_rate)) {
+    extra = extra +
+            disturbance_rng_->uniform_time(SimTime{}, disturbance_.max_jitter);
+  }
+  return extra;
+}
+
 void Network::schedule_delivery(ChannelId id, Endpoint* to,
                                 std::unique_ptr<Message> msg, SimTime sent_at,
                                 SimTime latency) {
   // Fixed per-channel latency plus FIFO event ordering keeps each direction
   // in order — the reliable in-order property BGP/BGMP expect from TCP.
+  // Under disturbance, extra delay models retransmissions/jitter; the
+  // per-direction floor turns any delay into head-of-line blocking so the
+  // in-order property survives.
+  Channel& ch = channel(id);
+  SimTime deliver_at = events_.now() + latency + disturbance_delay();
+  SimTime& floor = to == ch.b ? ch.floor_to_b : ch.floor_to_a;
+  if (deliver_at < floor) deliver_at = floor;
+  floor = deliver_at;
+  // A TCP reset (drop_when_down channel going down) invalidates in-flight
+  // segments: the delivery closure carries the session epoch it was sent
+  // under and is discarded on mismatch.
+  const std::uint32_t epoch = ch.epoch;
   // The scheduled action is a move-only SmallFunction, so the message
   // unique_ptr rides in the closure directly with no extra allocation.
   events_.schedule_in(
-      latency,
-      [this, id, to, msg = std::move(msg), sent_at]() mutable {
+      deliver_at - events_.now(),
+      [this, id, to, msg = std::move(msg), sent_at, epoch]() mutable {
+        Channel& target = channel(id);
+        if (target.epoch != epoch) {
+          dropped_->inc();
+          record_span(obs::SpanEvent::Kind::kDrop, *msg, peer_of(id, *to),
+                      *to);
+          return;
+        }
         deliver(id, *to, std::move(msg), sent_at);
       },
       "net.deliver");
@@ -167,9 +205,18 @@ void Network::set_up(ChannelId id, bool up) {
     ch.a->on_channel_up(id);
     ch.b->on_channel_up(id);
   } else {
+    if (ch.drop_when_down) {
+      // Session reset: everything still in flight dies with the session.
+      ++ch.epoch;
+    }
     ch.a->on_channel_down(id);
     ch.b->on_channel_down(id);
   }
+}
+
+void Network::set_disturbance(const Disturbance& disturbance, Rng* rng) {
+  disturbance_ = disturbance;
+  disturbance_rng_ = rng;
 }
 
 bool Network::is_up(ChannelId id) const { return channel(id).up; }

@@ -19,6 +19,7 @@
 
 #include "net/event.hpp"
 #include "net/message_pool.hpp"
+#include "net/rng.hpp"
 #include "net/time.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -129,10 +130,37 @@ class Network {
   /// heal (TCP retransmission across a short outage — what MASC's waiting
   /// period is designed to span). With drop-when-down, messages sent while
   /// the channel is down are lost (a reset transport session — BGP/BGMP
-  /// peerings, which resynchronize explicitly on re-establishment).
+  /// peerings, which resynchronize explicitly on re-establishment), and
+  /// taking the channel down also discards messages already in flight:
+  /// a TCP reset kills unacknowledged segments, so nothing sent on the old
+  /// session may surface on the new one.
   void set_drop_when_down(ChannelId channel, bool drop);
   [[nodiscard]] std::uint64_t messages_dropped() const {
     return dropped_->value();
+  }
+
+  /// Adverse delivery conditions, applied to every channel. The transport
+  /// stays reliable and in-order (the TCP abstraction BGP/BGMP/MASC sit
+  /// on), so "loss" surfaces as retransmission delay and "reorder" as
+  /// jitter absorbed by head-of-line blocking: a delayed message also
+  /// delays everything sent after it on the same direction of the channel.
+  struct Disturbance {
+    /// Per-transmission drop probability; each drop costs one
+    /// retransmit_delay, drawn repeatedly (geometric, capped).
+    double loss_rate = 0.0;
+    SimTime retransmit_delay = SimTime::milliseconds(200);
+    /// Probability a message is jittered by up to max_jitter.
+    double reorder_rate = 0.0;
+    SimTime max_jitter = SimTime::milliseconds(40);
+  };
+
+  /// Enables the disturbance model, drawing from caller-owned `rng`
+  /// (which must outlive the network or be detached with nullptr).
+  /// Passing nullptr disables it; disabled costs zero RNG draws, so
+  /// existing seeded runs are byte-identical.
+  void set_disturbance(const Disturbance& disturbance, Rng* rng);
+  [[nodiscard]] std::uint64_t messages_retransmitted() const {
+    return retransmitted_->value();
   }
 
   /// The endpoint on the far side of `channel` from `self`.
@@ -208,6 +236,15 @@ class Network {
     SimTime latency;
     bool up = true;
     bool drop_when_down = false;
+    // Transport-session generation. Bumped when a drop_when_down channel
+    // goes down (session reset); in-flight deliveries carry the epoch they
+    // were sent under and are discarded on mismatch.
+    std::uint32_t epoch = 0;
+    // Per-direction in-order floor: no delivery may be scheduled earlier
+    // than the latest one already scheduled in the same direction. Only
+    // binding under disturbance jitter (fixed latency is monotone anyway).
+    SimTime floor_to_a;
+    SimTime floor_to_b;
     // Messages held during a partition, per destination order of send.
     std::deque<QueuedMsg> held;
   };
@@ -219,6 +256,7 @@ class Network {
   void schedule_delivery(ChannelId id, Endpoint* to,
                          std::unique_ptr<Message> msg, SimTime sent_at,
                          SimTime latency);
+  [[nodiscard]] SimTime disturbance_delay();
   void record_span(obs::SpanEvent::Kind kind, const Message& msg,
                    const Endpoint& from, const Endpoint& to);
   void notify_activity();
@@ -231,7 +269,10 @@ class Network {
   obs::Counter* delivered_;
   obs::Counter* dropped_;
   obs::Counter* held_total_;  // messages that entered a partition queue
+  obs::Counter* retransmitted_;  // disturbance-model extra transmissions
   obs::Histogram* delivery_latency_;  // net.delivery_latency, seconds
+  Disturbance disturbance_;
+  Rng* disturbance_rng_ = nullptr;  // nullptr = disturbance disabled
   obs::SpanSink* span_sink_ = nullptr;
   std::uint64_t next_trace_id_ = 0;
   std::uint64_t next_uid_ = 0;

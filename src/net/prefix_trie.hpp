@@ -199,6 +199,26 @@ class PrefixTrie {
              &best->value}};
   }
 
+  /// Calls `fn(prefix, value)` for every stored entry that (non-strictly)
+  /// contains `key`, outermost first. Unlike longest_match, this visits the
+  /// whole ancestor chain — callers filtering on the values (e.g. claim
+  /// lifetimes) must see every candidate, not just the deepest.
+  template <typename Fn>
+  void for_each_ancestor(const Prefix& key, Fn&& fn) const {
+    const std::uint32_t kbase = key.base().value();
+    const int klen = key.length();
+    std::uint32_t cur = root_;
+    while (cur != kNull) {
+      const Node& n = nodes_[cur];
+      if (n.len > klen || !same_prefix(n.base, kbase, n.len)) break;
+      if (n.has_value) {
+        fn(Prefix::containing(Ipv4Addr{n.base}, n.len), n.value);
+      }
+      if (n.len == klen) break;
+      cur = n.child[bit_at(kbase, n.len)];
+    }
+  }
+
   /// True if any stored prefix overlaps `key` (contains it or is contained).
   [[nodiscard]] bool overlaps_any(const Prefix& key) const {
     const std::uint32_t kbase = key.base().value();

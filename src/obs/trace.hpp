@@ -6,10 +6,6 @@
 // classic narration of the Figure 1/3 walk-throughs), an in-memory ring
 // buffer for tests, or a JSONL file for offline analysis.
 //
-// The old `net::log_info` / `net::log_debug` free functions survive as
-// deprecated inline shims over this layer (net/log.hpp), so call sites
-// migrate incrementally; new code uses obs::log_info / obs::log_debug.
-//
 // Single-threaded like the rest of the simulation; no synchronization.
 #pragma once
 
@@ -86,14 +82,13 @@ class JsonlSink final : public TraceSink {
 
 /// The dispatcher: level filter, sim-time clock, sink fan-out. One
 /// instance per thread (obs::tracer()) serves that thread's simulations,
-/// mirroring the old global net::log_level() for single-threaded tools
-/// while keeping parallel sweep workers fully isolated.
+/// keeping parallel sweep workers fully isolated.
 class Tracer {
  public:
   Tracer();
 
-  /// The threshold, exposed as a settable reference so the legacy
-  /// `net::log_level() = LogLevel::kInfo` idiom still works.
+  /// The threshold, exposed as a settable reference so
+  /// `obs::tracer().level() = TraceLevel::kInfo` works in place.
   [[nodiscard]] TraceLevel& level() { return level_; }
 
   [[nodiscard]] bool enabled(TraceLevel level) const {

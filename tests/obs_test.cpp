@@ -9,7 +9,6 @@
 #include <string>
 
 #include "net/event.hpp"
-#include "net/log.hpp"
 #include "net/time.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
@@ -522,26 +521,6 @@ TEST_F(TracerTest, ClearClockOnlyDetachesMatchingQueue) {
   ASSERT_EQ(ring->records().size(), 2u);
   EXPECT_EQ(ring->records()[1].sim_time, net::SimTime());
 }
-
-// The legacy net::log_* free functions are deprecated shims over the
-// tracer; existing callers must keep compiling and land in the same sinks.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(TracerTest, DeprecatedNetShimsRouteThroughTracer) {
-  tracer().clear_sinks();
-  auto ring = std::make_shared<RingBufferSink>();
-  tracer().add_sink(ring);
-
-  net::log_level() = net::LogLevel::kInfo;  // aliases obs::tracer().level()
-  EXPECT_EQ(tracer().level(), TraceLevel::kInfo);
-
-  net::log_info("legacy", [](std::ostream& os) { os << "still works"; });
-  net::log_debug("legacy", [](std::ostream& os) { os << "gated"; });
-  ASSERT_EQ(ring->records().size(), 1u);
-  EXPECT_EQ(ring->records()[0].tag, "legacy");
-  EXPECT_EQ(ring->records()[0].message, "still works");
-}
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace obs
