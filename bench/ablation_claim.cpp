@@ -14,36 +14,17 @@
 //
 // Usage: ablation_claim [--days N] [--tops N] [--children N] [--seed N]
 #include <cstdio>
-#include <cstring>
 
+#include "eval/args.hpp"
 #include "eval/masc_sim.hpp"
 
 namespace {
-
-long long arg_value(int argc, char** argv, const char* name,
-                    long long fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
-  }
-  return fallback;
-}
 
 struct Row {
   const char* label;
   eval::MascSimSample steady;
   int failures;
 };
-
-eval::MascSimParams base_params(int argc, char** argv) {
-  eval::MascSimParams p;
-  p.top_level_domains =
-      static_cast<std::size_t>(arg_value(argc, argv, "--tops", 20));
-  p.children_per_top =
-      static_cast<std::size_t>(arg_value(argc, argv, "--children", 20));
-  p.horizon = net::SimTime::days(arg_value(argc, argv, "--days", 300));
-  p.seed = static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 7));
-  return p;
-}
 
 Row run(const char* label, const eval::MascSimParams& params) {
   const eval::MascSimResult result = eval::run_masc_sim(params);
@@ -66,7 +47,23 @@ void print_row(const Row& row) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const eval::MascSimParams base = base_params(argc, argv);
+  int days = 300;
+  int tops = 20;
+  int children = 20;
+  std::uint64_t seed = 7;
+  eval::Args args("ablation_claim",
+                  "Ablation A1: MASC claim-algorithm design variants");
+  args.opt("--days", &days, "simulated days");
+  args.opt("--tops", &tops, "top-level domains");
+  args.opt("--children", &children, "children per top-level domain");
+  args.opt("--seed", &seed, "simulation seed");
+  if (!args.parse(argc, argv)) return args.exit_code();
+
+  eval::MascSimParams base;
+  base.top_level_domains = static_cast<std::size_t>(tops);
+  base.children_per_top = static_cast<std::size_t>(children);
+  base.horizon = net::SimTime::days(days);
+  base.seed = seed;
   std::printf(
       "== Ablation A1: MASC claim-algorithm variants "
       "(%zu x %zu domains, %lld days) ==\n",

@@ -14,11 +14,15 @@
 // caught before commitment; beyond it, both commit and the late collision
 // resolution must revoke one side's range (the reason the waiting period
 // must "span network partitions").
+//
+// Usage: ablation_collide [--sizes 2,5,10,25,50] [--heal-at 0.1,0.5,0.9]
+//                         [--late-heal 1.5] [--events N]
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
+#include "eval/args.hpp"
 #include "masc/node.hpp"
 #include "net/event.hpp"
 #include "net/network.hpp"
@@ -66,10 +70,11 @@ struct Fleet {
   }
 };
 
-void contention(int n, masc::ClaimStrategy strategy) {
+void contention(int n, masc::ClaimStrategy strategy,
+                std::uint64_t event_budget) {
   Fleet fleet(n, strategy);
   for (auto& node : fleet.nodes) node->request_space(65536);
-  fleet.events.run(10'000'000);
+  fleet.events.run(event_budget);
   const double waits = fleet.last_grant.to_hours() / 48.0;
   std::printf("  %-14s n=%3d  collisions=%4d  granted=%3d  failed=%d  "
               "latency=%.0f waiting period(s)\n",
@@ -77,7 +82,7 @@ void contention(int n, masc::ClaimStrategy strategy) {
               fleet.granted, fleet.failed, waits);
 }
 
-void partition(double heal_fraction) {
+void partition(double heal_fraction, std::uint64_t event_budget) {
   Fleet fleet(2, masc::ClaimStrategy::kFirstFit);
   fleet.network.set_up(net::ChannelId{0}, false);
   fleet.nodes[0]->request_space(65536);
@@ -86,7 +91,7 @@ void partition(double heal_fraction) {
   const auto heal = net::SimTime::seconds_f(48.0 * 3600.0 * heal_fraction);
   fleet.events.run_until(heal);
   fleet.network.set_up(net::ChannelId{0}, true);
-  fleet.events.run(10'000'000);
+  fleet.events.run(event_budget);
   // Count live, non-overlapping committed ranges.
   const auto& a = fleet.nodes[0]->pool().prefixes();
   const auto& b = fleet.nodes[1]->pool().prefixes();
@@ -101,24 +106,42 @@ void partition(double heal_fraction) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
+  std::vector<int> sizes = {2, 5, 10, 25, 50};
+  std::vector<std::string> heal_at_text = {"0.1", "0.5", "0.9"};
+  double late_heal = 1.5;
+  std::uint64_t event_budget = 10'000'000;
+  eval::Args args("ablation_collide",
+                  "Ablation A2: claim–collide under contention and across "
+                  "partitions");
+  args.opt("--sizes", &sizes, "contention fleet sizes (csv)");
+  args.opt("--heal-at", &heal_at_text,
+           "partition heal points as fractions of the waiting period (csv)");
+  args.opt("--late-heal", &late_heal,
+           "heal fraction past the waiting period (both sides committed)");
+  args.opt("--events", &event_budget, "event budget per run");
+  if (!args.parse(argc, argv)) return args.exit_code();
+
+  std::vector<double> heal_at;
+  for (const std::string& f : heal_at_text) {
+    heal_at.push_back(std::strtod(f.c_str(), nullptr));
+  }
+
   std::printf("== Ablation A2: claim–collide under contention ==\n");
   std::printf("(simultaneous claims from the same space; the paper: random\n"
               " choice lowers collision odds vs deterministic claims)\n");
-  for (const int n : {2, 5, 10, 25, 50}) {
-    contention(n, masc::ClaimStrategy::kFirstFit);
+  for (const int n : sizes) {
+    contention(n, masc::ClaimStrategy::kFirstFit, event_budget);
   }
   std::printf("\n");
-  for (const int n : {2, 5, 10, 25, 50}) {
-    contention(n, masc::ClaimStrategy::kRandomBlockFirstSub);
+  for (const int n : sizes) {
+    contention(n, masc::ClaimStrategy::kRandomBlockFirstSub, event_budget);
   }
 
   std::printf("\n== Ablation A2: partitions vs the 48h waiting period ==\n");
-  for (const double f : {0.1, 0.5, 0.9}) partition(f);
+  for (const double f : heal_at) partition(f, event_budget);
   std::printf("  (healing within the waiting period: the loser retries\n"
               "   before committing — no revoked allocations)\n");
-  partition(1.5);
+  partition(late_heal, event_budget);
   std::printf("  (healing after both committed: the later claim is revoked\n"
               "   on heal — the disruption the 48h window exists to avoid)\n");
   return 0;

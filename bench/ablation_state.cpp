@@ -11,21 +11,13 @@
 //
 // Usage: ablation_state [--groups N]
 #include <cstdio>
-#include <cstring>
 #include <vector>
 
 #include "core/domain.hpp"
 #include "core/internet.hpp"
+#include "eval/args.hpp"
 
 namespace {
-
-long long arg_value(int argc, char** argv, const char* name,
-                    long long fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
-  }
-  return fallback;
-}
 
 core::Group nth_group(int n) {
   return net::Ipv4Addr{net::Ipv4Addr::parse("224.0.128.0").value() +
@@ -35,8 +27,11 @@ core::Group nth_group(int n) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int max_groups =
-      static_cast<int>(arg_value(argc, argv, "--groups", 128));
+  int max_groups = 128;
+  eval::Args args("ablation_state",
+                  "Ablation A4: raw vs aggregated (*,G) forwarding state");
+  args.opt("--groups", &max_groups, "largest group count in the sweep");
+  if (!args.parse(argc, argv)) return args.exit_code();
 
   std::printf("== Ablation A4: (*,G) vs aggregated (*,G-prefix) state ==\n");
   std::printf("%8s | %22s | %22s\n", "", "same members (2 domains)",

@@ -9,34 +9,28 @@
 //
 // Usage: ablation_treecost [--nodes N] [--trials N] [--seed N]
 #include <cstdio>
-#include <cstring>
 #include <set>
 #include <vector>
 
+#include "eval/args.hpp"
 #include "eval/tree_model.hpp"
 #include "net/rng.hpp"
 #include "topology/generators.hpp"
 
-namespace {
-
-long long arg_value(int argc, char** argv, const char* name,
-                    long long fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
-  }
-  return fallback;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const auto nodes =
-      static_cast<std::size_t>(arg_value(argc, argv, "--nodes", 3326));
-  const int trials = static_cast<int>(arg_value(argc, argv, "--trials", 10));
-  const auto seed =
-      static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1998));
+  int nodes = 3326;
+  int trials = 10;
+  std::uint64_t seed = 1998;
+  eval::Args args("ablation_treecost",
+                  "Ablation A3: tree bandwidth footprint per group");
+  args.opt("--nodes", &nodes, "topology size (domains)");
+  args.opt("--trials", &trials, "trials per point");
+  args.opt("--seed", &seed, "topology/receiver-draw seed");
+  if (!args.parse(argc, argv)) return args.exit_code();
+
   net::Rng rng(seed);
-  const topology::Graph graph = topology::make_as_level(nodes, 2, rng);
+  const topology::Graph graph =
+      topology::make_as_level(static_cast<std::size_t>(nodes), 2, rng);
 
   std::printf(
       "== Ablation A3: tree footprint (links occupied per group) ==\n"

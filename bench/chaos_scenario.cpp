@@ -17,12 +17,12 @@
 // self-test). On any violation the run's JSON is also written to
 // chaos-violation-seed<S>.json for artifact upload.
 #include <cstdint>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "eval/args.hpp"
 #include "eval/chaos.hpp"
 
 int main(int argc, char** argv) {
@@ -31,48 +31,31 @@ int main(int argc, char** argv) {
   int seed_count = 1;
   bool gate = false;
   bool expect_violations = false;
+  bool inject_skip_waiting = false;
   std::string out_path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "chaos_scenario: " << arg << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--seeds") {
-      seed_count = std::atoi(next());
-    } else if (arg == "--seed") {
-      first_seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--domains") {
-      base.domains = std::atoi(next());
-    } else if (arg == "--steps") {
-      base.steps = std::atoi(next());
-    } else if (arg == "--check-every") {
-      base.check_every = std::atoi(next());
-    } else if (arg == "--loss") {
-      base.loss_rate = std::atof(next());
-    } else if (arg == "--reorder") {
-      base.reorder_rate = std::atof(next());
-    } else if (arg == "--groups") {
-      base.groups = std::atoi(next());
-    } else if (arg == "--joins") {
-      base.joins = std::atoi(next());
-    } else if (arg == "--out") {
-      out_path = next();
-    } else if (arg == "--check") {
-      gate = true;
-    } else if (arg == "--inject-skip-waiting") {
-      base.inject_skip_waiting_period = true;
-      base.check_every = 1;  // the overlap window is narrow; sweep every step
-    } else if (arg == "--expect-violations") {
-      expect_violations = true;
-    } else {
-      std::cerr << "chaos_scenario: unknown flag " << arg << "\n";
-      return 2;
-    }
+  eval::Args args("chaos_scenario",
+                  "seeded failure schedules with invariant sweeps");
+  args.opt("--seeds", &seed_count, "number of consecutive seeds to run");
+  args.opt("--seed", &first_seed, "first seed");
+  args.opt("--domains", &base.domains, "topology size");
+  args.opt("--steps", &base.steps, "perturbation steps per seed");
+  args.opt("--check-every", &base.check_every,
+           "sweep the checkers every K steps");
+  args.opt("--loss", &base.loss_rate, "base transport loss rate");
+  args.opt("--reorder", &base.reorder_rate, "base transport reorder rate");
+  args.opt("--groups", &base.groups, "groups to lease (0 = domains/4)");
+  args.opt("--joins", &base.joins, "initial member joins per group");
+  args.opt("--out", &out_path, "write the JSON records here");
+  args.flag("--check", &gate, "exit 1 unless every seed passes");
+  args.flag("--inject-skip-waiting", &inject_skip_waiting,
+            "collapse the MASC waiting period (checker self-test bug)");
+  args.flag("--expect-violations", &expect_violations,
+            "invert the gate: require a violation on every seed");
+  if (!args.parse(argc, argv)) return args.exit_code();
+  if (inject_skip_waiting) {
+    base.inject_skip_waiting_period = true;
+    base.check_every = 1;  // the overlap window is narrow; sweep every step
   }
   if (seed_count < 1) {
     std::cerr << "chaos_scenario: --seeds must be >= 1\n";

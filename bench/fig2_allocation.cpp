@@ -14,30 +14,14 @@
 //                        [--max-prefixes N] [--csv PATH] [--metrics-out PATH]
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 
+#include "eval/args.hpp"
 #include "eval/masc_sim.hpp"
 #include "obs/metrics.hpp"
 
 namespace {
-
-long long arg_value(int argc, char** argv, const char* name,
-                    long long fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
-  }
-  return fallback;
-}
-
-const char* arg_string(int argc, char** argv, const char* name,
-                       const char* fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  }
-  return fallback;
-}
 
 // Default output lands next to the binary (i.e. under build/), not in the
 // invoking directory, so runs from a source checkout never litter the
@@ -52,23 +36,35 @@ std::string beside_binary(const char* argv0, const char* filename) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  int days = 800;
+  int tops = 50;
+  int children = 50;
+  int max_prefixes = 2;
+  int exchanges = 0;
+  std::uint64_t seed = 1998;
+  std::string csv_path = beside_binary(argv[0], "fig2_allocation.csv");
+  std::string metrics_out;
+
+  eval::Args args("fig2_allocation",
+                  "Figure 2: MASC address allocation over the paper's "
+                  "50x50-domain workload");
+  args.opt("--days", &days, "simulated days");
+  args.opt("--tops", &tops, "top-level domains");
+  args.opt("--children", &children, "children per top-level domain");
+  args.opt("--seed", &seed, "simulation seed");
+  args.opt("--max-prefixes", &max_prefixes, "prefixes-per-domain goal");
+  args.opt("--exchanges", &exchanges, "exchange count (0 = one mesh)");
+  args.opt("--csv", &csv_path, "daily series output path");
+  args.opt("--metrics-out", &metrics_out, "metrics snapshot output path");
+  if (!args.parse(argc, argv)) return args.exit_code();
+
   eval::MascSimParams params;
-  params.horizon =
-      net::SimTime::days(arg_value(argc, argv, "--days", 800));
-  params.top_level_domains =
-      static_cast<std::size_t>(arg_value(argc, argv, "--tops", 50));
-  params.children_per_top =
-      static_cast<std::size_t>(arg_value(argc, argv, "--children", 50));
-  params.seed = static_cast<std::uint64_t>(
-      arg_value(argc, argv, "--seed", 1998));
-  params.pool.max_prefixes =
-      static_cast<int>(arg_value(argc, argv, "--max-prefixes", 2));
-  params.exchanges =
-      static_cast<std::size_t>(arg_value(argc, argv, "--exchanges", 0));
-  const std::string default_csv =
-      beside_binary(argv[0], "fig2_allocation.csv");
-  const std::string csv_path =
-      arg_string(argc, argv, "--csv", default_csv.c_str());
+  params.horizon = net::SimTime::days(days);
+  params.top_level_domains = static_cast<std::size_t>(tops);
+  params.children_per_top = static_cast<std::size_t>(children);
+  params.seed = seed;
+  params.pool.max_prefixes = max_prefixes;
+  params.exchanges = static_cast<std::size_t>(exchanges);
 
   std::printf(
       "== Figure 2: MASC address allocation (%zu top-level x %zu children, "
@@ -150,11 +146,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(collide.count), collide.p50 / 3600.0,
       collide.p95 / 3600.0, collide.p99 / 3600.0);
 
-  if (const char* out = arg_string(argc, argv, "--metrics-out", nullptr);
-      out != nullptr) {
-    std::ofstream file(out);
+  if (!metrics_out.empty()) {
+    std::ofstream file(metrics_out);
     metrics.write_json(file);
-    std::printf("(metrics snapshot written to %s)\n", out);
+    std::printf("(metrics snapshot written to %s)\n", metrics_out.c_str());
   }
   return 0;
 }

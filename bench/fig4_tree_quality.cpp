@@ -24,7 +24,6 @@
 //                          [--csv PATH] [--protocol-check]
 //                          [--metrics-out PATH]
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <set>
@@ -33,6 +32,7 @@
 
 #include "core/domain.hpp"
 #include "core/internet.hpp"
+#include "eval/args.hpp"
 #include "eval/tree_model.hpp"
 #include "net/rng.hpp"
 #include "obs/metrics.hpp"
@@ -42,22 +42,6 @@ namespace {
 
 using topology::NodeId;
 
-long long arg_value(int argc, char** argv, const char* name,
-                    long long fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
-  }
-  return fallback;
-}
-
-const char* arg_string(int argc, char** argv, const char* name,
-                       const char* fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  }
-  return fallback;
-}
-
 // Default output lands next to the binary (i.e. under build/), not in the
 // invoking directory, so runs from a source checkout never litter the
 // repo root with generated artifacts.
@@ -66,13 +50,6 @@ std::string beside_binary(const char* argv0, const char* filename) {
   const auto slash = self.find_last_of('/');
   if (slash == std::string::npos) return filename;
   return self.substr(0, slash + 1) + filename;
-}
-
-bool arg_flag(int argc, char** argv, const char* name) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return true;
-  }
-  return false;
 }
 
 struct Accumulated {
@@ -231,17 +208,26 @@ int protocol_check(std::uint64_t seed, const char* metrics_out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto nodes =
-      static_cast<std::size_t>(arg_value(argc, argv, "--nodes", 3326));
-  const int trials = static_cast<int>(arg_value(argc, argv, "--trials", 10));
-  const auto seed =
-      static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1998));
-  const std::string kind = arg_string(argc, argv, "--topology", "ba");
-  const std::string file = arg_string(argc, argv, "--topology-file", "");
-  const std::string default_csv =
-      beside_binary(argv[0], "fig4_tree_quality.csv");
-  const std::string csv_path =
-      arg_string(argc, argv, "--csv", default_csv.c_str());
+  int nodes = 3326;
+  int trials = 10;
+  std::uint64_t seed = 1998;
+  std::string kind = "ba";
+  std::string file;
+  std::string csv_path = beside_binary(argv[0], "fig4_tree_quality.csv");
+  std::string metrics_out;
+  bool run_protocol_check = false;
+  eval::Args args("fig4_tree_quality",
+                  "Figure 4: path-length overhead of the four tree types");
+  args.opt("--nodes", &nodes, "topology size (domains)");
+  args.opt("--trials", &trials, "trials per group size");
+  args.opt("--seed", &seed, "topology/receiver-draw seed");
+  args.opt("--topology", &kind, "generator: ba or ts");
+  args.opt("--topology-file", &file, "real edge list to load instead");
+  args.opt("--csv", &csv_path, "series output path");
+  args.opt("--metrics-out", &metrics_out, "metrics snapshot output path");
+  args.flag("--protocol-check", &run_protocol_check,
+            "verify sampled scenarios through the real protocol stack");
+  if (!args.parse(argc, argv)) return args.exit_code();
 
   net::Rng rng(seed);
   topology::Graph graph;
@@ -255,7 +241,7 @@ int main(int argc, char** argv) {
   } else if (kind == "ts") {
     graph = topology::make_transit_stub({}, rng);
   } else {
-    graph = topology::make_as_level(nodes, 2, rng);
+    graph = topology::make_as_level(static_cast<std::size_t>(nodes), 2, rng);
   }
   std::printf(
       "== Figure 4: path-length overhead vs shortest-path trees ==\n"
@@ -308,10 +294,11 @@ int main(int argc, char** argv) {
       "\npaper's reported shape: hybrid avg <1.2x (max ~4x), bidirectional\n"
       "avg <1.3x (max ~4.5x), unidirectional avg ~2x (max ~6x).\n");
 
-  if (arg_flag(argc, argv, "--protocol-check")) {
-    const char* metrics_out =
-        arg_string(argc, argv, "--metrics-out", nullptr);
-    return protocol_check(seed, metrics_out) == 0 ? 0 : 1;
+  if (run_protocol_check) {
+    return protocol_check(seed, metrics_out.empty() ? nullptr
+                                                    : metrics_out.c_str()) == 0
+               ? 0
+               : 1;
   }
   return 0;
 }

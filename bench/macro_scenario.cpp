@@ -1,25 +1,37 @@
 // M2: macro benchmark — the full MASC → MAAS → BGP → BGMP pipeline at
-// scale. Builds a backbone ring of top-level domains with customer
-// children, runs the claim–collide exchange for every child, creates
-// groups, joins members from remote domains, and pushes data down the
-// trees. Reports wall time, simulated events, and the protocol message
-// economy (the number a batching change must move) as JSON.
+// scale. Builds the shared scenario shape (src/eval/scenario.hpp): a
+// backbone ring of top-level domains with customer children, the
+// claim–collide exchange, group leases with remote joins, data pushed
+// down the trees, then backbone link flaps. Reports wall time, simulated
+// events, the protocol message economy, peak RSS and routing-state bytes
+// as JSON.
 //
 // Usage:
 //   macro_scenario [--domains N] [--groups G] [--joins J] [--seed S]
+//                  [--max-tops T] [--active-children A] [--flap-pairs F]
+//                  [--ladder 256,1000,4000,10000]
 //                  [--out FILE] [--check BASELINE] [--tolerance FRAC]
 //
-// --check compares this run against a previously emitted JSON file: with
-// matching parameters the converged RIB digest must match exactly, and
-// the deterministic work counters (events run, messages sent, BGP
-// updates) may grow at most FRAC (default 0.25) before the exit code
-// turns nonzero. Wall-clock throughput is reported but not gated — it is
-// a property of the host, not of the code under test.
+// --ladder runs one rung per domain count (ascending) and emits a single
+// {"bench": "macro_ladder", "rungs": [...]} report. Rungs above 512
+// domains cap the backbone at 64 tops, activate only the first 256
+// children and flap 2 ring pairs (the regime of few sources and many
+// receivers); at or below 512 the legacy uncapped shape is preserved, so
+// the committed 256-domain rib_digest is invariant.
+//
+// --check compares this run against a previously emitted JSON file: the
+// baseline rung with matching parameters (a flat old-style report counts
+// as one rung) must reproduce the converged RIB digest exactly, and the
+// deterministic work counters (events run, messages sent, BGP updates)
+// may grow at most FRAC (default 0.25) before the exit code turns
+// nonzero. Wall-clock throughput and RSS are reported but not gated —
+// they are properties of the host, not of the code under test.
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -29,23 +41,24 @@
 #include "bgp/speaker.hpp"
 #include "core/domain.hpp"
 #include "core/internet.hpp"
+#include "eval/args.hpp"
+#include "eval/scenario.hpp"
 #include "net/prefix.hpp"
 #include "net/rng.hpp"
 
 namespace {
 
-struct Params {
-  int domains = 64;
-  int groups = 32;
-  int joins = 4;  // member domains per group
-  std::uint64_t seed = 1;
-  std::string out;
-  std::string check;
-  double tolerance = 0.25;
-};
+/// Peak resident set size of this process so far, in KiB (Linux
+/// ru_maxrss units). Monotonic across rungs — run ladders ascending so
+/// each rung's reading approximates its own peak.
+std::uint64_t peak_rss_kib() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+}
 
 struct Results {
-  Params params;
+  eval::ScenarioSpec spec;
   double wall_seconds = 0.0;
   std::uint64_t events_run = 0;
   std::uint64_t messages_sent = 0;
@@ -57,124 +70,50 @@ struct Results {
   std::uint64_t rib_digest = 0;  // FNV-1a over every domain's final RIBs
   double events_per_second = 0.0;
   double items_per_second = 0.0;  // protocol ops (claims+joins+deliveries)
+  std::uint64_t peak_rss_kib = 0;
+  double state_bytes_per_domain = 0.0;
+  // Incremental shortest-path engine work (vs one full build per source).
+  std::uint64_t path_full_builds = 0;
+  std::uint64_t path_nodes_touched = 0;
+  // Mean inter-domain hops actually travelled per delivery vs the
+  // shortest possible — the tree-stretch measure of §5.4.
+  double delivery_hops_mean = 0.0;
+  double delivery_stretch = 0.0;
 };
 
-void fnv_mix(std::uint64_t& h, std::uint64_t v) {
-  h ^= v;
-  h *= 0x100000001B3ull;
-}
-
-// Digest of the converged routing state: every domain's unicast RIB and
-// G-RIB best routes, in address order. Two runs that converge to the same
-// tables produce the same digest regardless of how many messages it took.
-std::uint64_t rib_digest(core::Internet& net) {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (std::size_t i = 0; i < net.domain_count(); ++i) {
-    core::Domain& d = net.domain(i);
-    for (const bgp::RouteType type :
-         {bgp::RouteType::kUnicast, bgp::RouteType::kGroup}) {
-      d.speaker().rib(type).for_each_best(
-          [&](const net::Prefix& p, const bgp::Candidate& c) {
-            fnv_mix(h, p.base().value());
-            fnv_mix(h, static_cast<std::uint64_t>(p.length()));
-            fnv_mix(h, c.route.origin_as);
-            fnv_mix(h, c.route.as_path.size());
-          });
-    }
-  }
-  return h;
-}
-
-Results run_scenario(const Params& params) {
+Results run_scenario(const eval::ScenarioSpec& spec) {
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
 
-  core::Internet net(params.seed);
-  const int tops = std::max(2, params.domains / 8);
-  std::vector<core::Domain*> top_domains;
-  std::vector<core::Domain*> children;
-  for (int i = 0; i < params.domains; ++i) {
-    const bool is_top = i < tops;
-    core::Domain& d = net.add_domain(
-        {.id = static_cast<bgp::DomainId>(i + 1),
-         .name = (is_top ? "T" : "C") + std::to_string(i + 1)});
-    d.announce_unicast();
-    (is_top ? top_domains : children).push_back(&d);
-  }
-  // Backbone ring of top-level domains; children hang off them
-  // round-robin as customers and MASC children.
-  for (int i = 0; i < tops; ++i) {
-    net.link(*top_domains[i], *top_domains[(i + 1) % tops]);
-    if (tops > 2 && i + 2 < tops) {  // chords shorten paths
-      net.link(*top_domains[i], *top_domains[i + 2]);
-    }
-  }
-  for (std::size_t i = 0; i < children.size(); ++i) {
-    core::Domain& parent = *top_domains[i % tops];
-    net.link(parent, *children[i], bgp::Relationship::kCustomer);
-    net.masc_parent(*children[i], parent);
-  }
-  // Top-level domains all claim from the shared 224/4, so each must hear
-  // the others' claims: a full sibling mesh (§4.4's exchange-point role).
-  for (int i = 0; i < tops; ++i) {
-    for (int j = i + 1; j < tops; ++j) {
-      net.masc_siblings(*top_domains[i], *top_domains[j]);
-    }
-  }
+  core::Internet net(spec.seed);
+  const eval::BuiltScenario topo = eval::build_scenario(net, spec);
+  eval::phase_claim(net, topo);
 
-  // Phase 1: address claiming. Top-level domains carve 224/4 between
-  // themselves (collisions resolved by the waiting period); every child
-  // then claims a /24 out of its parent's range.
-  for (core::Domain* t : top_domains) {
-    t->masc_node().set_spaces({net::multicast_space()});
-    t->masc_node().request_space(65536);
-  }
-  net.settle();
-  for (core::Domain* c : children) c->masc_node().request_space(256);
-  net.settle();
+  // Delivery stretch: compare each delivery's travelled hop count with
+  // the current shortest path between source and member domain. The
+  // queries watch one BFS tree per source domain; the flap phase then
+  // exercises the incremental repairs. Pure observation — no events or
+  // RNG draws — so the digest gate is unaffected.
+  std::uint64_t hops_travelled = 0;
+  std::uint64_t hops_shortest = 0;
+  std::uint64_t stretch_samples = 0;
+  net.set_delivery_observer([&](const core::Delivery& d) {
+    core::Domain* source = net.domain_of_address(d.source);
+    if (source == nullptr || source == d.domain) return;
+    const std::uint32_t shortest = net.domain_hops(*source, *d.domain);
+    if (shortest == topology::kUnreachable) return;
+    hops_travelled += static_cast<std::uint64_t>(d.hops);
+    hops_shortest += shortest;
+    ++stretch_samples;
+  });
 
-  // Phase 2: group lifetime. Children lease groups from their MAAS,
-  // remote domains join, the initiator sends one packet per group.
-  net::Rng rng(params.seed * 7919 + 17);
-  struct Live {
-    core::Domain* root;
-    core::Group group;
-  };
-  std::vector<Live> live;
-  for (int g = 0; g < params.groups && !children.empty(); ++g) {
-    core::Domain* initiator = children[g % children.size()];
-    auto lease = initiator->create_group();
-    if (!lease.has_value()) {
-      net.settle();  // claim path is asynchronous; retry once settled
-      lease = initiator->create_group();
-    }
-    if (lease.has_value()) live.push_back({initiator, lease->address});
-  }
-  net.settle();
-  for (const Live& l : live) {
-    for (int j = 0; j < params.joins; ++j) {
-      const auto pick = rng.uniform_int(0, params.domains - 1);
-      core::Domain& member = net.domain(static_cast<std::size_t>(pick));
-      if (&member != l.root) member.host_join(l.group);
-    }
-  }
-  net.settle();
-  for (const Live& l : live) l.root->send(l.group);
-  net.settle();
-
-  // Phase 3: backbone perturbation. Flapping a ring link withdraws every
-  // route carried over it and, on recovery, resyncs whole tables — the
-  // mass-reselection fallout that dominates real BGP message load.
-  for (int i = 0; i + 1 < tops; i += 2) {
-    net.set_link_state(*top_domains[i], *top_domains[i + 1], false);
-    net.settle();
-    net.set_link_state(*top_domains[i], *top_domains[i + 1], true);
-    net.settle();
-  }
+  net::Rng rng = eval::make_workload_rng(spec.seed);
+  (void)eval::phase_groups(net, spec, topo, rng);
+  eval::phase_flap(net, spec, topo);
 
   const auto snap = net.metrics_snapshot();
   Results r;
-  r.params = params;
+  r.spec = spec;
   r.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   r.events_run = net.events().events_run();
@@ -187,33 +126,68 @@ Results run_scenario(const Params& params) {
     r.grib_entries_total +=
         net.domain(i).speaker().rib(bgp::RouteType::kGroup).size();
   }
-  r.rib_digest = rib_digest(net);
+  r.rib_digest = eval::rib_digest(net);
   r.events_per_second =
       static_cast<double>(r.events_run) / r.wall_seconds;
   const auto items = r.claims_granted + r.bgmp_joins_sent + r.deliveries;
   r.items_per_second = static_cast<double>(items) / r.wall_seconds;
+  r.peak_rss_kib = peak_rss_kib();
+  r.state_bytes_per_domain = snap.gauge_value("core.state_bytes_per_domain");
+  r.path_full_builds = net.domain_paths().stats().full_builds;
+  r.path_nodes_touched = net.domain_paths().stats().nodes_touched;
+  if (stretch_samples > 0) {
+    r.delivery_hops_mean = static_cast<double>(hops_travelled) /
+                           static_cast<double>(stretch_samples);
+    r.delivery_stretch = hops_shortest == 0
+                             ? 0.0
+                             : static_cast<double>(hops_travelled) /
+                                   static_cast<double>(hops_shortest);
+  }
   return r;
 }
 
-void write_json(const Results& r, std::ostream& os) {
-  os << "{\n"
-     << "  \"bench\": \"macro_scenario\",\n"
-     << "  \"params\": {\"domains\": " << r.params.domains
-     << ", \"groups\": " << r.params.groups
-     << ", \"joins\": " << r.params.joins << ", \"seed\": " << r.params.seed
-     << "},\n"
-     << "  \"wall_seconds\": " << r.wall_seconds << ",\n"
-     << "  \"events_run\": " << r.events_run << ",\n"
-     << "  \"events_per_second\": " << r.events_per_second << ",\n"
-     << "  \"items_per_second\": " << r.items_per_second << ",\n"
-     << "  \"messages_sent\": " << r.messages_sent << ",\n"
-     << "  \"bgp_updates_sent\": " << r.bgp_updates_sent << ",\n"
-     << "  \"bgmp_joins_sent\": " << r.bgmp_joins_sent << ",\n"
-     << "  \"claims_granted\": " << r.claims_granted << ",\n"
-     << "  \"deliveries\": " << r.deliveries << ",\n"
-     << "  \"grib_entries_total\": " << r.grib_entries_total << ",\n"
-     << "  \"rib_digest\": " << r.rib_digest << "\n"
-     << "}\n";
+void write_rung(const Results& r, std::ostream& os, const char* indent) {
+  const eval::ScenarioSpec& s = r.spec;
+  os << indent << "\"params\": {\"domains\": " << s.domains
+     << ", \"groups\": " << s.groups << ", \"joins\": " << s.joins
+     << ", \"seed\": " << s.seed << ", \"max_tops\": " << s.max_tops
+     << ", \"active_children\": " << s.active_children
+     << ", \"flap_pairs\": " << s.flap_pairs << "},\n"
+     << indent << "\"wall_seconds\": " << r.wall_seconds << ",\n"
+     << indent << "\"events_run\": " << r.events_run << ",\n"
+     << indent << "\"events_per_second\": " << r.events_per_second << ",\n"
+     << indent << "\"items_per_second\": " << r.items_per_second << ",\n"
+     << indent << "\"messages_sent\": " << r.messages_sent << ",\n"
+     << indent << "\"bgp_updates_sent\": " << r.bgp_updates_sent << ",\n"
+     << indent << "\"bgmp_joins_sent\": " << r.bgmp_joins_sent << ",\n"
+     << indent << "\"claims_granted\": " << r.claims_granted << ",\n"
+     << indent << "\"deliveries\": " << r.deliveries << ",\n"
+     << indent << "\"grib_entries_total\": " << r.grib_entries_total << ",\n"
+     << indent << "\"peak_rss_kib\": " << r.peak_rss_kib << ",\n"
+     << indent << "\"state_bytes_per_domain\": " << r.state_bytes_per_domain
+     << ",\n"
+     << indent << "\"path_full_builds\": " << r.path_full_builds << ",\n"
+     << indent << "\"path_nodes_touched\": " << r.path_nodes_touched << ",\n"
+     << indent << "\"delivery_hops_mean\": " << r.delivery_hops_mean << ",\n"
+     << indent << "\"delivery_stretch\": " << r.delivery_stretch << ",\n"
+     << indent << "\"rib_digest\": " << r.rib_digest << "\n";
+}
+
+void write_json(const std::vector<Results>& runs, bool ladder,
+                std::ostream& os) {
+  if (!ladder) {
+    os << "{\n  \"bench\": \"macro_scenario\",\n";
+    write_rung(runs.front(), os, "  ");
+    os << "}\n";
+    return;
+  }
+  os << "{\n  \"bench\": \"macro_ladder\",\n  \"rungs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    os << "    {\n";
+    write_rung(runs[i], os, "      ");
+    os << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
 }
 
 // Minimal field scraper for our own flat JSON schema — keeps the
@@ -227,17 +201,48 @@ bool scrape(const std::string& text, const std::string& key, double& out) {
   return true;
 }
 
-int check_against(const Results& now, const std::string& path,
-                  double tolerance) {
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "macro_scenario: cannot read baseline " << path << "\n";
-    return 2;
+// Splits a ladder baseline into its rung objects (brace-matched); a flat
+// old-style report is treated as a single rung.
+std::vector<std::string> baseline_rungs(const std::string& text) {
+  const auto rungs_at = text.find("\"rungs\"");
+  if (rungs_at == std::string::npos) return {text};
+  std::vector<std::string> out;
+  int depth = 0;
+  std::size_t open = std::string::npos;
+  for (std::size_t i = text.find('[', rungs_at); i < text.size(); ++i) {
+    if (text[i] == '{') {
+      if (depth++ == 0) open = i;
+    } else if (text[i] == '}') {
+      if (--depth == 0) out.push_back(text.substr(open, i - open + 1));
+    } else if (text[i] == ']' && depth == 0) {
+      break;
+    }
   }
-  std::stringstream buf;
-  buf << in.rdbuf();
-  const std::string base = buf.str();
+  return out;
+}
 
+bool params_match(const Results& now, const std::string& base) {
+  double p = 0.0;
+  const auto required = [&](const char* key, std::uint64_t want) {
+    return scrape(base, key, p) && static_cast<std::uint64_t>(p) == want;
+  };
+  // The caps are absent from pre-ladder baselines; absent means 0.
+  const auto cap = [&](const char* key, std::uint64_t want) {
+    return scrape(base, key, p) ? static_cast<std::uint64_t>(p) == want
+                                : want == 0;
+  };
+  return required("domains", static_cast<std::uint64_t>(now.spec.domains)) &&
+         required("groups", static_cast<std::uint64_t>(now.spec.groups)) &&
+         required("joins", static_cast<std::uint64_t>(now.spec.joins)) &&
+         required("seed", now.spec.seed) &&
+         cap("max_tops", static_cast<std::uint64_t>(now.spec.max_tops)) &&
+         cap("active_children",
+             static_cast<std::uint64_t>(now.spec.active_children)) &&
+         cap("flap_pairs", static_cast<std::uint64_t>(now.spec.flap_pairs));
+}
+
+int check_one(const Results& now, const std::string& base,
+              double tolerance) {
   int failures = 0;
   const auto exact = [&](const char* key, std::uint64_t current) {
     double expected = 0.0;
@@ -270,32 +275,56 @@ int check_against(const Results& now, const std::string& path,
       ++failures;
     }
   };
-  double p = 0.0;
-  const bool same_shape =
-      scrape(base, "domains", p) && static_cast<int>(p) == now.params.domains &&
-      scrape(base, "groups", p) && static_cast<int>(p) == now.params.groups &&
-      scrape(base, "joins", p) && static_cast<int>(p) == now.params.joins &&
-      scrape(base, "seed", p) &&
-      static_cast<std::uint64_t>(p) == now.params.seed;
-  if (same_shape) {
-    // Converged state must be reproduced bit-for-bit…
-    exact("grib_entries_total", now.grib_entries_total);
-    exact("rib_digest", now.rib_digest);
-    // …while the work done to get there may drift a little under
-    // legitimate changes, but not regress past the tolerance.
-    bounded("events_run", now.events_run);
-    bounded("messages_sent", now.messages_sent);
-    bounded("bgp_updates_sent", now.bgp_updates_sent);
-  } else {
-    std::cerr << "macro_scenario: baseline parameters differ; "
-                 "skipping deterministic checks\n";
-  }
+  // Converged state must be reproduced bit-for-bit…
+  exact("grib_entries_total", now.grib_entries_total);
+  exact("rib_digest", now.rib_digest);
+  // …while the work done to get there may drift a little under
+  // legitimate changes, but not regress past the tolerance.
+  bounded("events_run", now.events_run);
+  bounded("messages_sent", now.messages_sent);
+  bounded("bgp_updates_sent", now.bgp_updates_sent);
   // Wall-clock throughput varies with the host; report, don't gate.
   double base_eps = 0.0;
   if (scrape(base, "events_per_second", base_eps) && base_eps > 0.0) {
-    std::cerr << "macro_scenario: throughput " << now.events_per_second
-              << " events/s vs baseline " << base_eps << " ("
-              << (now.events_per_second / base_eps) << "x)\n";
+    std::cerr << "macro_scenario: " << now.spec.domains << " domains: "
+              << now.events_per_second << " events/s vs baseline "
+              << base_eps << " (" << (now.events_per_second / base_eps)
+              << "x)\n";
+  }
+  return failures;
+}
+
+int check_against(const std::vector<Results>& runs, const std::string& path,
+                  double tolerance) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "macro_scenario: cannot read baseline " << path << "\n";
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::vector<std::string> rungs = baseline_rungs(buf.str());
+
+  int failures = 0;
+  int matched = 0;
+  for (const Results& r : runs) {
+    bool found = false;
+    for (const std::string& rung : rungs) {
+      if (!params_match(r, rung)) continue;
+      found = true;
+      ++matched;
+      failures += check_one(r, rung, tolerance);
+      break;
+    }
+    if (!found) {
+      std::cerr << "macro_scenario: no baseline rung matches "
+                << r.spec.domains << " domains; skipping its "
+                   "deterministic checks\n";
+    }
+  }
+  if (matched == 0) {
+    std::cerr << "macro_scenario: baseline parameters differ; "
+                 "skipping deterministic checks\n";
   }
   if (failures == 0) {
     std::cerr << "macro_scenario: within baseline (" << path << ")\n";
@@ -303,47 +332,82 @@ int check_against(const Results& now, const std::string& path,
   return failures == 0 ? 0 : 1;
 }
 
+/// The committed ladder caps: above 512 domains the backbone stops
+/// growing (the MASC sibling mesh is O(tops²)) and only the first 256
+/// children source traffic; at or below 512 the legacy shape (and its
+/// digests) is preserved.
+eval::ScenarioSpec rung_spec(const eval::ScenarioSpec& base, int domains) {
+  eval::ScenarioSpec spec = base;
+  spec.domains = domains;
+  if (domains > 512) {
+    spec.max_tops = 64;
+    spec.active_children = 256;
+    spec.flap_pairs = 2;
+  }
+  return spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Params params;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "macro_scenario: " << arg << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--domains") {
-      params.domains = std::atoi(next());
-    } else if (arg == "--groups") {
-      params.groups = std::atoi(next());
-    } else if (arg == "--joins") {
-      params.joins = std::atoi(next());
-    } else if (arg == "--seed") {
-      params.seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--out") {
-      params.out = next();
-    } else if (arg == "--check") {
-      params.check = next();
-    } else if (arg == "--tolerance") {
-      params.tolerance = std::strtod(next(), nullptr);
-    } else {
-      std::cerr << "macro_scenario: unknown flag " << arg << "\n";
-      return 2;
+  eval::ScenarioSpec spec;
+  spec.groups = 32;  // the historical macro default (ladders pass 128)
+  std::vector<int> ladder;
+  std::string out_path;
+  std::string check_path;
+  double tolerance = 0.25;
+
+  eval::Args args("macro_scenario",
+                  "macro benchmark over the full MASC/MAAS/BGP/BGMP "
+                  "pipeline, single-size or --ladder");
+  args.opt("--domains", &spec.domains, "domain count (single run)");
+  args.opt("--groups", &spec.groups, "groups to lease");
+  args.opt("--joins", &spec.joins, "member joins per group");
+  args.opt("--seed", &spec.seed, "workload seed");
+  args.opt("--max-tops", &spec.max_tops,
+           "cap the backbone size (0 = domains/8)");
+  args.opt("--active-children", &spec.active_children,
+           "cap how many children source traffic (0 = all)");
+  args.opt("--flap-pairs", &spec.flap_pairs,
+           "cap the ring pairs flapped in phase 3 (0 = all)");
+  args.opt("--ladder", &ladder,
+           "run one rung per domain count, ascending (csv); rungs > 512 "
+           "domains apply the scale caps");
+  args.opt("--out", &out_path, "also write the JSON report here");
+  args.opt("--check", &check_path, "compare against this baseline JSON");
+  args.opt("--tolerance", &tolerance,
+           "allowed growth of the deterministic work counters");
+  if (!args.parse(argc, argv)) return args.exit_code();
+
+  std::vector<Results> runs;
+  if (ladder.empty()) {
+    runs.push_back(run_scenario(spec));
+  } else {
+    // Ascending keeps per-rung ru_maxrss meaningful (it is monotonic).
+    std::vector<int> sizes = ladder;
+    std::sort(sizes.begin(), sizes.end());
+    for (const int domains : sizes) {
+      const eval::ScenarioSpec rung = rung_spec(spec, domains);
+      std::cerr << "macro_scenario: rung " << domains << " domains (tops="
+                << rung.effective_tops() << ", active="
+                << (rung.active_children > 0 ? rung.active_children
+                                             : domains)
+                << ")\n";
+      runs.push_back(run_scenario(rung));
     }
   }
 
-  const Results r = run_scenario(params);
-  write_json(r, std::cout);
-  if (!params.out.empty()) {
-    std::ofstream out(params.out);
-    write_json(r, out);
+  write_json(runs, !ladder.empty(), std::cout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "macro_scenario: cannot write " << out_path << "\n";
+      return 2;
+    }
+    write_json(runs, !ladder.empty(), out);
   }
-  if (!params.check.empty()) {
-    return check_against(r, params.check, params.tolerance);
+  if (!check_path.empty()) {
+    return check_against(runs, check_path, tolerance);
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "bgp/path_table.hpp"
 #include "bgp/rib.hpp"
 #include "bgp/speaker.hpp"
+#include "eval/args.hpp"
 #include "eval/tree_model.hpp"
 #include "masc/claim_algorithm.hpp"
 #include "masc/registry.hpp"
@@ -264,4 +265,16 @@ BENCHMARK(BM_BgpPropagation)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// google-benchmark consumes its own --benchmark_* flags; everything it
+// leaves behind goes through the shared parser, which supplies --help and
+// rejects unknown flags like every other bench binary.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  eval::Args args("micro_core",
+                  "google-benchmark micro-benchmarks for the hot data "
+                  "structures (plus the --benchmark_* flags)");
+  if (!args.parse(argc, argv)) return args.exit_code();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

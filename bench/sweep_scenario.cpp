@@ -13,42 +13,13 @@
 // --smoke shrinks the grid to a seconds-long run for CI (the TSan job
 // drives it with --threads 4). Exit code is nonzero if any cell failed.
 #include <cstdint>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "eval/args.hpp"
 #include "eval/sweep.hpp"
-
-namespace {
-
-std::vector<std::string> split_csv(const std::string& text) {
-  std::vector<std::string> out;
-  std::stringstream ss(text);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-std::vector<int> parse_ints(const std::string& text) {
-  std::vector<int> out;
-  for (const std::string& s : split_csv(text)) out.push_back(std::atoi(s.c_str()));
-  return out;
-}
-
-std::vector<std::uint64_t> parse_seeds(const std::string& text) {
-  std::vector<std::uint64_t> out;
-  for (const std::string& s : split_csv(text)) {
-    out.push_back(std::strtoull(s.c_str(), nullptr, 10));
-  }
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   int threads = 1;
@@ -58,37 +29,22 @@ int main(int argc, char** argv) {
   std::vector<int> domains = {16, 32, 48};
   std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
   std::string out_path;
+  bool smoke = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "sweep_scenario: " << arg << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--threads") {
-      threads = std::atoi(next());
-    } else if (arg == "--scenarios") {
-      scenarios = split_csv(next());
-    } else if (arg == "--domains") {
-      domains = parse_ints(next());
-    } else if (arg == "--seeds") {
-      seeds = parse_seeds(next());
-    } else if (arg == "--groups") {
-      groups = std::atoi(next());
-    } else if (arg == "--joins") {
-      joins = std::atoi(next());
-    } else if (arg == "--out") {
-      out_path = next();
-    } else if (arg == "--smoke") {
-      domains = {8, 16};
-      seeds = {1, 2};
-    } else {
-      std::cerr << "sweep_scenario: unknown flag " << arg << "\n";
-      return 2;
-    }
+  eval::Args args("sweep_scenario",
+                  "parallel deterministic (scenario × domains × seed) sweep");
+  args.opt("--threads", &threads, "worker threads");
+  args.opt("--scenarios", &scenarios, "scenario names (csv)");
+  args.opt("--domains", &domains, "domain counts (csv)");
+  args.opt("--seeds", &seeds, "seeds (csv)");
+  args.opt("--groups", &groups, "groups per cell (0 = domains/4)");
+  args.opt("--joins", &joins, "member joins per group");
+  args.opt("--out", &out_path, "also write the JSON report here");
+  args.flag("--smoke", &smoke, "shrink the grid to a seconds-long CI run");
+  if (!args.parse(argc, argv)) return args.exit_code();
+  if (smoke) {
+    domains = {8, 16};
+    seeds = {1, 2};
   }
 
   eval::SweepConfig config;

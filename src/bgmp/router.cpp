@@ -1,6 +1,7 @@
 #include "bgmp/router.hpp"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
@@ -219,6 +220,28 @@ const SourceEntry* Router::source_entry(net::Ipv4Addr source,
                                         Group group) const {
   const auto it = source_entries_.find(SourceGroup{source, group});
   return it == source_entries_.end() ? nullptr : &it->second;
+}
+
+std::size_t Router::state_bytes() const {
+  // Map nodes are approximated by their value type plus the three
+  // pointers + colour of a red-black node; target lists report their
+  // actual vector capacities.
+  constexpr std::size_t kNodeOverhead = 4 * sizeof(void*);
+  std::size_t total = 0;
+  for (const auto& [group, entry] : star_entries_) {
+    total += sizeof(group) + sizeof(entry) + kNodeOverhead +
+             entry.children.capacity_bytes();
+  }
+  for (const auto& [key, entry] : source_entries_) {
+    total += sizeof(key) + sizeof(entry) + kNodeOverhead +
+             entry.children.capacity_bytes() +
+             entry.branch_children.capacity_bytes();
+  }
+  total += migp_state_.size() *
+           (sizeof(Group) + sizeof(bool) + kNodeOverhead);
+  total += encapsulators_.size() *
+           (sizeof(SourceGroup) + sizeof(Router*) + kNodeOverhead);
+  return total;
 }
 
 std::size_t Router::aggregated_star_count() const {

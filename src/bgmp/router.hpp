@@ -174,6 +174,9 @@ class Router final : public net::Endpoint {
   /// provisions for this by allowing (*,G-prefix) … state to be stored at
   /// the routers wherever the list of targets are the same").
   [[nodiscard]] std::size_t aggregated_star_count() const;
+  /// Bytes of tree state held by this router: (*,G)/(S,G) entry nodes plus
+  /// their flat target lists. Feeds the core.state_bytes_per_domain gauge.
+  [[nodiscard]] std::size_t state_bytes() const;
   [[nodiscard]] bgp::Speaker& speaker() { return speaker_; }
   [[nodiscard]] const bgp::Speaker& speaker() const { return speaker_; }
 

@@ -1,11 +1,13 @@
 // BGMP forwarding-state types: targets and the (*,G) / (S,G) entries of §5.
 #pragma once
 
+#include <algorithm>
 #include <compare>
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
+#include <utility>
+#include <vector>
 
 #include "net/ip.hpp"
 
@@ -30,6 +32,95 @@ struct TargetKey {
   friend auto operator<=>(const TargetKey&, const TargetKey&) = default;
 };
 
+/// Refcounted child-target list, stored as a sorted flat vector. Target
+/// lists are tiny (a router has a handful of peers) but there is one per
+/// (*,G)/(S,G) entry — at Internet scale the red-black nodes of a
+/// std::map<TargetKey, int> were most of the tree-state footprint. The
+/// vector stays sorted by TargetKey, so iteration order (and with it every
+/// forwarding fan-out and digest) matches the old map exactly.
+class TargetList {
+ public:
+  using value_type = std::pair<TargetKey, int>;
+  using iterator = std::vector<value_type>::iterator;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  [[nodiscard]] iterator begin() { return targets_.begin(); }
+  [[nodiscard]] iterator end() { return targets_.end(); }
+  [[nodiscard]] const_iterator begin() const { return targets_.begin(); }
+  [[nodiscard]] const_iterator end() const { return targets_.end(); }
+
+  [[nodiscard]] bool empty() const { return targets_.empty(); }
+  [[nodiscard]] std::size_t size() const { return targets_.size(); }
+
+  [[nodiscard]] iterator find(const TargetKey& key) {
+    const iterator it = lower_bound(key);
+    return it != targets_.end() && it->first == key ? it : targets_.end();
+  }
+  [[nodiscard]] const_iterator find(const TargetKey& key) const {
+    const const_iterator it = lower_bound(key);
+    return it != targets_.end() && it->first == key ? it : targets_.end();
+  }
+  [[nodiscard]] bool contains(const TargetKey& key) const {
+    return find(key) != targets_.end();
+  }
+
+  /// The refcount slot for `key`, inserted at 0 if absent (map semantics).
+  [[nodiscard]] int& operator[](const TargetKey& key) {
+    iterator it = lower_bound(key);
+    if (it == targets_.end() || it->first != key) {
+      it = targets_.insert(it, {key, 0});
+    }
+    return it->second;
+  }
+
+  iterator erase(iterator it) { return targets_.erase(it); }
+  std::size_t erase(const TargetKey& key) {
+    const iterator it = find(key);
+    if (it == targets_.end()) return 0;
+    targets_.erase(it);
+    return 1;
+  }
+
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return targets_.capacity() * sizeof(value_type);
+  }
+
+ private:
+  [[nodiscard]] iterator lower_bound(const TargetKey& key) {
+    return std::lower_bound(
+        targets_.begin(), targets_.end(), key,
+        [](const value_type& a, const TargetKey& b) { return a.first < b; });
+  }
+  [[nodiscard]] const_iterator lower_bound(const TargetKey& key) const {
+    return std::lower_bound(
+        targets_.begin(), targets_.end(), key,
+        [](const value_type& a, const TargetKey& b) { return a.first < b; });
+  }
+
+  std::vector<value_type> targets_;  ///< sorted by TargetKey
+};
+
+/// Sorted flat set of targets — same footprint rationale as TargetList.
+class TargetSet {
+ public:
+  void insert(const TargetKey& key) {
+    const auto it = std::lower_bound(targets_.begin(), targets_.end(), key);
+    if (it == targets_.end() || *it != key) targets_.insert(it, key);
+  }
+  [[nodiscard]] bool contains(const TargetKey& key) const {
+    return std::binary_search(targets_.begin(), targets_.end(), key);
+  }
+  [[nodiscard]] bool empty() const { return targets_.empty(); }
+  [[nodiscard]] std::size_t size() const { return targets_.size(); }
+
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return targets_.capacity() * sizeof(TargetKey);
+  }
+
+ private:
+  std::vector<TargetKey> targets_;  ///< sorted
+};
+
 /// A (*,G) entry: parent target toward the group's root domain plus
 /// refcounted child targets. "The parent and child targets together are
 /// called the target list"; data received from any target is forwarded to
@@ -42,7 +133,7 @@ struct GroupEntry {
   Router* parent_relay = nullptr;
   /// Child targets with refcounts: the MIGP-component child may stand for
   /// several internal joiners (local members and internal BGMP peers).
-  std::map<TargetKey, int> children;
+  TargetList children;
 
   [[nodiscard]] bool has_target(const TargetKey& t) const {
     return (parent && *parent == t) || children.contains(t);
@@ -57,11 +148,11 @@ struct SourceEntry {
   net::Ipv4Addr source;
   std::optional<TargetKey> parent;
   Router* parent_relay = nullptr;
-  std::map<TargetKey, int> children;
+  TargetList children;
   /// Children added by source-specific joins (branch directions): data
   /// forwarded to them is marked as a branch copy. Children copied from
   /// the (*,G) list are ordinary tree directions.
-  std::set<TargetKey> branch_children;
+  TargetSet branch_children;
   /// Where data from S last arrived — the upstream direction a prune
   /// propagates toward when the child list empties.
   std::optional<TargetKey> upstream;

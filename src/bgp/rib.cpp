@@ -17,39 +17,115 @@ bool better(const Candidate& a, const Candidate& b) {
   return a.exit_uid < b.exit_uid;
 }
 
-bool RibEntry::upsert(Candidate candidate) {
-  const std::optional<Route> previous =
-      best_ ? std::optional<Route>(candidates_[*best_].route) : std::nullopt;
-  const auto it = std::find_if(
-      candidates_.begin(), candidates_.end(),
-      [&](const Candidate& c) { return c.via == candidate.via; });
-  if (it != candidates_.end()) {
-    *it = std::move(candidate);
+CandidateArena& CandidateArena::instance() {
+  thread_local CandidateArena arena;
+  return arena;
+}
+
+std::uint32_t CandidateArena::allocate(Candidate value) {
+  std::uint32_t index;
+  if (free_head_ != kNil) {
+    index = free_head_;
+    free_head_ = slot(index).next;
   } else {
-    candidates_.push_back(std::move(candidate));
+    if (allocated_ % kBlockSlots == 0) {
+      blocks_.push_back(std::make_unique<Slot[]>(kBlockSlots));
+    }
+    index = allocated_++;
   }
+  Slot& s = slot(index);
+  s.value = std::move(value);
+  s.next = kNil;
+  ++live_;
+  return index;
+}
+
+void CandidateArena::release(std::uint32_t index) {
+  Slot& s = slot(index);
+  s.value = Candidate{};  // drop the path ref now, not at slot reuse
+  s.next = free_head_;
+  free_head_ = index;
+  --live_;
+}
+
+bool RibEntry::upsert(Candidate candidate) {
+  CandidateArena& arena = CandidateArena::instance();
+  const std::optional<Route> previous =
+      best_ != CandidateArena::kNil
+          ? std::optional<Route>(arena.value(best_).route)
+          : std::nullopt;
+  std::uint32_t tail = CandidateArena::kNil;
+  for (std::uint32_t cur = head_; cur != CandidateArena::kNil;
+       cur = arena.next(cur)) {
+    if (arena.value(cur).via == candidate.via) {
+      arena.value(cur) = std::move(candidate);
+      return reselect(previous);
+    }
+    tail = cur;
+  }
+  const std::uint32_t index = arena.allocate(std::move(candidate));
+  if (tail == CandidateArena::kNil) {
+    head_ = index;
+  } else {
+    arena.set_next(tail, index);
+  }
+  ++size_;
   return reselect(previous);
 }
 
 bool RibEntry::remove(PeerIndex via) {
+  CandidateArena& arena = CandidateArena::instance();
   const std::optional<Route> previous =
-      best_ ? std::optional<Route>(candidates_[*best_].route) : std::nullopt;
-  const auto it =
-      std::find_if(candidates_.begin(), candidates_.end(),
-                   [&](const Candidate& c) { return c.via == via; });
-  if (it == candidates_.end()) return false;
-  candidates_.erase(it);
-  return reselect(previous);
+      best_ != CandidateArena::kNil
+          ? std::optional<Route>(arena.value(best_).route)
+          : std::nullopt;
+  std::uint32_t prev = CandidateArena::kNil;
+  for (std::uint32_t cur = head_; cur != CandidateArena::kNil;
+       cur = arena.next(cur)) {
+    if (arena.value(cur).via == via) {
+      if (prev == CandidateArena::kNil) {
+        head_ = arena.next(cur);
+      } else {
+        arena.set_next(prev, arena.next(cur));
+      }
+      arena.release(cur);
+      --size_;
+      return reselect(previous);
+    }
+    prev = cur;
+  }
+  return false;
 }
 
-bool RibEntry::reselect(std::optional<Route> previous_best) {
-  best_.reset();
-  for (std::size_t i = 0; i < candidates_.size(); ++i) {
-    if (!best_ || better(candidates_[i], candidates_[*best_])) best_ = i;
+bool RibEntry::reselect(const std::optional<Route>& previous_best) {
+  CandidateArena& arena = CandidateArena::instance();
+  // Chain order is insertion order, so the first-best-wins tie behaviour
+  // of the old vector scan is preserved exactly.
+  best_ = CandidateArena::kNil;
+  for (std::uint32_t cur = head_; cur != CandidateArena::kNil;
+       cur = arena.next(cur)) {
+    if (best_ == CandidateArena::kNil ||
+        better(arena.value(cur), arena.value(best_))) {
+      best_ = cur;
+    }
   }
   const std::optional<Route> now =
-      best_ ? std::optional<Route>(candidates_[*best_].route) : std::nullopt;
+      best_ != CandidateArena::kNil
+          ? std::optional<Route>(arena.value(best_).route)
+          : std::nullopt;
   return now != previous_best;
+}
+
+void RibEntry::clear() {
+  CandidateArena& arena = CandidateArena::instance();
+  for (std::uint32_t cur = head_; cur != CandidateArena::kNil;) {
+    const std::uint32_t next = arena.next(cur);
+    arena.release(cur);
+    cur = next;
+  }
+  head_ = CandidateArena::kNil;
+  best_ = CandidateArena::kNil;
+  size_ = 0;
 }
 
 std::optional<std::pair<net::Prefix, const Candidate*>> Rib::longest_match(

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -38,9 +39,134 @@ struct Candidate {
 /// lowest exit uid.
 [[nodiscard]] bool better(const Candidate& a, const Candidate& b);
 
-/// All candidates for one prefix plus the current selection.
+/// The thread's pool of RIB candidates. Every RibEntry used to own a
+/// `std::vector<Candidate>` — one heap allocation per prefix per table,
+/// and 40 bytes of vector/optional header per entry even for the common
+/// single-candidate case. At Internet scale (10k domains × 3 views ×
+/// per-peer candidate churn) that allocation traffic and header overhead
+/// dominate routing-state memory, so candidates now live in one chunked
+/// thread-local arena and entries hold 4-byte slot indices chained through
+/// the slots (the net::PrefixTrie pool idiom, thread-confined like
+/// bgp::PathTable). Blocks are fixed-size, so Candidate pointers handed
+/// out by best() stay stable until that candidate is removed.
+class CandidateArena {
+ public:
+  static constexpr std::uint32_t kNil = UINT32_MAX;
+
+  /// The calling thread's arena (simulations are thread-confined).
+  static CandidateArena& instance();
+
+  /// Takes a slot (reusing freed ones first), returning its index. The
+  /// slot's chain link starts at kNil.
+  std::uint32_t allocate(Candidate value);
+  /// Returns a slot to the free list, destroying its candidate.
+  void release(std::uint32_t index);
+
+  [[nodiscard]] Candidate& value(std::uint32_t index) {
+    return slot(index).value;
+  }
+  [[nodiscard]] const Candidate& value(std::uint32_t index) const {
+    return slot(index).value;
+  }
+  [[nodiscard]] std::uint32_t next(std::uint32_t index) const {
+    return slot(index).next;
+  }
+  void set_next(std::uint32_t index, std::uint32_t next) {
+    slot(index).next = next;
+  }
+
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return blocks_.size() * kBlockSlots * sizeof(Slot);
+  }
+  static constexpr std::size_t slot_bytes();
+
+ private:
+  struct Slot {
+    Candidate value;
+    std::uint32_t next = kNil;  ///< entry chain, or free-list link
+  };
+  static constexpr std::uint32_t kBlockSlots = 1024;
+
+  [[nodiscard]] Slot& slot(std::uint32_t index) {
+    return blocks_[index / kBlockSlots][index % kBlockSlots];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t index) const {
+    return blocks_[index / kBlockSlots][index % kBlockSlots];
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> blocks_;
+  std::uint32_t free_head_ = kNil;
+  std::uint32_t allocated_ = 0;  ///< high-water slot count
+  std::size_t live_ = 0;
+};
+
+constexpr std::size_t CandidateArena::slot_bytes() { return sizeof(Slot); }
+
+/// A read-only view of one entry's candidates, in insertion order —
+/// iterates the arena chain. Supports range-for and size(), which is all
+/// the decision-process oracles need.
+class CandidateRange {
+ public:
+  CandidateRange(std::uint32_t head, std::uint32_t size)
+      : head_(head), size_(size) {}
+
+  class iterator {
+   public:
+    explicit iterator(std::uint32_t index) : index_(index) {}
+    const Candidate& operator*() const {
+      return CandidateArena::instance().value(index_);
+    }
+    iterator& operator++() {
+      index_ = CandidateArena::instance().next(index_);
+      return *this;
+    }
+    friend bool operator==(const iterator&, const iterator&) = default;
+
+   private:
+    std::uint32_t index_;
+  };
+
+  [[nodiscard]] iterator begin() const { return iterator(head_); }
+  [[nodiscard]] iterator end() const {
+    return iterator(CandidateArena::kNil);
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  std::uint32_t head_;
+  std::uint32_t size_;
+};
+
+/// All candidates for one prefix plus the current selection. 12 bytes of
+/// indices into the thread's CandidateArena (vs a vector + optional);
+/// move-only, releasing its chain on destruction.
 class RibEntry {
  public:
+  RibEntry() = default;
+  RibEntry(RibEntry&& other) noexcept
+      : head_(other.head_), best_(other.best_), size_(other.size_) {
+    other.head_ = CandidateArena::kNil;
+    other.best_ = CandidateArena::kNil;
+    other.size_ = 0;
+  }
+  RibEntry& operator=(RibEntry&& other) noexcept {
+    if (this != &other) {
+      clear();
+      head_ = other.head_;
+      best_ = other.best_;
+      size_ = other.size_;
+      other.head_ = CandidateArena::kNil;
+      other.best_ = CandidateArena::kNil;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  RibEntry(const RibEntry&) = delete;
+  RibEntry& operator=(const RibEntry&) = delete;
+  ~RibEntry() { clear(); }
+
   /// Inserts or replaces the candidate from `via`. Returns true if the
   /// best route (selection) changed.
   bool upsert(Candidate candidate);
@@ -50,19 +176,24 @@ class RibEntry {
   bool remove(PeerIndex via);
 
   [[nodiscard]] const Candidate* best() const {
-    return best_ ? &candidates_[*best_] : nullptr;
+    return best_ == CandidateArena::kNil
+               ? nullptr
+               : &CandidateArena::instance().value(best_);
   }
-  [[nodiscard]] const std::vector<Candidate>& candidates() const {
-    return candidates_;
+  [[nodiscard]] CandidateRange candidates() const {
+    return {head_, size_};
   }
-  [[nodiscard]] bool empty() const { return candidates_.empty(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t candidate_count() const { return size_; }
 
  private:
   // Returns true if the selection (or its route contents) changed.
-  bool reselect(std::optional<Route> previous_best);
+  bool reselect(const std::optional<Route>& previous_best);
+  void clear();
 
-  std::vector<Candidate> candidates_;
-  std::optional<std::size_t> best_;
+  std::uint32_t head_ = CandidateArena::kNil;
+  std::uint32_t best_ = CandidateArena::kNil;
+  std::uint32_t size_ = 0;
 };
 
 /// One routing-table view (unicast RIB, M-RIB or G-RIB).
@@ -112,6 +243,22 @@ class Rib {
 
   [[nodiscard]] std::vector<std::pair<net::Prefix, Route>> best_routes()
       const;
+
+  /// Candidates across all entries (Adj-RIB-In size).
+  [[nodiscard]] std::size_t candidate_count() const {
+    std::size_t total = 0;
+    trie_.for_each([&](const net::Prefix&, const RibEntry& entry) {
+      total += entry.candidate_count();
+    });
+    return total;
+  }
+
+  /// Bytes of routing state held by this view: the trie's node pool plus
+  /// this view's share of the candidate arena (one slot per candidate).
+  [[nodiscard]] std::size_t state_bytes() const {
+    return trie_.memory_bytes() +
+           candidate_count() * CandidateArena::slot_bytes();
+  }
 
   /// Full-entry traversal (prefix, RibEntry) in address order — lets an
   /// invariant checker recompute the decision process over the candidate

@@ -302,8 +302,8 @@ void Speaker::sync_peer(RouteType type, const net::Prefix& prefix,
   auto& advertised = peer.advertised[static_cast<std::size_t>(type)];
   const std::optional<Route> desired =
       desired_advertisement(type, prefix, peer);
-  const Route* current = advertised.find(prefix);
-  if (desired.has_value() ? (current != nullptr && *current == *desired)
+  const RouteRef* current = advertised.find(prefix);
+  if (desired.has_value() ? (current != nullptr && current->get() == *desired)
                           : current == nullptr) {
     return;  // Adj-RIB-Out already agrees
   }
@@ -316,8 +316,9 @@ void Speaker::sync_peer(RouteType type, const net::Prefix& prefix,
     it = peer.pending
              .emplace(key,
                       Peer::PendingDelta{
-                          current != nullptr ? std::optional<Route>(*current)
-                                             : std::nullopt,
+                          current != nullptr
+                              ? std::optional<Route>(current->get())
+                              : std::nullopt,
                           std::nullopt, net::SimTime::nanoseconds(-1)})
              .first;
   }
@@ -325,7 +326,7 @@ void Speaker::sync_peer(RouteType type, const net::Prefix& prefix,
   it->second.origin_time =
       update_origin_.ns() >= 0 ? update_origin_ : network_.events().now();
   if (desired.has_value()) {
-    advertised.insert(prefix, *desired);
+    advertised.insert(prefix, RouteRef::intern(*desired));
   } else {
     advertised.erase(prefix);
   }
@@ -380,13 +381,26 @@ void Speaker::full_sync(Peer& peer) {
     auto& advertised = peer.advertised[static_cast<std::size_t>(type)];
     std::vector<net::Prefix> prefixes;
     prefixes.reserve(advertised.size() + rib(type).size());
-    advertised.for_each(
-        [&](const net::Prefix& p, const Route&) { prefixes.push_back(p); });
+    advertised.for_each([&](const net::Prefix& p, const RouteRef&) {
+      prefixes.push_back(p);
+    });
     rib(type).for_each_best([&](const net::Prefix& p, const Candidate&) {
       prefixes.push_back(p);
     });
     for (const net::Prefix& p : prefixes) sync_peer(type, p, peer);
   }
+}
+
+std::size_t Speaker::state_bytes() const {
+  std::size_t total = 0;
+  for (const Rib& r : ribs_) total += r.state_bytes();
+  for (const auto& origins : origins_) total += origins.memory_bytes();
+  for (const Peer& peer : peers_) {
+    for (const auto& advertised : peer.advertised) {
+      total += advertised.memory_bytes();
+    }
+  }
+  return total;
 }
 
 void Speaker::resync_specifics(RouteType type, const net::Prefix& prefix) {

@@ -26,6 +26,7 @@
 #include "net/prefix_trie.hpp"
 #include "bgp/messages.hpp"
 #include "bgp/rib.hpp"
+#include "bgp/route_table.hpp"
 #include "bgp/types.hpp"
 
 namespace bgp {
@@ -124,6 +125,11 @@ class Speaker final : public net::Endpoint {
     return network_.is_up(peers_.at(index).channel);
   }
 
+  /// Bytes of routing state held by this speaker: the three RIB views
+  /// (trie pools + candidate slots), the origin tables, and every peer's
+  /// Adj-RIB-Out trie. Feeds the core.state_bytes_per_domain gauge.
+  [[nodiscard]] std::size_t state_bytes() const;
+
   // net::Endpoint:
   void on_message(net::ChannelId channel,
                   std::unique_ptr<net::Message> msg) override;
@@ -140,7 +146,9 @@ class Speaker final : public net::Endpoint {
     Relationship relationship;
     ExportPolicy export_policy;
     /// Last route announced to this peer, per view — the Adj-RIB-Out.
-    std::array<net::PrefixTrie<Route>, kRouteTypeCount> advertised;
+    /// Holds 4-byte interned handles: the same route announced to many
+    /// peers is stored once in the thread's RouteTable.
+    std::array<net::PrefixTrie<RouteRef>, kRouteTypeCount> advertised;
     /// Deltas accumulated during the current update batch (see
     /// BatchScope). `before` snapshots the Adj-RIB-Out content when the
     /// batch first touched the key, so churn that nets out to no wire

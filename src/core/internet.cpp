@@ -27,15 +27,19 @@ Internet::Internet(std::uint64_t seed)
     std::size_t grib = 0;
     std::size_t mrib = 0;
     std::size_t urib = 0;
+    std::size_t state_bytes = 0;
     for (const auto& domain : domains_) {
       claimed += domain->masc_node().pool().claimed_addresses();
       allocated += domain->masc_node().pool().allocated_addresses();
       for (std::size_t b = 0; b < domain->border_count(); ++b) {
-        tree_entries += domain->bgmp_router(b).entry_count();
+        const bgmp::Router& r = domain->bgmp_router(b);
+        tree_entries += r.entry_count();
+        state_bytes += r.state_bytes();
         const bgp::Speaker& s = domain->speaker(b);
         grib += s.rib(bgp::RouteType::kGroup).size();
         mrib += s.rib(bgp::RouteType::kMulticast).size();
         urib += s.rib(bgp::RouteType::kUnicast).size();
+        state_bytes += s.state_bytes();
       }
     }
     m.gauge("masc.pool_claimed_addresses").set(static_cast<double>(claimed));
@@ -50,6 +54,13 @@ Internet::Internet(std::uint64_t seed)
     m.gauge("bgp.mrib_routes").set(static_cast<double>(mrib));
     m.gauge("bgp.unicast_routes").set(static_cast<double>(urib));
     m.gauge("core.domains").set(static_cast<double>(domains_.size()));
+    // Bytes of routing state (RIB views, Adj-RIB-Outs, origin tables,
+    // BGMP tree entries) per domain — the memory half of the scale ladder.
+    m.gauge("core.state_bytes_total").set(static_cast<double>(state_bytes));
+    m.gauge("core.state_bytes_per_domain")
+        .set(domains_.empty() ? 0.0
+                              : static_cast<double>(state_bytes) /
+                                    static_cast<double>(domains_.size()));
   });
 }
 
@@ -61,6 +72,7 @@ Internet::~Internet() {
 
 Domain& Internet::add_domain(Domain::Config config) {
   domains_.push_back(std::make_unique<Domain>(*this, std::move(config)));
+  domain_nodes_.emplace(domains_.back().get(), domain_paths_.add_node());
   // A domain joining a running internet is a perturbation worth timing;
   // during initial topology construction (nothing run yet) it is not.
   if (events_.events_run() > 0) probe_->arm("domain-join");
@@ -77,6 +89,15 @@ void Internet::link(Domain& a, Domain& b, bgp::Relationship a_sees_b,
   const net::ChannelId bgmp_channel = bgmp::Router::connect(
       a.bgmp_router(a_border), b.bgmp_router(b_border), latency);
   links_.push_back(Link{&a, &b, bgp_channel, bgmp_channel});
+  // Mirror the pair into the domain-level path graph (one edge per pair,
+  // however many borders carry it); a fresh link raises the pair.
+  const topology::NodeId na = domain_nodes_.at(&a);
+  const topology::NodeId nb = domain_nodes_.at(&b);
+  if (domain_paths_.has_edge(na, nb)) {
+    domain_paths_.set_edge_state(na, nb, true);
+  } else {
+    domain_paths_.add_edge(na, nb);
+  }
   if (events_.events_run() > 0) probe_->arm("link-add");
 }
 
@@ -102,6 +123,7 @@ void Internet::set_link_state(const Domain& a, const Domain& b, bool up) {
                        (peering.a == &b && peering.b == &a);
     if (match) network_.set_up(peering.channel, up);
   }
+  domain_paths_.set_edge_state(domain_nodes_.at(&a), domain_nodes_.at(&b), up);
   probe_->arm(up ? "link-up" : "link-down");
 }
 
@@ -114,6 +136,11 @@ void Internet::set_domain_connectivity(const Domain& d, bool up) {
   for (const MascPeering& peering : masc_peerings_) {
     if (peering.a != &d && peering.b != &d) continue;
     network_.set_up(peering.channel, up);
+  }
+  for (const Link& link : links_) {
+    if (link.a != &d && link.b != &d) continue;
+    domain_paths_.set_edge_state(domain_nodes_.at(link.a),
+                                 domain_nodes_.at(link.b), up);
   }
   probe_->arm(up ? "domain-up" : "domain-down");
 }
@@ -172,6 +199,10 @@ void Internet::enable_step_profiling() {
     }
     it->second->observe(seconds);
   });
+}
+
+std::uint32_t Internet::domain_hops(const Domain& a, const Domain& b) {
+  return domain_paths_.hops(domain_nodes_.at(&a), domain_nodes_.at(&b));
 }
 
 Domain* Internet::domain_of_address(net::Ipv4Addr addr) const {

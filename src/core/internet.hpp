@@ -18,6 +18,7 @@
 #include "net/prefix_trie.hpp"
 #include "net/probe.hpp"
 #include "topology/graph.hpp"
+#include "topology/paths.hpp"
 
 namespace core {
 
@@ -123,6 +124,20 @@ class Internet {
   [[nodiscard]] Domain* domain_of_address(net::Ipv4Addr addr) const;
   void register_unicast_prefix(const net::Prefix& prefix, Domain& domain);
 
+  /// Hop distance between two domains on the currently-up link graph
+  /// (topology::kUnreachable if partitioned). Backed by incrementally
+  /// maintained BFS trees — link events repair only the affected region
+  /// instead of recomputing shortest paths from scratch — so per-flap cost
+  /// is proportional to the disturbed neighbourhood, not the internet.
+  /// Pair-level: a multi-border pair counts as one edge, up whenever
+  /// set_link_state last raised it.
+  [[nodiscard]] std::uint32_t domain_hops(const Domain& a, const Domain& b);
+
+  /// The incremental shortest-path engine (stats and direct queries).
+  [[nodiscard]] topology::DynamicPaths& domain_paths() {
+    return domain_paths_;
+  }
+
   /// Builds single-border-router domains for every node of `graph` and
   /// links them laterally along its edges — the evaluation substrate for
   /// the Figure-4 experiments. Returns the domains indexed by node id.
@@ -151,6 +166,10 @@ class Internet {
   std::vector<Link> links_;
   std::vector<MascPeering> masc_peerings_;
   std::vector<std::unique_ptr<Domain>> domains_;
+  /// Domain-level link graph with incrementally maintained BFS trees,
+  /// mirroring add_domain()/link()/set_link_state().
+  topology::DynamicPaths domain_paths_;
+  std::map<const Domain*, topology::NodeId> domain_nodes_;
   net::PrefixTrie<Domain*> unicast_map_;
   DeliveryObserver observer_;
 };

@@ -1,0 +1,201 @@
+#include "eval/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace eval {
+namespace {
+
+bool parse_ll(const std::string& text, long long& out) {
+  char* end = nullptr;
+  out = std::strtoll(text.c_str(), &end, 10);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool parse_ull(const std::string& text, unsigned long long& out) {
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 10);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool parse_double(const std::string& text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end != text.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+Args::Args(std::string program, std::string synopsis)
+    : program_(std::move(program)), synopsis_(std::move(synopsis)) {}
+
+void Args::add(Spec spec) { specs_.push_back(std::move(spec)); }
+
+const Args::Spec* Args::find(const std::string& name) const {
+  for (const Spec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void Args::opt(const std::string& name, int* target, const std::string& help) {
+  add({name, help, std::to_string(*target), true,
+       [target](const std::string& v) {
+         long long parsed = 0;
+         if (!parse_ll(v, parsed)) return false;
+         *target = static_cast<int>(parsed);
+         return true;
+       }});
+}
+
+void Args::opt(const std::string& name, std::uint64_t* target,
+               const std::string& help) {
+  add({name, help, std::to_string(*target), true,
+       [target](const std::string& v) {
+         unsigned long long parsed = 0;
+         if (!parse_ull(v, parsed)) return false;
+         *target = static_cast<std::uint64_t>(parsed);
+         return true;
+       }});
+}
+
+void Args::opt(const std::string& name, double* target,
+               const std::string& help) {
+  std::ostringstream def;
+  def << *target;
+  add({name, help, def.str(), true, [target](const std::string& v) {
+         double parsed = 0.0;
+         if (!parse_double(v, parsed)) return false;
+         *target = parsed;
+         return true;
+       }});
+}
+
+void Args::opt(const std::string& name, std::string* target,
+               const std::string& help) {
+  add({name, help, target->empty() ? "\"\"" : *target, true,
+       [target](const std::string& v) {
+         *target = v;
+         return true;
+       }});
+}
+
+void Args::opt(const std::string& name, std::vector<int>* target,
+               const std::string& help) {
+  std::ostringstream def;
+  for (std::size_t i = 0; i < target->size(); ++i) {
+    if (i > 0) def << ',';
+    def << (*target)[i];
+  }
+  add({name, help, def.str(), true, [target](const std::string& v) {
+         std::vector<int> parsed;
+         for (const std::string& item : split_csv(v)) {
+           long long value = 0;
+           if (!parse_ll(item, value)) return false;
+           parsed.push_back(static_cast<int>(value));
+         }
+         *target = std::move(parsed);
+         return true;
+       }});
+}
+
+void Args::opt(const std::string& name, std::vector<std::uint64_t>* target,
+               const std::string& help) {
+  std::ostringstream def;
+  for (std::size_t i = 0; i < target->size(); ++i) {
+    if (i > 0) def << ',';
+    def << (*target)[i];
+  }
+  add({name, help, def.str(), true, [target](const std::string& v) {
+         std::vector<std::uint64_t> parsed;
+         for (const std::string& item : split_csv(v)) {
+           unsigned long long value = 0;
+           if (!parse_ull(item, value)) return false;
+           parsed.push_back(static_cast<std::uint64_t>(value));
+         }
+         *target = std::move(parsed);
+         return true;
+       }});
+}
+
+void Args::opt(const std::string& name, std::vector<std::string>* target,
+               const std::string& help) {
+  std::ostringstream def;
+  for (std::size_t i = 0; i < target->size(); ++i) {
+    if (i > 0) def << ',';
+    def << (*target)[i];
+  }
+  add({name, help, def.str(), true, [target](const std::string& v) {
+         *target = split_csv(v);
+         return true;
+       }});
+}
+
+void Args::flag(const std::string& name, bool* target,
+                const std::string& help) {
+  add({name, help, *target ? "on" : "off", false,
+       [target](const std::string&) {
+         *target = true;
+         return true;
+       }});
+}
+
+void Args::print_help() const {
+  std::printf("%s — %s\n\nusage: %s [flags]\n\nflags:\n", program_.c_str(),
+              synopsis_.c_str(), program_.c_str());
+  for (const Spec& s : specs_) {
+    std::printf("  %-22s %s%s(default: %s)\n",
+                (s.name + (s.takes_value ? " V" : "")).c_str(),
+                s.help.c_str(), s.help.empty() ? "" : " ",
+                s.default_text.c_str());
+  }
+  std::printf("  %-22s print this help and exit\n", "--help");
+}
+
+bool Args::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      exit_code_ = 0;
+      return false;
+    }
+    const Spec* spec = find(arg);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "%s: unknown flag %s (try --help)\n",
+                   program_.c_str(), arg.c_str());
+      exit_code_ = 2;
+      return false;
+    }
+    std::string value;
+    if (spec->takes_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", program_.c_str(),
+                     arg.c_str());
+        exit_code_ = 2;
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!spec->apply(value)) {
+      std::fprintf(stderr, "%s: bad value for %s: \"%s\"\n", program_.c_str(),
+                   arg.c_str(), value.c_str());
+      exit_code_ = 2;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace eval

@@ -11,65 +11,13 @@
 #include "check/invariant.hpp"
 #include "core/domain.hpp"
 #include "core/internet.hpp"
+#include "eval/scenario.hpp"
 #include "net/prefix.hpp"
 #include "net/rng.hpp"
 
 namespace eval {
 
 namespace {
-
-// The sweep backbone (bench/macro_scenario's shape), but with every linked
-// pair recorded so the schedule can pick flap victims.
-struct ChaosTopology {
-  std::vector<core::Domain*> tops;
-  std::vector<core::Domain*> children;
-  std::vector<std::pair<core::Domain*, core::Domain*>> links;
-};
-
-ChaosTopology build_topology(core::Internet& net, int domains) {
-  ChaosTopology topo;
-  const int tops = std::max(2, domains / 8);
-  for (int i = 0; i < domains; ++i) {
-    const bool is_top = i < tops;
-    core::Domain& d = net.add_domain(
-        {.id = static_cast<bgp::DomainId>(i + 1),
-         .name = (is_top ? "T" : "C") + std::to_string(i + 1)});
-    d.announce_unicast();
-    (is_top ? topo.tops : topo.children).push_back(&d);
-  }
-  const auto link = [&](core::Domain& a, core::Domain& b,
-                        bgp::Relationship rel) {
-    net.link(a, b, rel);
-    topo.links.emplace_back(&a, &b);
-  };
-  for (int i = 0; i < tops; ++i) {
-    link(*topo.tops[i], *topo.tops[(i + 1) % tops],
-         bgp::Relationship::kLateral);
-    if (tops > 2 && i + 2 < tops) {
-      link(*topo.tops[i], *topo.tops[i + 2], bgp::Relationship::kLateral);
-    }
-  }
-  for (std::size_t i = 0; i < topo.children.size(); ++i) {
-    core::Domain& parent = *topo.tops[i % tops];
-    link(parent, *topo.children[i], bgp::Relationship::kCustomer);
-    net.masc_parent(*topo.children[i], parent);
-  }
-  for (int i = 0; i < tops; ++i) {
-    for (int j = i + 1; j < tops; ++j) {
-      net.masc_siblings(*topo.tops[i], *topo.tops[j]);
-    }
-  }
-  return topo;
-}
-
-/// One leased group with its member bookkeeping (domain indices into the
-/// Internet), so churn can join/leave/send coherently.
-struct LiveGroup {
-  core::Domain* root;
-  std::size_t root_index;
-  core::Group group;
-  std::set<std::size_t> members;
-};
 
 /// A link or whole-domain partition scheduled to heal at a later step.
 struct PendingHeal {
@@ -94,10 +42,18 @@ ChaosResult run_chaos(const ChaosConfig& config) {
   // the disturbance again.
   net::Rng schedule_rng(config.seed * 0x9E3779B97F4A7C15ull + 1);
   net::Rng disturbance_rng = schedule_rng.split();
-  net::Rng workload_rng(config.seed * 7919 + 17);
+  net::Rng workload_rng = make_workload_rng(config.seed);
+
+  ScenarioSpec spec;
+  spec.domains = config.domains;
+  spec.seed = config.seed;
+  spec.groups = config.groups;
+  spec.joins = config.joins;
+  spec.record_links = true;   // the schedule picks flap victims from them
+  spec.track_members = true;  // churn needs coherent member sets
 
   core::Internet net(config.seed);
-  const ChaosTopology topo = build_topology(net, config.domains);
+  const BuiltScenario topo = build_scenario(net, spec);
 
   if (config.inject_skip_waiting_period) {
     for (std::size_t i = 0; i < net.domain_count(); ++i) {
@@ -107,44 +63,9 @@ ChaosResult run_chaos(const ChaosConfig& config) {
   }
 
   // ---- setup: claims, groups, initial membership (the sweep phases) ----
-  for (core::Domain* t : topo.tops) {
-    t->masc_node().set_spaces({net::multicast_space()});
-    t->masc_node().request_space(65536);
-  }
-  net.settle();
-  for (core::Domain* c : topo.children) c->masc_node().request_space(256);
-  net.settle();
-
-  const int groups =
-      config.groups > 0 ? config.groups : std::max(1, config.domains / 4);
-  std::vector<LiveGroup> live;
-  for (int g = 0; g < groups && !topo.children.empty(); ++g) {
-    const std::size_t pick =
-        static_cast<std::size_t>(g) % topo.children.size();
-    core::Domain* initiator = topo.children[pick];
-    auto lease = initiator->create_group();
-    if (!lease.has_value()) {
-      net.settle();
-      lease = initiator->create_group();
-    }
-    if (lease.has_value()) {
-      const std::size_t root_index =
-          topo.tops.size() + pick;  // domains were added tops-first
-      live.push_back({initiator, root_index, lease->address, {}});
-    }
-  }
-  net.settle();
-  for (LiveGroup& l : live) {
-    for (int j = 0; j < config.joins; ++j) {
-      const std::size_t pick = workload_rng.index(net.domain_count());
-      if (pick == l.root_index) continue;
-      if (!l.members.insert(pick).second) continue;
-      net.domain(pick).host_join(l.group);
-    }
-  }
-  net.settle();
-  for (const LiveGroup& l : live) l.root->send(l.group);
-  net.settle();
+  phase_claim(net, topo);
+  std::vector<LiveGroup> live =
+      phase_groups(net, spec, topo, workload_rng);
 
   // ---- chaos phase ------------------------------------------------------
   const net::Network::Disturbance base_disturbance{

@@ -1,0 +1,169 @@
+#include "eval/scenario.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/domain.hpp"
+#include "core/internet.hpp"
+#include "net/prefix.hpp"
+
+namespace eval {
+
+namespace {
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001B3ull;
+}
+
+}  // namespace
+
+int ScenarioSpec::effective_tops() const {
+  int tops = std::max(2, domains / 8);
+  if (max_tops > 0) tops = std::min(tops, max_tops);
+  return tops;
+}
+
+int ScenarioSpec::effective_groups() const {
+  return groups > 0 ? groups : std::max(1, domains / 4);
+}
+
+BuiltScenario build_scenario(core::Internet& net, const ScenarioSpec& spec) {
+  BuiltScenario topo;
+  const int tops = spec.effective_tops();
+  const std::size_t active_cap =
+      spec.active_children > 0
+          ? static_cast<std::size_t>(spec.active_children)
+          : static_cast<std::size_t>(spec.domains);
+  for (int i = 0; i < spec.domains; ++i) {
+    const bool is_top = i < tops;
+    core::Domain& d = net.add_domain(
+        {.id = static_cast<bgp::DomainId>(i + 1),
+         .name = (is_top ? "T" : "C") + std::to_string(i + 1)});
+    if (is_top || topo.children.size() < active_cap) d.announce_unicast();
+    (is_top ? topo.tops : topo.children).push_back(&d);
+  }
+  const auto link = [&](core::Domain& a, core::Domain& b,
+                        bgp::Relationship rel) {
+    net.link(a, b, rel);
+    if (spec.record_links) topo.links.emplace_back(&a, &b);
+  };
+  // Backbone ring of top-level domains (chords shorten paths); children
+  // hang off them round-robin as customers and MASC children.
+  for (int i = 0; i < tops; ++i) {
+    link(*topo.tops[i], *topo.tops[(i + 1) % tops],
+         bgp::Relationship::kLateral);
+    if (tops > 2 && i + 2 < tops) {
+      link(*topo.tops[i], *topo.tops[i + 2], bgp::Relationship::kLateral);
+    }
+  }
+  for (std::size_t i = 0; i < topo.children.size(); ++i) {
+    core::Domain& parent = *topo.tops[i % static_cast<std::size_t>(tops)];
+    link(parent, *topo.children[i], bgp::Relationship::kCustomer);
+    // Only active children take part in the MASC hierarchy: the rest
+    // never claim, so the peering would be dead wiring at 10k domains.
+    if (i < active_cap) net.masc_parent(*topo.children[i], parent);
+  }
+  // Tops all claim from the shared 224/4, so each must hear the others'
+  // claims: a full sibling mesh (§4.4's exchange-point role). This is the
+  // O(tops²) term `max_tops` exists to bound.
+  for (int i = 0; i < tops; ++i) {
+    for (int j = i + 1; j < tops; ++j) {
+      net.masc_siblings(*topo.tops[i], *topo.tops[j]);
+    }
+  }
+  topo.active.assign(
+      topo.children.begin(),
+      topo.children.begin() +
+          static_cast<std::ptrdiff_t>(
+              std::min(active_cap, topo.children.size())));
+  return topo;
+}
+
+void phase_claim(core::Internet& net, const BuiltScenario& topo) {
+  for (core::Domain* t : topo.tops) {
+    t->masc_node().set_spaces({net::multicast_space()});
+    t->masc_node().request_space(65536);
+  }
+  net.settle();
+  for (core::Domain* c : topo.active) c->masc_node().request_space(256);
+  net.settle();
+}
+
+net::Rng make_workload_rng(std::uint64_t seed) {
+  return net::Rng(seed * 7919 + 17);
+}
+
+std::vector<LiveGroup> phase_groups(core::Internet& net,
+                                    const ScenarioSpec& spec,
+                                    const BuiltScenario& topo,
+                                    net::Rng& rng) {
+  const int groups = spec.effective_groups();
+  std::vector<LiveGroup> live;
+  for (int g = 0; g < groups && !topo.active.empty(); ++g) {
+    const std::size_t pick = static_cast<std::size_t>(g) % topo.active.size();
+    core::Domain* initiator = topo.active[pick];
+    auto lease = initiator->create_group();
+    if (!lease.has_value()) {
+      net.settle();  // claim path is asynchronous; retry once settled
+      lease = initiator->create_group();
+    }
+    if (lease.has_value()) {
+      // Domains were added tops-first, so child k is domain tops+k.
+      live.push_back(
+          {initiator, topo.tops.size() + pick, lease->address, {}});
+    }
+  }
+  net.settle();
+  for (LiveGroup& l : live) {
+    for (int j = 0; j < spec.joins; ++j) {
+      // One draw per pick whether or not it lands, so the stream replays
+      // identically across harnesses and refactors.
+      const std::size_t pick = rng.index(net.domain_count());
+      if (spec.track_members) {
+        if (pick == l.root_index) continue;
+        if (!l.members.insert(pick).second) continue;
+        net.domain(pick).host_join(l.group);
+      } else {
+        core::Domain& member = net.domain(pick);
+        if (&member != l.root) member.host_join(l.group);
+      }
+    }
+  }
+  net.settle();
+  for (const LiveGroup& l : live) l.root->send(l.group);
+  net.settle();
+  return live;
+}
+
+void phase_flap(core::Internet& net, const ScenarioSpec& spec,
+                const BuiltScenario& topo) {
+  const int tops = static_cast<int>(topo.tops.size());
+  for (int i = 0; i + 1 < tops; i += 2) {
+    if (spec.flap_pairs > 0 && i / 2 >= spec.flap_pairs) break;
+    net.set_link_state(*topo.tops[i], *topo.tops[i + 1], false);
+    net.settle();
+    net.set_link_state(*topo.tops[i], *topo.tops[i + 1], true);
+    net.settle();
+  }
+}
+
+std::uint64_t rib_digest(core::Internet& net) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t i = 0; i < net.domain_count(); ++i) {
+    core::Domain& d = net.domain(i);
+    for (const bgp::RouteType type :
+         {bgp::RouteType::kUnicast, bgp::RouteType::kGroup}) {
+      d.speaker().rib(type).for_each_best(
+          [&](const net::Prefix& p, const bgp::Candidate& c) {
+            fnv_mix(h, p.base().value());
+            fnv_mix(h, static_cast<std::uint64_t>(p.length()));
+            fnv_mix(h, c.route.origin_as);
+            fnv_mix(h, c.route.as_path.size());
+          });
+    }
+  }
+  return h;
+}
+
+}  // namespace eval

@@ -17,146 +17,59 @@ namespace eval {
 
 namespace {
 
-void fnv_mix(std::uint64_t& h, std::uint64_t v) {
-  h ^= v;
-  h *= 0x100000001B3ull;
-}
-
 // ------------------------------------------------------------- scenarios
 //
 // Every scenario is a pure function of (cell) run against a fresh
-// Internet: the backbone topology of bench/macro_scenario (a top-level
-// ring with chords, customer children hanging off round-robin, a full
-// MASC sibling mesh between the top-level domains), then the protocol
-// phases the scenario name selects.
+// Internet: the shared macro-scenario substrate (eval/scenario.hpp), then
+// the protocol phases the scenario name selects.
 
-struct Topology {
-  std::vector<core::Domain*> tops;
-  std::vector<core::Domain*> children;
-};
-
-Topology build_backbone(core::Internet& net, int domains) {
-  Topology topo;
-  const int tops = std::max(2, domains / 8);
-  for (int i = 0; i < domains; ++i) {
-    const bool is_top = i < tops;
-    core::Domain& d = net.add_domain(
-        {.id = static_cast<bgp::DomainId>(i + 1),
-         .name = (is_top ? "T" : "C") + std::to_string(i + 1)});
-    d.announce_unicast();
-    (is_top ? topo.tops : topo.children).push_back(&d);
-  }
-  for (int i = 0; i < tops; ++i) {
-    net.link(*topo.tops[i], *topo.tops[(i + 1) % tops]);
-    if (tops > 2 && i + 2 < tops) {
-      net.link(*topo.tops[i], *topo.tops[i + 2]);
-    }
-  }
-  for (std::size_t i = 0; i < topo.children.size(); ++i) {
-    core::Domain& parent = *topo.tops[i % tops];
-    net.link(parent, *topo.children[i], bgp::Relationship::kCustomer);
-    net.masc_parent(*topo.children[i], parent);
-  }
-  for (int i = 0; i < tops; ++i) {
-    for (int j = i + 1; j < tops; ++j) {
-      net.masc_siblings(*topo.tops[i], *topo.tops[j]);
-    }
-  }
-  return topo;
-}
-
-/// Address claiming: top-level domains carve 224/4 between themselves,
-/// children claim /24s out of their parents' ranges.
-void phase_claim(core::Internet& net, const Topology& topo) {
-  for (core::Domain* t : topo.tops) {
-    t->masc_node().set_spaces({net::multicast_space()});
-    t->masc_node().request_space(65536);
-  }
-  net.settle();
-  for (core::Domain* c : topo.children) c->masc_node().request_space(256);
-  net.settle();
-}
-
-/// Group lifetime: children lease groups, remote domains join, every
-/// initiator sends one packet down its tree.
-void phase_groups(core::Internet& net, const SweepCell& cell,
-                  const Topology& topo) {
-  const int groups =
-      cell.groups > 0 ? cell.groups : std::max(1, cell.domains / 4);
-  net::Rng rng(cell.seed * 7919 + 17);
-  struct Live {
-    core::Domain* root;
-    core::Group group;
-  };
-  std::vector<Live> live;
-  for (int g = 0; g < groups && !topo.children.empty(); ++g) {
-    core::Domain* initiator = topo.children[static_cast<std::size_t>(g) %
-                                            topo.children.size()];
-    auto lease = initiator->create_group();
-    if (!lease.has_value()) {
-      net.settle();
-      lease = initiator->create_group();
-    }
-    if (lease.has_value()) live.push_back({initiator, lease->address});
-  }
-  net.settle();
-  for (const Live& l : live) {
-    for (int j = 0; j < cell.joins; ++j) {
-      const auto pick = rng.uniform_int(0, cell.domains - 1);
-      core::Domain& member = net.domain(static_cast<std::size_t>(pick));
-      if (&member != l.root) member.host_join(l.group);
-    }
-  }
-  net.settle();
-  for (const Live& l : live) l.root->send(l.group);
-  net.settle();
-}
-
-/// Backbone perturbation: flap alternating ring links; every flap
-/// withdraws and re-learns whole tables.
-void phase_flap(core::Internet& net, const Topology& topo) {
-  const int tops = static_cast<int>(topo.tops.size());
-  for (int i = 0; i + 1 < tops; i += 2) {
-    net.set_link_state(*topo.tops[i], *topo.tops[i + 1], false);
-    net.settle();
-    net.set_link_state(*topo.tops[i], *topo.tops[i + 1], true);
-    net.settle();
-  }
+ScenarioSpec spec_of(const SweepCell& cell) {
+  ScenarioSpec spec;
+  spec.domains = cell.domains;
+  spec.seed = cell.seed;
+  spec.groups = cell.groups;
+  spec.joins = cell.joins;
+  return spec;
 }
 
 using ScenarioFn = void (*)(core::Internet&, const SweepCell&);
 
 void scenario_claim(core::Internet& net, const SweepCell& cell) {
-  const Topology topo = build_backbone(net, cell.domains);
+  const ScenarioSpec spec = spec_of(cell);
+  const BuiltScenario topo = build_scenario(net, spec);
   phase_claim(net, topo);
 }
 
 void scenario_join(core::Internet& net, const SweepCell& cell) {
-  const Topology topo = build_backbone(net, cell.domains);
+  const ScenarioSpec spec = spec_of(cell);
+  const BuiltScenario topo = build_scenario(net, spec);
   phase_claim(net, topo);
-  phase_groups(net, cell, topo);
+  net::Rng rng = make_workload_rng(spec.seed);
+  (void)phase_groups(net, spec, topo, rng);
 }
 
 void scenario_flap(core::Internet& net, const SweepCell& cell) {
-  const Topology topo = build_backbone(net, cell.domains);
+  const ScenarioSpec spec = spec_of(cell);
+  const BuiltScenario topo = build_scenario(net, spec);
   phase_claim(net, topo);
-  phase_groups(net, cell, topo);
-  phase_flap(net, topo);
+  net::Rng rng = make_workload_rng(spec.seed);
+  (void)phase_groups(net, spec, topo, rng);
+  phase_flap(net, spec, topo);
 }
 
-struct ScenarioSpec {
+struct NamedScenario {
   const char* name;
   ScenarioFn run;
 };
 
-constexpr ScenarioSpec kScenarios[] = {
+constexpr NamedScenario kScenarios[] = {
     {"claim", scenario_claim},
     {"join", scenario_join},
     {"flap", scenario_flap},
 };
 
 ScenarioFn find_scenario(const std::string& name) {
-  for (const ScenarioSpec& s : kScenarios) {
+  for (const NamedScenario& s : kScenarios) {
     if (name == s.name) return s.run;
   }
   throw std::invalid_argument("sweep: unknown scenario \"" + name + "\"");
@@ -260,28 +173,10 @@ std::vector<SweepCell> make_grid(const std::vector<std::string>& scenarios,
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = [] {
     std::vector<std::string> out;
-    for (const ScenarioSpec& s : kScenarios) out.emplace_back(s.name);
+    for (const NamedScenario& s : kScenarios) out.emplace_back(s.name);
     return out;
   }();
   return names;
-}
-
-std::uint64_t rib_digest(core::Internet& net) {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (std::size_t i = 0; i < net.domain_count(); ++i) {
-    core::Domain& d = net.domain(i);
-    for (const bgp::RouteType type :
-         {bgp::RouteType::kUnicast, bgp::RouteType::kGroup}) {
-      d.speaker().rib(type).for_each_best(
-          [&](const net::Prefix& p, const bgp::Candidate& c) {
-            fnv_mix(h, p.base().value());
-            fnv_mix(h, static_cast<std::uint64_t>(p.length()));
-            fnv_mix(h, c.route.origin_as);
-            fnv_mix(h, c.route.as_path.size());
-          });
-    }
-  }
-  return h;
 }
 
 SweepResult run_sweep(const SweepConfig& config) {

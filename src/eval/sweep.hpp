@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "eval/scenario.hpp"
 #include "obs/metrics.hpp"
 
 namespace core {
@@ -89,11 +90,6 @@ struct SweepResult {
 
 /// Built-in scenario names ("claim", "join", "flap").
 [[nodiscard]] const std::vector<std::string>& scenario_names();
-
-/// Digest of the converged routing state of one simulation: every
-/// domain's unicast and G-RIB best routes in address order. Identical
-/// tables produce identical digests regardless of the message history.
-[[nodiscard]] std::uint64_t rib_digest(core::Internet& net);
 
 /// Runs every cell (work-stealing across `config.threads` workers),
 /// sorts by cell key, and aggregates. Throws std::invalid_argument for

@@ -272,6 +272,16 @@ class PrefixTrie {
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Bytes held by the node pool, free list and jump table. Values stored
+  /// inline in nodes are counted; heap memory owned by the values is not
+  /// (callers add their own value accounting).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           free_.capacity() * sizeof(std::uint32_t) +
+           jump_.capacity() * sizeof(JumpEntry);
+  }
+
   void clear() {
     nodes_.clear();
     free_.clear();

@@ -20,6 +20,24 @@ void Graph::add_edge(NodeId a, NodeId b) {
   ++edge_count_;
 }
 
+void Graph::remove_edge(NodeId a, NodeId b) {
+  check(a);
+  check(b);
+  const auto erase_one = [this](NodeId from, NodeId to) {
+    auto& list = adjacency_[from];
+    const auto it = std::find(list.begin(), list.end(), to);
+    if (it == list.end()) {
+      throw std::invalid_argument("Graph::remove_edge: missing edge " +
+                                  std::to_string(from) + "-" +
+                                  std::to_string(to));
+    }
+    list.erase(it);
+  };
+  erase_one(a, b);
+  erase_one(b, a);
+  --edge_count_;
+}
+
 bool Graph::has_edge(NodeId a, NodeId b) const {
   check(a);
   check(b);

@@ -31,6 +31,10 @@ class Graph {
   /// duplicate edges.
   void add_edge(NodeId a, NodeId b);
 
+  /// Removes an undirected edge. Throws on unknown nodes or a missing
+  /// edge. Per-node adjacency order of the surviving edges is preserved.
+  void remove_edge(NodeId a, NodeId b);
+
   /// True if the edge exists (O(min degree)).
   [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
 

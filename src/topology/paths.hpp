@@ -36,6 +36,87 @@ struct BfsTree {
 [[nodiscard]] std::vector<NodeId> path_from_source(const BfsTree& tree,
                                                    NodeId n);
 
+/// Incrementally maintained BFS forests over a graph whose links flap.
+///
+/// The Internet-scale macro runs (10k domains) toggle links constantly;
+/// recomputing a full BFS per link event is O(V+E) each time and dominates
+/// wall clock once trees are queried after every flap. DynamicPaths keeps
+/// one BFS tree per *watched* source and repairs only the affected region
+/// on each edge event:
+///
+///  - edge up: distances can only shrink, so a relaxation BFS runs from
+///    the improved endpoint and stops where nothing improves;
+///  - edge down on a non-tree edge: no distance can change — O(1);
+///  - edge down on a tree edge: the orphaned subtree is invalidated and
+///    re-attached by a unit-weight Dijkstra seeded from its boundary.
+///
+/// Sources are registered lazily on first query, so memory is
+/// O(watched sources × nodes), not O(nodes²). Distances always equal a
+/// from-scratch bfs() on the active subgraph (asserted by the oracle
+/// tests); parent tie-breaks may differ from bfs() but are deterministic
+/// (first active neighbor in adjacency order at the settled distance).
+class DynamicPaths {
+ public:
+  /// Appends a node; returns its id.
+  NodeId add_node();
+
+  /// Adds an undirected edge, initially up. Throws on self-loops,
+  /// unknown nodes, or duplicate edges.
+  void add_edge(NodeId a, NodeId b);
+
+  /// Marks an existing edge up or down, repairing every watched tree.
+  /// No-op if the edge is already in the requested state.
+  void set_edge_state(NodeId a, NodeId b, bool up);
+
+  /// True if the edge exists (up or down). O(degree of `a`).
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+  /// Registers `source` (computing its tree now); idempotent.
+  void watch(NodeId source);
+
+  /// Hop distance from `source` to `target` on the active subgraph
+  /// (kUnreachable if disconnected). Lazily watches `source`.
+  [[nodiscard]] std::uint32_t dist(NodeId source, NodeId target);
+
+  /// Distance between two nodes, reusing whichever endpoint is already
+  /// watched (watches `a` if neither is).
+  [[nodiscard]] std::uint32_t hops(NodeId a, NodeId b);
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t watched_count() const { return trees_.size(); }
+
+  /// Work counters proving incrementality: `full_builds` counts initial
+  /// tree constructions, `edge_events` the up/down transitions applied,
+  /// and `nodes_touched` every node re-settled by incremental repair.
+  struct Stats {
+    std::uint64_t full_builds = 0;
+    std::uint64_t edge_events = 0;
+    std::uint64_t nodes_touched = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct HalfEdge {
+    NodeId to;
+    bool up;
+  };
+  struct Tree {
+    NodeId source = 0;
+    std::vector<std::uint32_t> dist;
+    std::vector<NodeId> parent;
+  };
+
+  void check(NodeId n) const;
+  void build(Tree& tree);
+  void relax_from(Tree& tree, NodeId improved);
+  void repair_after_cut(Tree& tree, NodeId orphan);
+  Tree& tree_for(NodeId source);
+
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::vector<Tree> trees_;
+  Stats stats_;
+};
+
 /// A rooted spanning forest given by parent pointers (parent[root] == root).
 /// This is the shape of every shared tree in the library: each on-tree node
 /// knows its next hop toward the root domain.

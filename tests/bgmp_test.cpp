@@ -22,6 +22,49 @@ using net::Prefix;
 
 const Group kGroup = Ipv4Addr::parse("224.0.128.1");
 
+// Flat target containers must keep std::map/std::set semantics: sorted
+// iteration, refcount slots created at zero, erase by key or iterator.
+TEST(TargetList, KeepsMapSemantics) {
+  bgmp::Router* const fake_a = reinterpret_cast<bgmp::Router*>(0x10);
+  bgmp::Router* const fake_b = reinterpret_cast<bgmp::Router*>(0x20);
+  bgmp::TargetList list;
+  EXPECT_TRUE(list.empty());
+  ++list[bgmp::TargetKey::external(fake_b)];
+  ++list[bgmp::TargetKey::external(fake_a)];
+  ++list[bgmp::TargetKey::external(fake_a)];
+  ++list[bgmp::TargetKey::migp()];
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list.contains(bgmp::TargetKey::migp()));
+  // Iteration is sorted by TargetKey: migp before peers, peers by address.
+  std::vector<bgmp::TargetKey> order;
+  for (const auto& [key, refs] : list) {
+    (void)refs;
+    order.push_back(key);
+  }
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], bgmp::TargetKey::migp());
+  EXPECT_EQ(order[1], bgmp::TargetKey::external(fake_a));
+  EXPECT_EQ(order[2], bgmp::TargetKey::external(fake_b));
+  const auto it = list.find(bgmp::TargetKey::external(fake_a));
+  ASSERT_NE(it, list.end());
+  EXPECT_EQ(it->second, 2);
+  EXPECT_EQ(list.erase(bgmp::TargetKey::external(fake_b)), 1u);
+  EXPECT_EQ(list.erase(bgmp::TargetKey::external(fake_b)), 0u);
+  list.erase(list.find(bgmp::TargetKey::migp()));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(TargetSet, DeduplicatesAndSorts) {
+  bgmp::Router* const fake = reinterpret_cast<bgmp::Router*>(0x10);
+  bgmp::TargetSet set;
+  set.insert(bgmp::TargetKey::external(fake));
+  set.insert(bgmp::TargetKey::migp());
+  set.insert(bgmp::TargetKey::external(fake));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(bgmp::TargetKey::migp()));
+  EXPECT_TRUE(set.contains(bgmp::TargetKey::external(fake)));
+}
+
 struct DeliveryLog {
   std::vector<Delivery> entries;
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bgp/rib.hpp"
+#include "bgp/route_table.hpp"
 #include "bgp/speaker.hpp"
 #include "bgp/types.hpp"
 #include "net/event.hpp"
@@ -600,6 +601,47 @@ TEST(PathTable, SurvivesBucketGrowth) {
     EXPECT_EQ(PathRef::intern({4000000 + i, 4100000 + i}).id(),
               keep[i].id());
   }
+}
+
+// ------------------------------------------------------------- RouteTable
+
+TEST(RouteTable, InternsEqualRoutesToOneId) {
+  const Route r1{Prefix::parse("224.8.0.0/16"), PathRef::intern({11, 12}), 12,
+                 100};
+  const Route r2 = r1;
+  const Route other{Prefix::parse("224.8.0.0/16"), PathRef::intern({11, 13}),
+                    13, 100};
+  const RouteRef a = RouteRef::intern(r1);
+  const RouteRef b = RouteRef::intern(r2);
+  const RouteRef c = RouteRef::intern(other);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_NE(a.id(), c.id());
+  EXPECT_EQ(a.get(), r1);
+  EXPECT_EQ(c.get(), other);
+}
+
+TEST(RouteTable, ReleasedIdsAreReused) {
+  const auto live_before = RouteTable::instance().stats().live_routes;
+  std::uint32_t freed_id = 0;
+  {
+    const RouteRef held = RouteRef::intern(
+        Route{Prefix::parse("224.9.0.0/16"), PathRef::intern({21}), 21, 100});
+    freed_id = held.id();
+    EXPECT_EQ(RouteTable::instance().stats().live_routes, live_before + 1);
+  }
+  EXPECT_EQ(RouteTable::instance().stats().live_routes, live_before);
+  // The slot is recycled for the next distinct route.
+  const RouteRef next = RouteRef::intern(
+      Route{Prefix::parse("224.10.0.0/16"), PathRef::intern({22}), 22, 100});
+  EXPECT_EQ(next.id(), freed_id);
+}
+
+TEST(RouteTable, NullRefIsInert) {
+  RouteRef ref;
+  EXPECT_FALSE(ref.has_value());
+  const RouteRef copy = ref;
+  EXPECT_FALSE(copy.has_value());
+  EXPECT_EQ(ref, copy);
 }
 
 }  // namespace

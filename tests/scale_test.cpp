@@ -1,0 +1,78 @@
+// Scale-ladder regression tests (ctest label: scale).
+//
+// Two gates keep the Internet-scale work honest:
+//
+//  * Behavior: the 256-domain converged-RIB digest is pinned to the value
+//    committed in BENCH_macro.json. The arena RIB, route interning, flat
+//    target lists and incremental path maintenance are all pure storage /
+//    observation changes — any drift in decision order, RNG draws or
+//    message economy flips this digest.
+//  * Memory: a 1k-domain smoke run (capped ladder shape) must keep
+//    core.state_bytes_per_domain under a committed budget, so state that
+//    silently grows superlinearly fails here before the 10k CI rung.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/internet.hpp"
+#include "eval/scenario.hpp"
+#include "net/rng.hpp"
+
+namespace eval {
+namespace {
+
+/// The committed 256-domain digest (BENCH_macro.json, seed 1).
+constexpr std::uint64_t kDigest256 = 161730544321461325ULL;
+
+/// Per-domain routing-state budget for the capped 1k rung. Measured at
+/// ~144 KiB/domain when the ladder baseline was committed; the margin
+/// allows allocator/capacity jitter, not a new per-domain structure.
+constexpr double kStateBytesBudget1k = 256.0 * 1024.0;
+
+ScenarioSpec ladder_spec(int domains) {
+  ScenarioSpec spec;
+  spec.domains = domains;
+  spec.groups = 128;
+  spec.joins = 4;
+  spec.seed = 1;
+  if (domains > 512) {  // the >512 rungs cap shape (see eval/scenario.hpp)
+    spec.max_tops = 64;
+    spec.active_children = 256;
+    spec.flap_pairs = 2;
+  }
+  return spec;
+}
+
+struct RunResult {
+  std::uint64_t digest = 0;
+  double state_bytes_per_domain = 0.0;
+};
+
+RunResult run_ladder_rung(const ScenarioSpec& spec) {
+  core::Internet net(spec.seed);
+  const BuiltScenario topo = build_scenario(net, spec);
+  phase_claim(net, topo);
+  net::Rng rng = make_workload_rng(spec.seed);
+  (void)phase_groups(net, spec, topo, rng);
+  phase_flap(net, spec, topo);
+  RunResult r;
+  r.state_bytes_per_domain =
+      net.metrics_snapshot().gauge_value("core.state_bytes_per_domain");
+  r.digest = rib_digest(net);
+  return r;
+}
+
+TEST(ScaleLadder, Digest256MatchesCommittedBaseline) {
+  const RunResult r = run_ladder_rung(ladder_spec(256));
+  EXPECT_EQ(r.digest, kDigest256);
+  EXPECT_GT(r.state_bytes_per_domain, 0.0);
+}
+
+TEST(ScaleLadder, Smoke1kStaysUnderStateBudget) {
+  const RunResult r = run_ladder_rung(ladder_spec(1024));
+  ASSERT_GT(r.state_bytes_per_domain, 0.0);
+  EXPECT_LT(r.state_bytes_per_domain, kStateBytesBudget1k);
+}
+
+}  // namespace
+}  // namespace eval

@@ -310,5 +310,116 @@ TEST(LoadEdgeList, RejectsMalformedLines) {
   EXPECT_THROW((void)load_edge_list(in), std::invalid_argument);
 }
 
+// ----------------------------------------------------------- DynamicPaths
+
+TEST(Graph, RemoveEdge) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.remove_edge(1, 2);
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_THROW(g.remove_edge(1, 2), std::invalid_argument);
+}
+
+TEST(DynamicPaths, MatchesBfsOnStaticGraph) {
+  // Ring of 12 plus chords — the macro_scenario backbone shape.
+  constexpr NodeId n = 12;
+  Graph g(n);
+  DynamicPaths dyn;
+  for (NodeId i = 0; i < n; ++i) dyn.add_node();
+  const auto both = [&](NodeId a, NodeId b) {
+    g.add_edge(a, b);
+    dyn.add_edge(a, b);
+  };
+  for (NodeId i = 0; i < n; ++i) both(i, (i + 1) % n);
+  for (NodeId i = 0; i < n; i += 3) both(i, (i + 2) % n);
+  for (NodeId s = 0; s < n; ++s) {
+    const BfsTree t = bfs(g, s);
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(dyn.dist(s, v), t.dist[v]);
+  }
+  EXPECT_EQ(dyn.stats().full_builds, n);
+}
+
+TEST(DynamicPaths, NonTreeEdgeCutIsFree) {
+  DynamicPaths dyn;
+  for (int i = 0; i < 3; ++i) dyn.add_node();
+  dyn.add_edge(0, 1);
+  dyn.add_edge(0, 2);
+  dyn.add_edge(1, 2);
+  dyn.watch(0);
+  const std::uint64_t touched = dyn.stats().nodes_touched;
+  // 1-2 is not an edge of 0's shortest-path tree: distances cannot change.
+  dyn.set_edge_state(1, 2, false);
+  EXPECT_EQ(dyn.stats().nodes_touched, touched);
+  EXPECT_EQ(dyn.dist(0, 1), 1u);
+  EXPECT_EQ(dyn.dist(0, 2), 1u);
+  EXPECT_EQ(dyn.stats().full_builds, 1u);
+}
+
+TEST(DynamicPaths, DisconnectionAndReconnection) {
+  DynamicPaths dyn;
+  for (int i = 0; i < 4; ++i) dyn.add_node();
+  dyn.add_edge(0, 1);
+  dyn.add_edge(1, 2);
+  dyn.add_edge(2, 3);
+  EXPECT_EQ(dyn.dist(0, 3), 3u);
+  dyn.set_edge_state(1, 2, false);
+  EXPECT_EQ(dyn.dist(0, 1), 1u);
+  EXPECT_EQ(dyn.dist(0, 2), kUnreachable);
+  EXPECT_EQ(dyn.dist(0, 3), kUnreachable);
+  dyn.set_edge_state(1, 2, true);
+  EXPECT_EQ(dyn.dist(0, 3), 3u);
+  EXPECT_EQ(dyn.stats().full_builds, 1u);  // repairs, never rebuilds
+}
+
+TEST(DynamicPaths, OracleUnderRandomEdgeToggles) {
+  // Maintain a plain Graph holding exactly the up edges; after every
+  // toggle, every watched tree's distances must equal a from-scratch BFS
+  // on that oracle (Graph::remove_edge exists for exactly this test).
+  constexpr NodeId n = 24;
+  net::Rng rng(7);
+  Graph oracle(n);
+  DynamicPaths dyn;
+  for (NodeId i = 0; i < n; ++i) dyn.add_node();
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (b == a + 1 || rng.index(5) == 0) edges.emplace_back(a, b);
+    }
+  }
+  std::vector<bool> up(edges.size(), true);
+  for (const auto& [a, b] : edges) {
+    oracle.add_edge(a, b);
+    dyn.add_edge(a, b);
+  }
+  const NodeId sources[] = {0, n / 2, n - 1};
+  for (NodeId s : sources) dyn.watch(s);
+  const std::uint64_t events_before = dyn.stats().edge_events;
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t e = rng.index(edges.size());
+    const auto [a, b] = edges[e];
+    up[e] = !up[e];
+    if (up[e]) {
+      oracle.add_edge(a, b);
+    } else {
+      oracle.remove_edge(a, b);
+    }
+    dyn.set_edge_state(a, b, up[e]);
+    for (NodeId s : sources) {
+      const BfsTree t = bfs(oracle, s);
+      for (NodeId v = 0; v < n; ++v) {
+        ASSERT_EQ(dyn.dist(s, v), t.dist[v])
+            << "iter " << iter << " source " << s << " node " << v;
+      }
+    }
+  }
+  EXPECT_EQ(dyn.stats().full_builds, 3u);
+  EXPECT_EQ(dyn.stats().edge_events, events_before + 300);
+}
+
 }  // namespace
 }  // namespace topology
