@@ -8,6 +8,14 @@
 //                  [--check-every K] [--loss P] [--reorder P]
 //                  [--groups G] [--joins J] [--out FILE] [--check]
 //                  [--inject-skip-waiting] [--expect-violations]
+//                  [--telemetry] [--telemetry-interval SEC]
+//                  [--span-sample RATE]
+//
+// --telemetry attaches the obs flight recorder (1 sim-second frames) and
+// head-sampled spans to every seed; a failing seed then also dumps
+// chaos-telemetry-seed<S>.{recorder.jsonl,spans.jsonl,critical_path.json}
+// next to its violation JSON — the time-series and causal-chain evidence
+// CI uploads with a red run.
 //
 // --check exits 1 unless every seed passes (zero violations + final
 // quiescence). --inject-skip-waiting collapses the MASC waiting period to
@@ -32,6 +40,9 @@ int main(int argc, char** argv) {
   bool gate = false;
   bool expect_violations = false;
   bool inject_skip_waiting = false;
+  bool telemetry = false;
+  double telemetry_interval = 1.0;
+  double span_sample = 0.01;
   std::string out_path;
 
   eval::Args args("chaos_scenario",
@@ -52,7 +63,17 @@ int main(int argc, char** argv) {
             "collapse the MASC waiting period (checker self-test bug)");
   args.flag("--expect-violations", &expect_violations,
             "invert the gate: require a violation on every seed");
+  args.flag("--telemetry", &telemetry,
+            "attach the flight recorder + span sampling; failing seeds "
+            "dump their telemetry artifacts");
+  args.opt("--telemetry-interval", &telemetry_interval,
+           "recorder frame interval in simulated seconds");
+  args.opt("--span-sample", &span_sample, "head-based span sampling rate");
   if (!args.parse(argc, argv)) return args.exit_code();
+  if (telemetry) {
+    base.telemetry.recorder_interval_seconds = telemetry_interval;
+    base.telemetry.span_sample_rate = span_sample;
+  }
   if (inject_skip_waiting) {
     base.inject_skip_waiting_period = true;
     base.check_every = 1;  // the overlap window is narrow; sweep every step
@@ -78,6 +99,10 @@ int main(int argc, char** argv) {
   for (int s = 0; s < seed_count; ++s) {
     eval::ChaosConfig config = base;
     config.seed = first_seed + static_cast<std::uint64_t>(s);
+    if (telemetry) {
+      config.telemetry_prefix =
+          "chaos-telemetry-seed" + std::to_string(config.seed);
+    }
     eval::ChaosResult result;
     try {
       result = eval::run_chaos(config);

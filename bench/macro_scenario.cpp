@@ -11,6 +11,20 @@
 //                  [--max-tops T] [--active-children A] [--flap-pairs F]
 //                  [--ladder 256,1000,4000,10000]
 //                  [--out FILE] [--check BASELINE] [--tolerance FRAC]
+//                  [--telemetry] [--telemetry-interval SEC]
+//                  [--span-sample RATE] [--telemetry-budget FRAC]
+//                  [--telemetry-reps N] [--telemetry-out PREFIX]
+//
+// --telemetry runs every rung twice — once bare, once with the obs
+// flight recorder ticking and head-sampled spans attached — and reports
+// the relative events/s cost as `telemetry_overhead`. The off/on pair is
+// interleaved --telemetry-reps times (default 3); the overhead is the
+// median of the per-pair estimates (adjacent passes see the same host,
+// the median discards pairs a noise window straddled) and the throughput
+// columns keep each side's fastest pass. The
+// telemetry run must reproduce the bare run's digest and event count
+// exactly (the instrumentation is passive); --check additionally fails
+// when the overhead exceeds --telemetry-budget (default 5%).
 //
 // --ladder runs one rung per domain count (ascending) and emits a single
 // {"bench": "macro_ladder", "rungs": [...]} report. Rungs above 512
@@ -34,6 +48,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,6 +58,7 @@
 #include "core/internet.hpp"
 #include "eval/args.hpp"
 #include "eval/scenario.hpp"
+#include "eval/telemetry.hpp"
 #include "net/prefix.hpp"
 #include "net/rng.hpp"
 
@@ -79,13 +95,27 @@ struct Results {
   // shortest possible — the tree-stretch measure of §5.4.
   double delivery_hops_mean = 0.0;
   double delivery_stretch = 0.0;
+  // Telemetry yield of this run (non-zero only when spec.telemetry is on).
+  std::uint64_t recorder_frames = 0;
+  std::uint64_t spans_sampled = 0;
+  // Filled by the --telemetry comparison pass: throughput with the flight
+  // recorder + span sampling attached, and the relative events/s cost
+  // ((off − on) / off, so 0.03 = 3% slower with telemetry).
+  bool telemetry_measured = false;
+  double events_per_second_telemetry = 0.0;
+  double telemetry_overhead = 0.0;
+  std::uint64_t telemetry_rib_digest = 0;
 };
 
-Results run_scenario(const eval::ScenarioSpec& spec) {
+Results run_scenario(const eval::ScenarioSpec& spec,
+                     const std::string& telemetry_prefix = {}) {
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
 
   core::Internet net(spec.seed);
+  // Declared after the internet so it detaches before the network dies.
+  std::optional<eval::TelemetrySession> telemetry;
+  if (spec.telemetry.enabled()) telemetry.emplace(net, spec.telemetry);
   const eval::BuiltScenario topo = eval::build_scenario(net, spec);
   eval::phase_claim(net, topo);
 
@@ -143,7 +173,88 @@ Results run_scenario(const eval::ScenarioSpec& spec) {
                              : static_cast<double>(hops_travelled) /
                                    static_cast<double>(hops_shortest);
   }
+  if (telemetry.has_value()) {
+    telemetry->final_tick();
+    r.recorder_frames = telemetry->recorder_frames();
+    r.spans_sampled = telemetry->spans_recorded();
+    if (!telemetry_prefix.empty()) {
+      const std::string stem =
+          telemetry_prefix + "-" + std::to_string(spec.domains);
+      std::ofstream rec(stem + ".recorder.jsonl");
+      telemetry->flush_recorder(rec);
+      std::ofstream spans(stem + ".spans.jsonl");
+      telemetry->flush_spans(spans);
+      std::ofstream cp(stem + ".critical_path.json");
+      telemetry->critical_path().write_json(cp);
+    }
+  }
   return r;
+}
+
+/// The --telemetry comparison pass: re-runs the rung with the flight
+/// recorder ticking and 1%-style span sampling attached, verifies the
+/// instrumentation was purely passive (identical converged digest — a
+/// telemetry build that changes behavior is a bug, not an overhead), and
+/// folds the on-column into the off-run's results.
+Results run_with_telemetry_column(const eval::ScenarioSpec& spec,
+                                  const eval::TelemetrySpec& telemetry,
+                                  const std::string& telemetry_prefix,
+                                  int reps) {
+  // Wall-clock noise on shared runners easily swamps a single off/on pair
+  // (the raw events/s of identical runs varies by more than the budget),
+  // so the rung runs `reps` interleaved pairs. The two passes of one pair
+  // are adjacent in time and see nearly the same host, so each pair's
+  // relative overhead is close to unbiased; the median across pairs then
+  // discards the pairs a noise window happened to straddle. The reported
+  // throughput columns keep each side's fastest pass. Every pass must
+  // reproduce the same digest and event count — a telemetry build that
+  // changes behavior is a bug, not an overhead.
+  eval::ScenarioSpec on_spec = spec;
+  on_spec.telemetry = telemetry;
+  Results off = run_scenario(spec);
+  Results on = run_scenario(on_spec, telemetry_prefix);
+  std::vector<double> pair_overheads;
+  pair_overheads.push_back(
+      (off.events_per_second - on.events_per_second) / off.events_per_second);
+  for (int rep = 1; rep < reps; ++rep) {
+    const Results off_rep = run_scenario(spec);
+    const Results on_rep = run_scenario(on_spec);
+    if (on_rep.rib_digest != off.rib_digest ||
+        on_rep.events_run != off.events_run ||
+        off_rep.rib_digest != off.rib_digest) {
+      std::cerr << "macro_scenario: unstable digest across telemetry reps\n";
+      std::exit(1);
+    }
+    pair_overheads.push_back(
+        (off_rep.events_per_second - on_rep.events_per_second) /
+        off_rep.events_per_second);
+    off.events_per_second =
+        std::max(off.events_per_second, off_rep.events_per_second);
+    on.events_per_second =
+        std::max(on.events_per_second, on_rep.events_per_second);
+    off.wall_seconds = std::min(off.wall_seconds, off_rep.wall_seconds);
+  }
+  if (on.rib_digest != off.rib_digest || on.events_run != off.events_run) {
+    std::cerr << "macro_scenario: telemetry changed the simulation: digest "
+              << off.rib_digest << " -> " << on.rib_digest << ", events "
+              << off.events_run << " -> " << on.events_run << "\n";
+    std::exit(1);
+  }
+  std::sort(pair_overheads.begin(), pair_overheads.end());
+  const std::size_t n = pair_overheads.size();
+  off.items_per_second =
+      static_cast<double>(off.claims_granted + off.bgmp_joins_sent +
+                          off.deliveries) /
+      off.wall_seconds;
+  off.telemetry_measured = true;
+  off.events_per_second_telemetry = on.events_per_second;
+  off.telemetry_overhead =
+      n % 2 == 1 ? pair_overheads[n / 2]
+                 : (pair_overheads[n / 2 - 1] + pair_overheads[n / 2]) / 2.0;
+  off.telemetry_rib_digest = on.rib_digest;
+  off.recorder_frames = on.recorder_frames;
+  off.spans_sampled = on.spans_sampled;
+  return off;
 }
 
 void write_rung(const Results& r, std::ostream& os, const char* indent) {
@@ -169,8 +280,18 @@ void write_rung(const Results& r, std::ostream& os, const char* indent) {
      << indent << "\"path_full_builds\": " << r.path_full_builds << ",\n"
      << indent << "\"path_nodes_touched\": " << r.path_nodes_touched << ",\n"
      << indent << "\"delivery_hops_mean\": " << r.delivery_hops_mean << ",\n"
-     << indent << "\"delivery_stretch\": " << r.delivery_stretch << ",\n"
-     << indent << "\"rib_digest\": " << r.rib_digest << "\n";
+     << indent << "\"delivery_stretch\": " << r.delivery_stretch << ",\n";
+  if (r.telemetry_measured) {
+    os << indent << "\"events_per_second_telemetry\": "
+       << r.events_per_second_telemetry << ",\n"
+       << indent << "\"telemetry_overhead\": " << r.telemetry_overhead
+       << ",\n"
+       << indent << "\"telemetry_rib_digest\": " << r.telemetry_rib_digest
+       << ",\n"
+       << indent << "\"recorder_frames\": " << r.recorder_frames << ",\n"
+       << indent << "\"spans_sampled\": " << r.spans_sampled << ",\n";
+  }
+  os << indent << "\"rib_digest\": " << r.rib_digest << "\n";
 }
 
 void write_json(const std::vector<Results>& runs, bool ladder,
@@ -241,8 +362,8 @@ bool params_match(const Results& now, const std::string& base) {
          cap("flap_pairs", static_cast<std::uint64_t>(now.spec.flap_pairs));
 }
 
-int check_one(const Results& now, const std::string& base,
-              double tolerance) {
+int check_one(const Results& now, const std::string& base, double tolerance,
+              double telemetry_budget) {
   int failures = 0;
   const auto exact = [&](const char* key, std::uint64_t current) {
     double expected = 0.0;
@@ -291,11 +412,27 @@ int check_one(const Results& now, const std::string& base,
               << base_eps << " (" << (now.events_per_second / base_eps)
               << "x)\n";
   }
+  // The telemetry budget IS gated: both columns run on this host in this
+  // process, so their ratio is a property of the code, not the machine.
+  if (now.telemetry_measured) {
+    if (now.telemetry_overhead > telemetry_budget) {
+      std::cerr << "macro_scenario: telemetry overhead "
+                << now.telemetry_overhead * 100 << "% exceeds the "
+                << telemetry_budget * 100 << "% budget ("
+                << now.events_per_second << " -> "
+                << now.events_per_second_telemetry << " events/s)\n";
+      ++failures;
+    } else {
+      std::cerr << "macro_scenario: telemetry overhead "
+                << now.telemetry_overhead * 100 << "% (budget "
+                << telemetry_budget * 100 << "%)\n";
+    }
+  }
   return failures;
 }
 
 int check_against(const std::vector<Results>& runs, const std::string& path,
-                  double tolerance) {
+                  double tolerance, double telemetry_budget) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "macro_scenario: cannot read baseline " << path << "\n";
@@ -313,7 +450,7 @@ int check_against(const std::vector<Results>& runs, const std::string& path,
       if (!params_match(r, rung)) continue;
       found = true;
       ++matched;
-      failures += check_one(r, rung, tolerance);
+      failures += check_one(r, rung, tolerance, telemetry_budget);
       break;
     }
     if (!found) {
@@ -356,6 +493,12 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string check_path;
   double tolerance = 0.25;
+  bool telemetry = false;
+  double telemetry_interval = 1.0;
+  double span_sample = 0.01;
+  double telemetry_budget = 0.05;
+  int telemetry_reps = 3;
+  std::string telemetry_out;
 
   eval::Args args("macro_scenario",
                   "macro benchmark over the full MASC/MAAS/BGP/BGMP "
@@ -377,11 +520,36 @@ int main(int argc, char** argv) {
   args.opt("--check", &check_path, "compare against this baseline JSON");
   args.opt("--tolerance", &tolerance,
            "allowed growth of the deterministic work counters");
+  args.flag("--telemetry", &telemetry,
+            "run each rung a second time with the flight recorder and span "
+            "sampling attached; report the events/s overhead column");
+  args.opt("--telemetry-interval", &telemetry_interval,
+           "recorder frame interval in simulated seconds");
+  args.opt("--span-sample", &span_sample,
+           "head-based span sampling rate for the telemetry column");
+  args.opt("--telemetry-budget", &telemetry_budget,
+           "max relative events/s overhead --check allows for telemetry");
+  args.opt("--telemetry-reps", &telemetry_reps,
+           "interleaved off/on pairs per rung; overhead is the median "
+           "pair estimate");
+  args.opt("--telemetry-out", &telemetry_out,
+           "dump per-rung <prefix>-<domains>.{recorder.jsonl,spans.jsonl,"
+           "critical_path.json} from the telemetry run");
   if (!args.parse(argc, argv)) return args.exit_code();
+
+  eval::TelemetrySpec telemetry_spec;
+  telemetry_spec.recorder_interval_seconds = telemetry_interval;
+  telemetry_spec.span_sample_rate = span_sample;
+  const auto run_one = [&](const eval::ScenarioSpec& s) {
+    return telemetry
+               ? run_with_telemetry_column(s, telemetry_spec, telemetry_out,
+                                           telemetry_reps)
+               : run_scenario(s);
+  };
 
   std::vector<Results> runs;
   if (ladder.empty()) {
-    runs.push_back(run_scenario(spec));
+    runs.push_back(run_one(spec));
   } else {
     // Ascending keeps per-rung ru_maxrss meaningful (it is monotonic).
     std::vector<int> sizes = ladder;
@@ -393,7 +561,7 @@ int main(int argc, char** argv) {
                 << (rung.active_children > 0 ? rung.active_children
                                              : domains)
                 << ")\n";
-      runs.push_back(run_scenario(rung));
+      runs.push_back(run_one(rung));
     }
   }
 
@@ -407,7 +575,7 @@ int main(int argc, char** argv) {
     write_json(runs, !ladder.empty(), out);
   }
   if (!check_path.empty()) {
-    return check_against(runs, check_path, tolerance);
+    return check_against(runs, check_path, tolerance, telemetry_budget);
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bgp/path_table.hpp"
@@ -17,6 +18,7 @@
 #include "net/network.hpp"
 #include "net/prefix_trie.hpp"
 #include "net/rng.hpp"
+#include "obs/metrics.hpp"
 #include "topology/generators.hpp"
 
 namespace {
@@ -236,6 +238,53 @@ void BM_RouteCopy(benchmark::State& state) {
 BENCHMARK(BM_RouteCopy);
 
 // ----------------------------------------------- BGP propagation end-to-end
+
+// -------------------------------------------------------- obs snapshots
+
+/// Snapshot lookups on a registry the size a 10k-domain run actually
+/// produces (200+ instruments): recorder ticks and the macro harness call
+/// find() per series per frame, so it must be the binary search it claims
+/// to be, not a linear scan.
+void BM_SnapshotFind(benchmark::State& state) {
+  obs::Metrics metrics;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    names.push_back("bench.metric." + std::to_string(i * 7919 % n));
+    metrics.counter(names.back()).inc();
+  }
+  metrics.histogram("bench.latency").observe(0.5);
+  const obs::Snapshot snap = metrics.snapshot(0.0);
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const obs::Sample* s = snap.find(names[cursor]);
+    benchmark::DoNotOptimize(s);
+    cursor = (cursor + 1) % names.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotFind)->Arg(200)->Arg(1000);
+
+void BM_ShardedCounterAdd(benchmark::State& state) {
+  // The per-delivery attribution cost: mostly sketch hits at a realistic
+  // skew, with evictions when the key space exceeds the slot budget.
+  obs::ShardedCounter counter(64, 16);
+  net::Rng rng(7);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(4096);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    keys.push_back(rng.uniform_int(0, state.range(0) - 1));
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    counter.add(keys[cursor]);
+    cursor = (cursor + 1) & 4095;
+  }
+  benchmark::DoNotOptimize(counter.total());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedCounterAdd)->Arg(32)->Arg(10000)->ArgNames({"domains"});
 
 void BM_BgpPropagation(benchmark::State& state) {
   // One group route propagating over a 200-domain line of speakers.

@@ -9,9 +9,15 @@
 //   sweep_scenario [--threads N] [--scenarios claim,join,flap]
 //                  [--domains 16,32,48] [--seeds 1,2,3,4]
 //                  [--groups G] [--joins J] [--out FILE] [--smoke]
+//                  [--telemetry] [--telemetry-interval SEC]
+//                  [--span-sample RATE] [--telemetry-dir DIR]
 //
 // --smoke shrinks the grid to a seconds-long run for CI (the TSan job
 // drives it with --threads 4). Exit code is nonzero if any cell failed.
+// --telemetry gives every cell its own flight recorder + span sampler on
+// its isolated Internet; per-cell frame/span counts land in the report
+// (byte-identical at any --threads), and --telemetry-dir dumps the
+// per-cell JSONL artifacts into an existing directory.
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -30,6 +36,10 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
   std::string out_path;
   bool smoke = false;
+  bool telemetry = false;
+  double telemetry_interval = 1.0;
+  double span_sample = 0.01;
+  std::string telemetry_dir;
 
   eval::Args args("sweep_scenario",
                   "parallel deterministic (scenario × domains × seed) sweep");
@@ -41,6 +51,13 @@ int main(int argc, char** argv) {
   args.opt("--joins", &joins, "member joins per group");
   args.opt("--out", &out_path, "also write the JSON report here");
   args.flag("--smoke", &smoke, "shrink the grid to a seconds-long CI run");
+  args.flag("--telemetry", &telemetry,
+            "attach a per-cell flight recorder + span sampler");
+  args.opt("--telemetry-interval", &telemetry_interval,
+           "recorder frame interval in simulated seconds");
+  args.opt("--span-sample", &span_sample, "head-based span sampling rate");
+  args.opt("--telemetry-dir", &telemetry_dir,
+           "dump per-cell recorder/span JSONL into this directory");
   if (!args.parse(argc, argv)) return args.exit_code();
   if (smoke) {
     domains = {8, 16};
@@ -49,6 +66,11 @@ int main(int argc, char** argv) {
 
   eval::SweepConfig config;
   config.threads = threads;
+  if (telemetry || !telemetry_dir.empty()) {
+    config.telemetry.recorder_interval_seconds = telemetry_interval;
+    config.telemetry.span_sample_rate = span_sample;
+    config.telemetry_dir = telemetry_dir;
+  }
   config.cells = eval::make_grid(scenarios, domains, seeds);
   for (eval::SweepCell& cell : config.cells) {
     cell.groups = groups;

@@ -208,6 +208,9 @@ class Router final : public net::Endpoint {
   /// the dead peer is dropped — branches re-form on demand.
   void on_channel_down(net::ChannelId channel) override;
   [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::uint64_t owner_id() const override {
+    return speaker_.as();
+  }
 
   void set_repair_delay(net::SimTime delay) { repair_delay_ = delay; }
   /// Prune state is soft: a fully-pruned (S,G) entry expires after this

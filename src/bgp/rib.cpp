@@ -137,6 +137,23 @@ std::optional<std::pair<net::Prefix, const Candidate*>> Rib::longest_match(
   return {{hit->first, best}};
 }
 
+bool Rib::upsert(const net::Prefix& prefix, Candidate candidate) {
+  RibEntry& e = entry(prefix);
+  const std::size_t before = e.candidate_count();
+  const bool changed = e.upsert(std::move(candidate));
+  candidates_ += e.candidate_count() - before;
+  return changed;
+}
+
+bool Rib::remove(const net::Prefix& prefix, PeerIndex via) {
+  RibEntry& e = entry(prefix);
+  const std::size_t before = e.candidate_count();
+  const bool changed = e.remove(via);
+  candidates_ -= before - e.candidate_count();
+  erase_if_empty(prefix);
+  return changed;
+}
+
 RibEntry& Rib::entry(const net::Prefix& prefix) {
   // Callers take this reference to mutate, so bump the version
   // pessimistically: a spurious bump only costs a cache refill.

@@ -37,6 +37,7 @@ Speaker::Speaker(net::Network& network, DomainId as, std::string name)
       // required for parallel sweep cells to be schedule-independent.
       uid_(network.allocate_uid()),
       metrics_{&network.metrics().counter("bgp.updates_sent"),
+               &network.metrics().sharded_counter("bgp.updates_sent.by_domain"),
                &network.metrics().counter("bgp.updates_received"),
                &network.metrics().counter("bgp.routes_announced"),
                &network.metrics().counter("bgp.routes_withdrawn"),
@@ -93,8 +94,9 @@ void Speaker::originate(RouteType type, const net::Prefix& prefix) {
   local.via = kLocalPeer;
   local.internal = false;
   local.exit_uid = uid_;
-  RibEntry& entry = rib_mut(type).entry(prefix);
-  if (entry.upsert(std::move(local))) best_changed(type, prefix);
+  if (rib_mut(type).upsert(prefix, std::move(local))) {
+    best_changed(type, prefix);
+  }
   // A new covering origination changes which more-specifics are
   // aggregation-suppressed at export.
   resync_specifics(type, prefix);
@@ -105,9 +107,7 @@ void Speaker::withdraw(RouteType type, const net::Prefix& prefix) {
   if (!origins.erase(prefix)) return;
   const OriginScope scope(*this, network_.events().now(), /*remote=*/false);
   const BatchScope batch(*this);
-  RibEntry& entry = rib_mut(type).entry(prefix);
-  if (entry.remove(kLocalPeer)) best_changed(type, prefix);
-  rib_mut(type).erase_if_empty(prefix);
+  if (rib_mut(type).remove(prefix, kLocalPeer)) best_changed(type, prefix);
   resync_specifics(type, prefix);
 }
 
@@ -190,9 +190,7 @@ void Speaker::on_channel_down(net::ChannelId channel) {
       learned.push_back(prefix);
     });
     for (const net::Prefix& prefix : learned) {
-      RibEntry& entry = table.entry(prefix);
-      if (entry.remove(index)) best_changed(type, prefix);
-      table.erase_if_empty(prefix);
+      if (table.remove(prefix, index)) best_changed(type, prefix);
     }
     // The peer's session state is gone with the session.
     peer.advertised[static_cast<std::size_t>(type)].clear();
@@ -220,19 +218,19 @@ void Speaker::handle_update(PeerIndex from, const UpdateMessage& update) {
                             /*remote=*/true);
     if (!delta.route.has_value()) {
       metrics_.routes_withdrawn->inc();
-      RibEntry& entry = rib.entry(delta.prefix);
-      if (entry.remove(from)) best_changed(delta.type, delta.prefix);
-      rib.erase_if_empty(delta.prefix);
+      if (rib.remove(delta.prefix, from)) {
+        best_changed(delta.type, delta.prefix);
+      }
       continue;
     }
     const Route& announced = *delta.route;
     metrics_.routes_announced->inc();
-    RibEntry& entry = rib.entry(announced.prefix);
     // AS-path loop prevention: a route that already crossed this domain is
     // treated as unreachable via this peer.
     if (announced.contains_as(as_)) {
-      if (entry.remove(from)) best_changed(delta.type, announced.prefix);
-      rib.erase_if_empty(announced.prefix);
+      if (rib.remove(announced.prefix, from)) {
+        best_changed(delta.type, announced.prefix);
+      }
       continue;
     }
     Candidate candidate;
@@ -246,7 +244,7 @@ void Speaker::handle_update(PeerIndex from, const UpdateMessage& update) {
     // iBGP candidate it is the internal sender. The lowest-uid rule then
     // elects one best exit domain-wide.
     candidate.exit_uid = candidate.internal ? peer.speaker->uid() : uid_;
-    if (entry.upsert(std::move(candidate))) {
+    if (rib.upsert(announced.prefix, std::move(candidate))) {
       best_changed(delta.type, announced.prefix);
     }
   }
@@ -350,6 +348,7 @@ void Speaker::flush_updates() {
     peer.pending.clear();
     if (update->deltas.empty()) continue;
     metrics_.updates_sent->inc();
+    metrics_.updates_sent_by_domain->add(as_);
     network_.send(peer.channel, *this, std::move(update));
   }
 }

@@ -92,6 +92,7 @@ class Speaker final : public net::Endpoint {
   [[nodiscard]] DomainId as() const { return as_; }
   [[nodiscard]] std::uint64_t uid() const { return uid_; }
   [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::uint64_t owner_id() const override { return as_; }
 
   /// Turns §4.3.2's export-time aggregation on/off (on by default). With it
   /// off, every more-specific learned route is propagated — the ablation
@@ -246,6 +247,9 @@ class Speaker final : public net::Endpoint {
   /// the network, so they aggregate per simulation.
   struct SpeakerMetrics {
     obs::Counter* updates_sent;
+    /// Per-domain attribution of updates_sent: a space-saving sketch, so
+    /// the hottest ASes surface without dense per-domain storage.
+    obs::ShardedCounter* updates_sent_by_domain;
     obs::Counter* updates_received;
     obs::Counter* routes_announced;
     obs::Counter* routes_withdrawn;

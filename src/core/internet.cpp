@@ -28,19 +28,24 @@ Internet::Internet(std::uint64_t seed)
     std::size_t mrib = 0;
     std::size_t urib = 0;
     std::size_t state_bytes = 0;
+    obs::TopKGauge& bytes_by_domain = m.topk_gauge("core.state_bytes.by_domain");
+    bytes_by_domain.begin_epoch();
     for (const auto& domain : domains_) {
       claimed += domain->masc_node().pool().claimed_addresses();
       allocated += domain->masc_node().pool().allocated_addresses();
+      std::size_t domain_bytes = 0;
       for (std::size_t b = 0; b < domain->border_count(); ++b) {
         const bgmp::Router& r = domain->bgmp_router(b);
         tree_entries += r.entry_count();
-        state_bytes += r.state_bytes();
+        domain_bytes += r.state_bytes();
         const bgp::Speaker& s = domain->speaker(b);
         grib += s.rib(bgp::RouteType::kGroup).size();
         mrib += s.rib(bgp::RouteType::kMulticast).size();
         urib += s.rib(bgp::RouteType::kUnicast).size();
-        state_bytes += s.state_bytes();
+        domain_bytes += s.state_bytes();
       }
+      state_bytes += domain_bytes;
+      bytes_by_domain.set(domain->id(), static_cast<double>(domain_bytes));
     }
     m.gauge("masc.pool_claimed_addresses").set(static_cast<double>(claimed));
     m.gauge("masc.pool_allocated_addresses")

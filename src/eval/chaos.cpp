@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
+#include <optional>
 #include <ostream>
 #include <set>
 #include <string>
@@ -53,6 +55,10 @@ ChaosResult run_chaos(const ChaosConfig& config) {
   spec.track_members = true;  // churn needs coherent member sets
 
   core::Internet net(config.seed);
+  // Declared after the internet (destroyed first — see telemetry.hpp);
+  // attached before the workload so setup-phase convergence is covered too.
+  std::optional<TelemetrySession> telemetry;
+  if (config.telemetry.enabled()) telemetry.emplace(net, config.telemetry);
   const BuiltScenario topo = build_scenario(net, spec);
 
   if (config.inject_skip_waiting_period) {
@@ -255,6 +261,22 @@ ChaosResult run_chaos(const ChaosConfig& config) {
   result.events_run = net.events().events_run();
   result.sim_seconds = net.events().now().to_seconds();
   result.metrics = net.metrics_snapshot();
+  if (telemetry.has_value()) {
+    telemetry->final_tick();
+    result.recorder_frames = telemetry->recorder_frames();
+    result.spans_recorded = telemetry->spans_recorded();
+    if (!config.telemetry_prefix.empty() && !result.passed()) {
+      // The replay artifacts a red CI job uploads: what every metric did
+      // over time, the sampled causal chains, and where convergence spent
+      // its time.
+      std::ofstream rec(config.telemetry_prefix + ".recorder.jsonl");
+      telemetry->flush_recorder(rec);
+      std::ofstream spans(config.telemetry_prefix + ".spans.jsonl");
+      telemetry->flush_spans(spans);
+      std::ofstream cp(config.telemetry_prefix + ".critical_path.json");
+      telemetry->critical_path().write_json(cp);
+    }
+  }
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   return result;
@@ -273,6 +295,8 @@ void ChaosResult::write_json(std::ostream& os) const {
      << ",\n  \"quiesced\": " << (quiesced ? "true" : "false")
      << ",\n  \"events_run\": " << events_run
      << ",\n  \"checks_run\": " << checks_run
+     << ",\n  \"recorder_frames\": " << recorder_frames
+     << ",\n  \"spans_recorded\": " << spans_recorded
      << ",\n  \"sim_seconds\": " << sim_seconds
      << ",\n  \"wall_seconds\": " << wall_seconds << ",\n  \"schedule\": [";
   bool first = true;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "eval/telemetry.hpp"
 #include "net/time.hpp"
 #include "obs/metrics.hpp"
 
@@ -61,6 +62,13 @@ struct ChaosConfig {
   /// commit before each other's claim messages arrive — the §4.1 bug the
   /// overlap invariant exists to catch. Pair with check_every = 1.
   bool inject_skip_waiting_period = false;
+
+  /// Telemetry attached for the whole run (recorder + span sampling).
+  TelemetrySpec telemetry;
+  /// When non-empty and the run fails, dump `<prefix>.recorder.jsonl`,
+  /// `<prefix>.spans.jsonl` and `<prefix>.critical_path.json` — the
+  /// flight-recorder artifacts CI uploads with a red chaos job.
+  std::string telemetry_prefix;
 };
 
 /// A checker violation stamped with the schedule step it surfaced after
@@ -83,6 +91,8 @@ struct ChaosResult {
   bool quiesced = false;
   std::uint64_t events_run = 0;
   std::uint64_t checks_run = 0;  ///< checker sweeps executed
+  std::uint64_t recorder_frames = 0;  ///< flight-recorder frames retained
+  std::uint64_t spans_recorded = 0;   ///< span events kept by the sampler
   double sim_seconds = 0.0;
   double wall_seconds = 0.0;
   obs::Snapshot metrics;  ///< final snapshot (offending state on failure)

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "eval/telemetry.hpp"
 #include "net/ip.hpp"
 #include "net/rng.hpp"
 
@@ -49,6 +50,9 @@ struct ScenarioSpec {
   int flap_pairs = 0;
 
   // ---- harness options --------------------------------------------------
+  /// Telemetry attached for the run (recorder ticks, span sampling); the
+  /// harness owning the Internet turns this into a TelemetrySession.
+  TelemetrySpec telemetry;
   /// Record every inter-domain link in BuiltScenario::links (chaos picks
   /// flap victims from it).
   bool record_links = false;

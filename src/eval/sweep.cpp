@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <fstream>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
@@ -75,19 +77,37 @@ ScenarioFn find_scenario(const std::string& name) {
   throw std::invalid_argument("sweep: unknown scenario \"" + name + "\"");
 }
 
-SweepCellResult run_cell(const SweepCell& cell, ScenarioFn scenario) {
+SweepCellResult run_cell(const SweepCell& cell, ScenarioFn scenario,
+                         const SweepConfig& config) {
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
   SweepCellResult out;
   out.cell = cell;
   try {
     core::Internet net(cell.seed);
+    std::optional<TelemetrySession> telemetry;
+    if (config.telemetry.enabled()) telemetry.emplace(net, config.telemetry);
     scenario(net, cell);
     out.rib_digest = rib_digest(net);
     out.metrics = net.metrics_snapshot();
     out.events_run = net.events().events_run();
     out.messages_sent = out.metrics.counter_value("net.messages_sent");
     out.sim_seconds = net.events().now().to_seconds();
+    if (telemetry.has_value()) {
+      telemetry->final_tick();
+      out.recorder_frames = telemetry->recorder_frames();
+      out.spans_recorded = telemetry->spans_recorded();
+      if (!config.telemetry_dir.empty()) {
+        const std::string stem = config.telemetry_dir + "/sweep-" +
+                                 cell.scenario + "-" +
+                                 std::to_string(cell.domains) + "-" +
+                                 std::to_string(cell.seed);
+        std::ofstream rec(stem + ".recorder.jsonl");
+        telemetry->flush_recorder(rec);
+        std::ofstream spans(stem + ".spans.jsonl");
+        telemetry->flush_spans(spans);
+      }
+    }
   } catch (const std::exception& e) {
     out.error = e.what();
   }
@@ -202,7 +222,8 @@ SweepResult run_sweep(const SweepConfig& config) {
   const auto worker_main = [&](std::size_t worker) {
     std::size_t index = 0;
     while (queues.next(worker, index)) {
-      result.cells[index] = run_cell(config.cells[index], scenarios[index]);
+      result.cells[index] =
+          run_cell(config.cells[index], scenarios[index], config);
     }
   };
   std::vector<std::thread> threads;
@@ -249,6 +270,8 @@ void SweepResult::write_json(std::ostream& os) const {
        << ", \"rib_digest\": " << c.rib_digest
        << ", \"events_run\": " << c.events_run
        << ", \"messages_sent\": " << c.messages_sent
+       << ", \"recorder_frames\": " << c.recorder_frames
+       << ", \"spans_recorded\": " << c.spans_recorded
        << ", \"sim_seconds\": " << c.sim_seconds
        << ", \"wall_seconds\": " << c.wall_seconds;
     if (!c.error.empty()) {

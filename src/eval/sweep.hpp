@@ -53,6 +53,10 @@ struct SweepCellResult {
   std::uint64_t rib_digest = 0;
   std::uint64_t events_run = 0;
   std::uint64_t messages_sent = 0;
+  /// Telemetry yield when SweepConfig::telemetry is enabled; a pure
+  /// function of the cell, so identical at any thread count.
+  std::uint64_t recorder_frames = 0;
+  std::uint64_t spans_recorded = 0;
   double sim_seconds = 0.0;   ///< simulated time consumed
   double wall_seconds = 0.0;  ///< host time for this cell
   obs::Snapshot metrics;      ///< final per-cell snapshot
@@ -64,6 +68,13 @@ struct SweepCellResult {
 struct SweepConfig {
   std::vector<SweepCell> cells;
   int threads = 1;
+  /// Per-cell telemetry (each cell gets its own session on its own
+  /// isolated Internet, so sampling stays schedule-independent).
+  TelemetrySpec telemetry;
+  /// When non-empty, each cell dumps
+  /// `<dir>/sweep-<scenario>-<domains>-<seed>.recorder.jsonl` and
+  /// `.spans.jsonl` (the directory must already exist).
+  std::string telemetry_dir;
 };
 
 struct SweepResult {

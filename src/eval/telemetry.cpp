@@ -1,0 +1,68 @@
+#include "eval/telemetry.hpp"
+
+#include <ostream>
+
+#include "core/internet.hpp"
+
+namespace eval {
+
+TelemetrySession::TelemetrySession(core::Internet& net,
+                                   const TelemetrySpec& spec)
+    : spec_(spec),
+      net_(&net),
+      state_(std::make_shared<TickState>(
+          obs::Recorder::Config{spec.recorder_capacity})) {
+  state_->net = &net;
+  state_->interval = spec_.recorder_interval_seconds;
+  state_->active = spec_.recorder_interval_seconds > 0.0;
+  if (state_->active) {
+    // The listener owns a share of the tick state, so it stays valid even
+    // if the network outlives this session; `active` gates it off then.
+    std::shared_ptr<TickState> state = state_;
+    net.network().add_activity_listener([state]() {
+      if (!state->active || state->in_tick) return;
+      const double now = state->net->events().now().to_seconds();
+      if (now < state->next_tick) return;
+      // Snapshot inside a delivery is safe — refresh hooks only read —
+      // but the guard keeps any future listener-triggering hook from
+      // recursing into the recorder.
+      state->in_tick = true;
+      state->rec.tick(state->net->metrics_snapshot());
+      state->in_tick = false;
+      state->next_tick = now + state->interval;
+    });
+  }
+  if (spec_.span_sample_rate > 0.0) {
+    sampler_ = std::make_unique<obs::SamplingSpanSink>(
+        memory_, spec_.span_sample_rate);
+    net.network().set_span_sink(sampler_.get());
+  }
+}
+
+TelemetrySession::~TelemetrySession() {
+  state_->active = false;
+  state_->net = nullptr;
+  if (sampler_ != nullptr &&
+      net_->network().span_sink() == sampler_.get()) {
+    net_->network().set_span_sink(nullptr);
+  }
+}
+
+void TelemetrySession::final_tick() {
+  if (spec_.recorder_interval_seconds <= 0.0) return;
+  state_->rec.tick(net_->metrics_snapshot());
+  state_->next_tick =
+      net_->events().now().to_seconds() + state_->interval;
+}
+
+void TelemetrySession::flush_recorder(std::ostream& os) const {
+  state_->rec.flush_jsonl(os);
+}
+
+void TelemetrySession::flush_spans(std::ostream& os) const {
+  for (const obs::SpanEvent& e : memory_.events()) {
+    obs::detail::write_span_jsonl(e, os);
+  }
+}
+
+}  // namespace eval

@@ -148,6 +148,7 @@ class MascNode final : public net::Endpoint {
   void on_message(net::ChannelId channel,
                   std::unique_ptr<net::Message> msg) override;
   [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::uint64_t owner_id() const override { return domain_; }
 
  private:
   struct PeerLink {

@@ -17,6 +17,8 @@ Network::Network(EventQueue& events, obs::Metrics* metrics)
       dropped_(&metrics_->counter("net.messages_dropped")),
       held_total_(&metrics_->counter("net.messages_held")),
       retransmitted_(&metrics_->counter("net.messages_retransmitted")),
+      delivered_by_domain_(
+          &metrics_->sharded_counter("net.messages_delivered.by_domain")),
       delivery_latency_(&metrics_->histogram("net.delivery_latency")) {
   // Sampled state refreshes when a snapshot is taken, keeping reads off
   // the send/deliver hot paths.
@@ -60,6 +62,10 @@ const Network::Channel& Network::channel(ChannelId id) const {
 void Network::record_span(obs::SpanEvent::Kind kind, const Message& msg,
                           const Endpoint& from, const Endpoint& to) {
   if (span_sink_ == nullptr) return;
+  // Head-based pre-filter: an unsampled chain skips event construction
+  // entirely (describe() allocates), which is what keeps 1% sampling
+  // within the telemetry overhead budget at the 10k rung.
+  if (!span_sink_->wants(msg.trace_id)) return;
   obs::SpanEvent event;
   event.trace_id = msg.trace_id;
   event.sim_time = events_.now();
@@ -168,6 +174,7 @@ void Network::schedule_delivery(ChannelId id, Endpoint* to,
 void Network::deliver(ChannelId id, Endpoint& to, std::unique_ptr<Message> msg,
                       SimTime sent_at) {
   delivered_->inc();
+  delivered_by_domain_->add(to.owner_id());
   delivery_latency_->observe((events_.now() - sent_at).to_seconds());
   notify_activity();
   record_span(obs::SpanEvent::Kind::kDeliver, *msg, peer_of(id, to), to);

@@ -93,6 +93,11 @@ class Endpoint {
 
   /// Short name used in traces.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The domain (AS) this endpoint belongs to, for per-domain metric
+  /// attribution (obs::ShardedCounter keys). 0 = unattributed — hosts,
+  /// test endpoints and anything else outside a domain.
+  [[nodiscard]] virtual std::uint64_t owner_id() const { return 0; }
 };
 
 /// Owns all channels and drives delivery through the event queue.
@@ -270,6 +275,9 @@ class Network {
   obs::Counter* dropped_;
   obs::Counter* held_total_;  // messages that entered a partition queue
   obs::Counter* retransmitted_;  // disturbance-model extra transmissions
+  // Per-domain heavy-hitter view of deliveries, keyed by the receiving
+  // endpoint's owner_id() — which domain is hot, not just how much total.
+  obs::ShardedCounter* delivered_by_domain_;
   obs::Histogram* delivery_latency_;  // net.delivery_latency, seconds
   Disturbance disturbance_;
   Rng* disturbance_rng_ = nullptr;  // nullptr = disturbance disabled

@@ -20,7 +20,24 @@ void ConvergenceProbe::arm(std::string label) {
   label_ = std::move(label);
   armed_at_ = events_.now();
   last_activity_ = armed_at_;
+  record_marker(obs::SpanEvent::Kind::kProbeArm, armed_at_);
   schedule_check(armed_at_ + quiet_window_);
+}
+
+void ConvergenceProbe::record_marker(obs::SpanEvent::Kind kind, SimTime at) {
+  // Measurement-window markers for the span stream: arm stamps the
+  // perturbation, fire stamps the convergence instant, so a (sampled)
+  // spans JSONL is self-contained for critical-path analysis. trace_id 0
+  // bypasses head-based sampling (see obs::SamplingSpanSink).
+  obs::SpanSink* sink = network_.span_sink();
+  if (sink == nullptr) return;
+  obs::SpanEvent event;
+  event.trace_id = 0;
+  event.sim_time = at;
+  event.kind = kind;
+  event.from = "probe";
+  event.message = label_;
+  sink->record(event);
 }
 
 void ConvergenceProbe::on_activity() {
@@ -46,6 +63,10 @@ void ConvergenceProbe::check() {
   ++samples_;
   const SimTime converge = last_activity_ - armed_at_;
   histogram_->observe(converge.to_seconds());
+  // Stamped with the convergence instant, not the check time; nothing was
+  // recorded in between (that is what quiet means), so the span stream
+  // stays time-ordered.
+  record_marker(obs::SpanEvent::Kind::kProbeFire, last_activity_);
   obs::log_info("net.probe", [&](auto& os) {
     os << "converged" << (label_.empty() ? "" : " after ") << label_ << " in "
        << converge.to_string();

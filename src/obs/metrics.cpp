@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <ostream>
+#include <stdexcept>
 
 namespace obs {
 
@@ -45,10 +46,13 @@ std::string format_double(double v) {
 }  // namespace detail
 
 const Sample* Snapshot::find(std::string_view name) const {
-  for (const Sample& s : samples) {
-    if (s.name == name) return &s;
-  }
-  return nullptr;
+  // samples is name-sorted (see snapshot()/merge_from), so probes binary
+  // search instead of scanning — snapshots carry 200+ instruments and the
+  // bench harnesses probe them dozens of times per run.
+  const auto at = std::lower_bound(
+      samples.begin(), samples.end(), name,
+      [](const Sample& s, std::string_view n) { return s.name < n; });
+  return at != samples.end() && at->name == name ? &*at : nullptr;
 }
 
 std::uint64_t Snapshot::counter_value(std::string_view name) const {
@@ -69,10 +73,22 @@ std::size_t Snapshot::counter_count() const {
 }
 
 const HistogramSample* Snapshot::find_histogram(std::string_view name) const {
-  for (const HistogramSample& h : histograms) {
-    if (h.name == name) return &h;
-  }
-  return nullptr;
+  const auto at = std::lower_bound(
+      histograms.begin(), histograms.end(), name,
+      [](const HistogramSample& h, std::string_view n) { return h.name < n; });
+  return at != histograms.end() && at->name == name ? &*at : nullptr;
+}
+
+const ShardedSample* Snapshot::find_sharded(std::string_view name) const {
+  const auto at = std::lower_bound(
+      sharded.begin(), sharded.end(), name,
+      [](const ShardedSample& s, std::string_view n) { return s.name < n; });
+  return at != sharded.end() && at->name == name ? &*at : nullptr;
+}
+
+double Snapshot::sharded_total(std::string_view name) const {
+  const ShardedSample* s = find_sharded(name);
+  return s != nullptr ? s->total : 0.0;
 }
 
 HistogramStats Snapshot::histogram_stats(std::string_view name) const {
@@ -123,6 +139,25 @@ void Snapshot::merge_from(const Snapshot& other) {
     }
   }
   histograms = std::move(hists);
+
+  std::vector<ShardedSample> shards;
+  shards.reserve(sharded.size() + other.sharded.size());
+  auto sa = sharded.begin();
+  auto sb = other.sharded.begin();
+  while (sa != sharded.end() || sb != other.sharded.end()) {
+    if (sb == other.sharded.end() ||
+        (sa != sharded.end() && sa->name < sb->name)) {
+      shards.push_back(std::move(*sa++));
+    } else if (sa == sharded.end() || sb->name < sa->name) {
+      shards.push_back(*sb++);
+    } else {
+      ShardedSample s = std::move(*sa++);
+      merge_sharded_items(s, *sb);
+      shards.push_back(std::move(s));
+      ++sb;
+    }
+  }
+  sharded = std::move(shards);
 }
 
 namespace {
@@ -165,6 +200,24 @@ void write_json_impl(const Snapshot& snap, std::ostream& os, bool pretty) {
        << "\"p99\":" << sp << detail::format_double(st.p99) << "}";
     first = false;
   }
+  os << (first ? "" : nl) << "}," << nl << "\"sharded\":" << sp << "{";
+  first = true;
+  for (const ShardedSample& s : snap.sharded) {
+    os << (first ? "" : ",") << nl2 << "\"" << detail::json_escape(s.name)
+       << "\":" << sp << "{\"kind\":" << sp << "\""
+       << (s.kind == ShardedSample::Kind::kCounter ? "counter" : "gauge")
+       << "\"," << sp << "\"total\":" << sp << detail::format_double(s.total)
+       << "," << sp << "\"top\":" << sp << "[";
+    bool first_item = true;
+    for (const ShardedItem& item : s.items) {
+      os << (first_item ? "" : ",") << "{\"key\":" << sp << item.key << ","
+         << sp << "\"value\":" << sp << detail::format_double(item.value)
+         << "," << sp << "\"error\":" << sp << item.error << "}";
+      first_item = false;
+    }
+    os << "]}";
+    first = false;
+  }
   os << (first ? "" : nl) << "}" << (pretty ? "\n" : "") << "}\n";
 }
 
@@ -197,11 +250,50 @@ void Snapshot::write_csv(std::ostream& os) const {
     os << h.name << ".p95,histogram," << detail::format_double(st.p95) << "\n";
     os << h.name << ".p99,histogram," << detail::format_double(st.p99) << "\n";
   }
+  for (const ShardedSample& s : sharded) {
+    os << s.name << ".total,sharded," << detail::format_double(s.total)
+       << "\n";
+    for (const ShardedItem& item : s.items) {
+      os << s.name << "." << item.key << ",sharded,"
+         << detail::format_double(item.value) << "\n";
+    }
+  }
+}
+
+namespace {
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    case 2: return "histogram";
+    case 3: return "sharded_counter";
+    case 4: return "topk_gauge";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Metrics::check_kind(std::string_view name, Kind kind) {
+  const auto it = kinds_.find(name);
+  if (it == kinds_.end()) {
+    kinds_.emplace(std::string(name), kind);
+    return;
+  }
+  if (it->second != kind) {
+    throw std::logic_error(
+        "obs::Metrics: instrument \"" + std::string(name) +
+        "\" already registered as " + kind_name(static_cast<int>(it->second)) +
+        ", re-registered as " + kind_name(static_cast<int>(kind)) +
+        " — two subsystems would silently shadow each other");
+  }
 }
 
 Counter& Metrics::counter(std::string_view name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
+  check_kind(name, Kind::kCounter);
   return *counters_.emplace(std::string(name), std::make_unique<Counter>())
               .first->second;
 }
@@ -209,6 +301,7 @@ Counter& Metrics::counter(std::string_view name) {
 Gauge& Metrics::gauge(std::string_view name) {
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
+  check_kind(name, Kind::kGauge);
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
               .first->second;
 }
@@ -216,7 +309,29 @@ Gauge& Metrics::gauge(std::string_view name) {
 Histogram& Metrics::histogram(std::string_view name) {
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
+  check_kind(name, Kind::kHistogram);
   return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+ShardedCounter& Metrics::sharded_counter(std::string_view name,
+                                         std::size_t capacity,
+                                         std::size_t export_top) {
+  const auto it = sharded_counters_.find(name);
+  if (it != sharded_counters_.end()) return *it->second;
+  check_kind(name, Kind::kShardedCounter);
+  return *sharded_counters_
+              .emplace(std::string(name),
+                       std::make_unique<ShardedCounter>(capacity, export_top))
+              .first->second;
+}
+
+TopKGauge& Metrics::topk_gauge(std::string_view name, std::size_t k) {
+  const auto it = topk_gauges_.find(name);
+  if (it != topk_gauges_.end()) return *it->second;
+  check_kind(name, Kind::kTopKGauge);
+  return *topk_gauges_
+              .emplace(std::string(name), std::make_unique<TopKGauge>(k))
               .first->second;
 }
 
@@ -254,6 +369,30 @@ Snapshot Metrics::snapshot(double sim_time_seconds) {
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) {
     snap.histograms.push_back(HistogramSample{name, hist->stats(), *hist});
+  }
+  // Merge the two name-sorted sharded maps the same way as counters/gauges.
+  snap.sharded.reserve(sharded_counters_.size() + topk_gauges_.size());
+  auto sc = sharded_counters_.begin();
+  auto tg = topk_gauges_.begin();
+  while (sc != sharded_counters_.end() || tg != topk_gauges_.end()) {
+    const bool take_counter =
+        tg == topk_gauges_.end() ||
+        (sc != sharded_counters_.end() && sc->first <= tg->first);
+    ShardedSample s;
+    if (take_counter) {
+      s.name = sc->first;
+      s.kind = ShardedSample::Kind::kCounter;
+      s.total = static_cast<double>(sc->second->total());
+      s.items = sc->second->top(sc->second->export_top());
+      ++sc;
+    } else {
+      s.name = tg->first;
+      s.kind = ShardedSample::Kind::kGauge;
+      s.total = tg->second->total();
+      s.items = tg->second->top();
+      ++tg;
+    }
+    snap.sharded.push_back(std::move(s));
   }
   return snap;
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "obs/histogram.hpp"
+#include "obs/sharded.hpp"
 
 namespace obs {
 
@@ -77,7 +78,10 @@ struct Snapshot {
   double sim_time_seconds = 0.0;
   std::vector<Sample> samples;  ///< sorted by name, counters and gauges mixed
   std::vector<HistogramSample> histograms;  ///< sorted by name
+  std::vector<ShardedSample> sharded;       ///< sorted by name
 
+  /// Lookups binary-search the name-sorted vectors, so a 200+-instrument
+  /// snapshot costs log2(n) string compares per probe, not n.
   [[nodiscard]] const Sample* find(std::string_view name) const;
   /// Value of a counter (0 if absent) / gauge (0.0 if absent).
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
@@ -89,22 +93,31 @@ struct Snapshot {
   /// Stats of a histogram; all-zero stats if absent.
   [[nodiscard]] HistogramStats histogram_stats(std::string_view name) const;
 
+  [[nodiscard]] const ShardedSample* find_sharded(std::string_view name) const;
+  /// Total of a sharded instrument (0.0 if absent).
+  [[nodiscard]] double sharded_total(std::string_view name) const;
+
   /// {"sim_time_seconds": T, "counters": {...}, "gauges": {...},
-  ///  "histograms": {...}} — the schema bench/ and external tooling
-  /// consume (see DESIGN.md). Each histogram exports count, sum, min,
-  /// max, p50, p95, p99.
+  ///  "histograms": {...}, "sharded": {...}} — the schema bench/ and
+  /// external tooling consume (see DESIGN.md). Each histogram exports
+  /// count, sum, min, max, p50, p95, p99; each sharded instrument exports
+  /// its total plus a bounded top list of {key, value, error} items.
   void write_json(std::ostream& os) const;
   /// name,kind,value rows with a header; histograms expand into
-  /// `<name>.count/.sum/.min/.max/.p50/.p95/.p99` rows of kind histogram.
+  /// `<name>.count/.sum/.min/.max/.p50/.p95/.p99` rows of kind histogram,
+  /// sharded instruments into `<name>.total` plus `<name>.<key>` rows of
+  /// kind sharded.
   void write_csv(std::ostream& os) const;
   /// The write_json schema compacted onto a single line (plus '\n'), for
   /// JSONL time series (`scenario_runner --metrics-every`).
   void write_jsonl(std::ostream& os) const;
 
   /// Folds another run's snapshot into this one: counters and gauges add
-  /// by name (instruments absent on either side are kept/adopted), and
+  /// by name (instruments absent on either side are kept/adopted),
   /// histograms merge at bucket level, so the combined quantiles reflect
-  /// every underlying sample rather than an average of averages.
+  /// every underlying sample rather than an average of averages, and
+  /// sharded instruments union per key (totals and per-key values add,
+  /// bounded by the larger item budget).
   /// sim_time_seconds becomes the max of the two (the longest run). The
   /// aggregation semantics of the sweep engine: counters are event totals
   /// across cells, gauges become cross-cell sums.
@@ -120,10 +133,20 @@ class Metrics {
   Metrics& operator=(Metrics&&) = default;
 
   /// Finds or creates the named instrument. The reference stays valid for
-  /// the registry's lifetime.
+  /// the registry's lifetime. Registering a name that already exists with
+  /// a *different* kind throws std::logic_error — a silent alias would
+  /// leave two subsystems updating instruments that shadow each other in
+  /// every export.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  /// Dimensioned instruments (see obs/sharded.hpp): per-key heavy-hitter
+  /// counts and exact top-K sampled values. The capacity/k of the first
+  /// registration wins.
+  ShardedCounter& sharded_counter(std::string_view name,
+                                  std::size_t capacity = 64,
+                                  std::size_t export_top = 16);
+  TopKGauge& topk_gauge(std::string_view name, std::size_t k = 16);
 
   /// Registers a hook run at the start of every snapshot(). Harness-level
   /// owners use it to refresh sampled gauges (RIB sizes, pool utilisation,
@@ -135,14 +158,30 @@ class Metrics {
   [[nodiscard]] Snapshot snapshot(double sim_time_seconds = 0.0);
 
   [[nodiscard]] std::size_t instrument_count() const {
-    return counters_.size() + gauges_.size() + histograms_.size();
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           sharded_counters_.size() + topk_gauges_.size();
   }
 
  private:
+  enum class Kind : std::uint8_t {
+    kCounter,
+    kGauge,
+    kHistogram,
+    kShardedCounter,
+    kTopKGauge,
+  };
+  /// Records `name` as `kind`, throwing std::logic_error if it is already
+  /// registered as anything else.
+  void check_kind(std::string_view name, Kind kind);
+
   // unique_ptr-valued maps: node-stable references plus registry movability.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<ShardedCounter>, std::less<>>
+      sharded_counters_;
+  std::map<std::string, std::unique_ptr<TopKGauge>, std::less<>> topk_gauges_;
+  std::map<std::string, Kind, std::less<>> kinds_;
   std::vector<std::function<void()>> hooks_;
 };
 

@@ -1,0 +1,104 @@
+#include "obs/recorder.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+namespace obs {
+
+namespace {
+
+/// Same rendering rules as the snapshot writers: integral counters print
+/// without a decimal point, gauges round-trip at %.12g.
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+Recorder::Recorder() : Recorder(Config{}) {}
+
+Recorder::Recorder(Config config)
+    : capacity_(config.capacity == 0 ? 1 : config.capacity) {}
+
+std::uint32_t Recorder::intern(const std::string& name) {
+  const auto hit = ids_.find(name);
+  if (hit != ids_.end()) return hit->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  ids_.emplace(name, id);
+  names_.push_back(name);
+  last_.push_back(0.0);
+  has_last_.push_back(0);
+  base_.push_back(0.0);
+  has_base_.push_back(0);
+  return id;
+}
+
+void Recorder::tick(const Snapshot& snap) {
+  ++ticks_;
+  Frame frame;
+  frame.t = snap.sim_time_seconds;
+  const auto capture = [&](const std::string& name, double value) {
+    const std::uint32_t id = intern(name);
+    if (has_last_[id] != 0 && last_[id] == value) return;
+    frame.changed.emplace_back(id, value);
+    last_[id] = value;
+    has_last_[id] = 1;
+  };
+  for (const Sample& s : snap.samples) {
+    capture(s.name, s.kind == Sample::Kind::kCounter
+                        ? static_cast<double>(s.count)
+                        : s.value);
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    capture(h.name + ".count", static_cast<double>(h.stats.count));
+    capture(h.name + ".sum", h.stats.sum);
+  }
+  if (frames_.size() == capacity_) fold_oldest_into_base();
+  frames_.push_back(std::move(frame));
+}
+
+void Recorder::fold_oldest_into_base() {
+  Frame& oldest = frames_.front();
+  for (const auto& [id, value] : oldest.changed) {
+    base_[id] = value;
+    has_base_[id] = 1;
+  }
+  base_time_ = oldest.t;
+  frames_.pop_front();
+  ++evicted_;
+}
+
+void Recorder::flush_jsonl(std::ostream& os) const {
+  os << "{\"recorder\":{\"ticks\":" << ticks_ << ",\"frames\":"
+     << frames_.size() << ",\"evicted\":" << evicted_ << ",\"capacity\":"
+     << capacity_ << ",\"series\":" << names_.size() << "}}\n";
+  bool any_base = false;
+  for (const char has : has_base_) any_base |= has != 0;
+  if (any_base) {
+    os << "{\"t\":" << format_value(base_time_) << ",\"base\":true,\"v\":{";
+    bool first = true;
+    for (std::size_t id = 0; id < base_.size(); ++id) {
+      if (has_base_[id] == 0) continue;
+      os << (first ? "" : ",") << "\"" << detail::json_escape(names_[id])
+         << "\":" << format_value(base_[id]);
+      first = false;
+    }
+    os << "}}\n";
+  }
+  for (const Frame& frame : frames_) {
+    os << "{\"t\":" << format_value(frame.t) << ",\"v\":{";
+    bool first = true;
+    for (const auto& [id, value] : frame.changed) {
+      os << (first ? "" : ",") << "\"" << detail::json_escape(names_[id])
+         << "\":" << format_value(value);
+      first = false;
+    }
+    os << "}}\n";
+  }
+}
+
+}  // namespace obs

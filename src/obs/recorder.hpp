@@ -1,0 +1,87 @@
+// Time-series flight recorder over metrics snapshots.
+//
+// A Snapshot is a point sample; the paper's evaluation (and any debugging
+// of a 10k-domain run) needs the *time axis* — how state, load and
+// convergence evolved. The Recorder turns periodic snapshots into a
+// bounded delta-encoded ring: each tick() flattens the snapshot into
+// (name, value) pairs (counters and gauges as-is, histograms as
+// `<name>.count`/`<name>.sum`) and stores only the values that changed
+// since the previous tick. When the ring is full the oldest frame is
+// folded into a base state, so flush_jsonl() can always reconstruct
+// absolute values: one base line, then one line per retained frame with
+// the changed values only.
+//
+// The recorder is passive — it never schedules events or touches an RNG —
+// so attaching it cannot perturb a deterministic run. Drive it from a
+// sim-time boundary check on an activity listener (eval::TelemetrySession
+// does), never from a self-rescheduling timer: a timer would keep the
+// event queue non-empty and run-to-exhaustion settles would spin forever.
+//
+// JSONL schema (one object per line):
+//   {"recorder":{"ticks":T,"frames":N,"evicted":E,"capacity":C}}
+//   {"t":0.0,"base":true,"v":{"net.messages_sent":12,...}}   (if evicted)
+//   {"t":1.5,"v":{"net.messages_sent":40,"bgp.grib_routes":8}}
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs {
+
+struct Snapshot;
+
+class Recorder {
+ public:
+  struct Config {
+    std::size_t capacity = 4096;  ///< retained delta frames
+  };
+
+  Recorder();
+  explicit Recorder(Config config);
+
+  /// Captures one frame: the values of `snap` that changed since the last
+  /// tick (the first tick captures everything). Sharded instruments are
+  /// deliberately not recorded — their top lists churn by design and the
+  /// final snapshot carries them.
+  void tick(const Snapshot& snap);
+
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  [[nodiscard]] std::size_t frames() const { return frames_.size(); }
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Distinct series names seen so far.
+  [[nodiscard]] std::size_t series() const { return names_.size(); }
+
+  /// Header, base state (when frames were evicted), then the retained
+  /// frames oldest-first. Deterministic: series ids are assigned in
+  /// first-seen order, which itself follows the name-sorted snapshots.
+  void flush_jsonl(std::ostream& os) const;
+
+ private:
+  struct Frame {
+    double t = 0.0;
+    std::vector<std::pair<std::uint32_t, double>> changed;  ///< (series, value)
+  };
+
+  std::uint32_t intern(const std::string& name);
+  void fold_oldest_into_base();
+
+  std::size_t capacity_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::vector<std::string> names_;  ///< series id -> name
+  std::map<std::string, std::uint32_t, std::less<>> ids_;
+  std::vector<double> last_;        ///< series id -> last ticked value
+  std::vector<char> has_last_;
+  double base_time_ = 0.0;
+  std::vector<double> base_;        ///< folded evicted state
+  std::vector<char> has_base_;
+  std::deque<Frame> frames_;
+};
+
+}  // namespace obs

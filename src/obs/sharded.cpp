@@ -1,0 +1,102 @@
+#include "obs/sharded.hpp"
+
+#include <algorithm>
+
+namespace obs {
+
+namespace {
+
+/// Export order: hottest first, ties broken by key so equal runs export
+/// identical bytes.
+bool item_order(const ShardedItem& a, const ShardedItem& b) {
+  if (a.value != b.value) return a.value > b.value;
+  return a.key < b.key;
+}
+
+}  // namespace
+
+void ShardedCounter::add(std::uint64_t key, std::uint64_t n) {
+  total_ += n;
+  const auto hit = index_.find(key);
+  if (hit != index_.end()) {
+    slots_[hit->second].count += n;
+    return;
+  }
+  if (slots_.size() < capacity_) {
+    index_.emplace(key, static_cast<std::uint32_t>(slots_.size()));
+    slots_.push_back(Slot{key, n, 0});
+    return;
+  }
+  // Space-saving eviction: the minimum-count slot is replaced, and its
+  // count is inherited as the newcomer's floor — so the stored count stays
+  // an upper bound on the true count and `error` bounds the overestimate.
+  // Ties evict the largest key, keeping the scan deterministic.
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].count < slots_[victim].count ||
+        (slots_[i].count == slots_[victim].count &&
+         slots_[i].key > slots_[victim].key)) {
+      victim = i;
+    }
+  }
+  Slot& slot = slots_[victim];
+  index_.erase(slot.key);
+  index_.emplace(key, static_cast<std::uint32_t>(victim));
+  slot.error = slot.count;
+  slot.count += n;
+  slot.key = key;
+}
+
+std::uint64_t ShardedCounter::count_of(std::uint64_t key) const {
+  const auto hit = index_.find(key);
+  return hit != index_.end() ? slots_[hit->second].count : 0;
+}
+
+std::vector<ShardedItem> ShardedCounter::top(std::size_t k) const {
+  std::vector<ShardedItem> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    out.push_back(ShardedItem{slot.key, static_cast<double>(slot.count),
+                              slot.error});
+  }
+  std::sort(out.begin(), out.end(), item_order);
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void TopKGauge::begin_epoch() {
+  total_ = 0.0;
+  seen_ = 0;
+  items_.clear();
+}
+
+void TopKGauge::set(std::uint64_t key, double value) {
+  total_ += value;
+  ++seen_;
+  const ShardedItem item{key, value, 0};
+  if (items_.size() == k_ && !item_order(item, items_.back())) return;
+  const auto at =
+      std::lower_bound(items_.begin(), items_.end(), item, item_order);
+  items_.insert(at, item);
+  if (items_.size() > k_) items_.pop_back();
+}
+
+void merge_sharded_items(ShardedSample& into, const ShardedSample& from) {
+  into.total += from.total;
+  const std::size_t budget = std::max(into.items.size(), from.items.size());
+  for (const ShardedItem& item : from.items) {
+    const auto hit = std::find_if(
+        into.items.begin(), into.items.end(),
+        [&](const ShardedItem& mine) { return mine.key == item.key; });
+    if (hit != into.items.end()) {
+      hit->value += item.value;
+      hit->error += item.error;
+    } else {
+      into.items.push_back(item);
+    }
+  }
+  std::sort(into.items.begin(), into.items.end(), item_order);
+  if (into.items.size() > budget) into.items.resize(budget);
+}
+
+}  // namespace obs

@@ -1,0 +1,121 @@
+// Dimensioned ("sharded") instruments: per-key attribution for metrics
+// that would otherwise aggregate an entire simulated internet into one
+// number.
+//
+// At the 10k-domain rung a scalar `bgp.updates_sent` cannot say *which*
+// backbone domain is hot, and a dense per-domain table would cost
+// 10k × instruments of storage most of which is zero. The middle ground
+// here is bounded attribution:
+//
+//  - `ShardedCounter` tracks event counts per uint64 key (a domain / AS
+//    id) with the space-saving heavy-hitter sketch: a fixed number of
+//    slots, evicting the current minimum when a new key arrives with the
+//    evicted count carried over as that key's `error` (a per-item
+//    overestimate bound). Keys with counts above total/capacity are
+//    guaranteed to be tracked, which is exactly the "who is hot" question.
+//  - `TopKGauge` keeps the exact top K of a value that is re-sampled in
+//    full every snapshot (state bytes per domain, refreshed by the
+//    Internet's snapshot hook): begin_epoch() clears, set() streams every
+//    domain through, and only the K largest survive — exact because every
+//    value is seen each epoch, bounded because only K are stored.
+//
+// Exports are deterministic: items sort by value descending then key
+// ascending, so equal runs produce byte-identical snapshots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace obs {
+
+/// One exported per-key item of a sharded instrument.
+struct ShardedItem {
+  std::uint64_t key = 0;    ///< dimension value (domain / AS id; 0 = unattributed)
+  double value = 0.0;       ///< count (counters) or sampled value (gauges)
+  std::uint64_t error = 0;  ///< max overestimate (space-saving); 0 = exact
+};
+
+/// Space-saving heavy-hitter sketch over uint64 keys. add() is hot-path
+/// cheap (one hash lookup on hit); capacity bounds both memory and the
+/// eviction scan.
+class ShardedCounter {
+ public:
+  explicit ShardedCounter(std::size_t capacity = 64,
+                          std::size_t export_top = 16)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        export_top_(export_top == 0 ? 1 : export_top) {
+    slots_.reserve(capacity_);
+  }
+
+  void add(std::uint64_t key, std::uint64_t n = 1);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t tracked() const { return slots_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t export_top() const { return export_top_; }
+
+  /// The count recorded for `key` (an upper bound on its true count;
+  /// 0 if the key is not tracked).
+  [[nodiscard]] std::uint64_t count_of(std::uint64_t key) const;
+
+  /// The k largest tracked keys, value descending then key ascending.
+  [[nodiscard]] std::vector<ShardedItem> top(std::size_t k) const;
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    std::uint64_t count;
+    std::uint64_t error;
+  };
+
+  std::size_t capacity_;
+  std::size_t export_top_;
+  std::uint64_t total_ = 0;
+  std::vector<Slot> slots_;  // insertion order; index_ maps key -> slot
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+};
+
+/// Exact bounded top-K over values streamed in full once per epoch.
+class TopKGauge {
+ public:
+  explicit TopKGauge(std::size_t k = 16) : k_(k == 0 ? 1 : k) {
+    items_.reserve(k_);
+  }
+
+  /// Starts a fresh sampling epoch (the snapshot refresh hook calls this
+  /// before streaming every domain through set()).
+  void begin_epoch();
+  void set(std::uint64_t key, double value);
+
+  [[nodiscard]] double total() const { return total_; }
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+  [[nodiscard]] std::size_t k() const { return k_; }
+  /// The K largest values of the current epoch, value descending then key
+  /// ascending. Exact (error == 0 on every item).
+  [[nodiscard]] const std::vector<ShardedItem>& top() const { return items_; }
+
+ private:
+  std::size_t k_;
+  double total_ = 0.0;
+  std::uint64_t seen_ = 0;
+  std::vector<ShardedItem> items_;  // kept sorted: value desc, key asc
+};
+
+/// One exported sharded instrument (mirrors Sample for scalar ones).
+struct ShardedSample {
+  enum class Kind { kCounter, kGauge };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double total = 0.0;             ///< sum over every key, tracked or not
+  std::vector<ShardedItem> items; ///< value desc, key asc; bounded top view
+};
+
+/// Folds `from` into `into` (the sweep engine's cross-cell aggregation):
+/// totals add, per-key values add where keys meet, and per-key errors add
+/// (each side's value is an upper bound, so the sum stays one). The result
+/// keeps the larger of the two item budgets.
+void merge_sharded_items(ShardedSample& into, const ShardedSample& from);
+
+}  // namespace obs

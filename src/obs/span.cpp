@@ -13,8 +13,54 @@ std::string_view to_string(SpanEvent::Kind kind) {
     case SpanEvent::Kind::kDeliver: return "deliver";
     case SpanEvent::Kind::kHold: return "hold";
     case SpanEvent::Kind::kDrop: return "drop";
+    case SpanEvent::Kind::kProbeArm: return "probe-arm";
+    case SpanEvent::Kind::kProbeFire: return "probe-fire";
   }
   return "?";
+}
+
+bool kind_from_string(std::string_view text, SpanEvent::Kind& out) {
+  for (const auto kind :
+       {SpanEvent::Kind::kSend, SpanEvent::Kind::kDeliver,
+        SpanEvent::Kind::kHold, SpanEvent::Kind::kDrop,
+        SpanEvent::Kind::kProbeArm, SpanEvent::Kind::kProbeFire}) {
+    if (text == to_string(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t span_hash(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+SamplingSpanSink::SamplingSpanSink(SpanSink& inner, double rate)
+    : inner_(&inner),
+      rate_(rate < 0.0 ? 0.0 : (rate > 1.0 ? 1.0 : rate)),
+      keep_all_(rate_ >= 1.0),
+      // rate × 2^64 via a 2^53 intermediate: the product stays below 2^53
+      // for every rate < 1, so the cast is exact and never overflows.
+      threshold_(keep_all_
+                     ? ~0ull
+                     : static_cast<std::uint64_t>(rate_ * 9007199254740992.0)
+                           << 11) {}
+
+bool SamplingSpanSink::wants(std::uint64_t trace_id) const {
+  if (trace_id == 0 || keep_all_) return true;  // markers always pass
+  return span_hash(trace_id) < threshold_;
+}
+
+void SamplingSpanSink::record(const SpanEvent& event) {
+  // Self-gating keeps direct record() calls (probe markers, tests)
+  // consistent with the network's wants() pre-filter.
+  if (!wants(event.trace_id)) return;
+  ++recorded_;
+  inner_->record(event);
 }
 
 namespace detail {

@@ -36,6 +36,13 @@ struct SpanEvent {
     kDeliver,  ///< message arrived at its destination endpoint
     kHold,     ///< message parked in a partition queue (channel down)
     kDrop,     ///< message lost (channel down with drop-when-down)
+    /// Convergence-probe markers (net::ConvergenceProbe): arm stamps the
+    /// perturbation instant, fire stamps the convergence instant (the last
+    /// activity before the quiet window). Markers carry trace_id 0 — they
+    /// bypass head-based sampling, so a sampled span stream still contains
+    /// the measurement windows the critical-path analyzer cuts on.
+    kProbeArm,
+    kProbeFire,
   };
 
   std::uint64_t trace_id = 0;
@@ -43,10 +50,13 @@ struct SpanEvent {
   Kind kind = Kind::kSend;
   std::string from;     ///< sending endpoint name
   std::string to;       ///< receiving endpoint name
-  std::string message;  ///< Message::describe()
+  std::string message;  ///< Message::describe() (probe markers: the label)
 };
 
 [[nodiscard]] std::string_view to_string(SpanEvent::Kind kind);
+/// Inverse of to_string; false if `text` names no kind.
+[[nodiscard]] bool kind_from_string(std::string_view text,
+                                    SpanEvent::Kind& out);
 
 /// Receives every span event the network records. Implementations must not
 /// send messages from record() (re-entrancy on the network is undefined).
@@ -54,6 +64,13 @@ class SpanSink {
  public:
   virtual ~SpanSink() = default;
   virtual void record(const SpanEvent& event) = 0;
+  /// Head-based pre-filter: the network asks before *building* an event
+  /// (describing a message allocates), so a sampling sink skips the whole
+  /// cost of unsampled chains, not just their storage. Must be pure —
+  /// equal ids always get equal answers, or chains tear apart.
+  [[nodiscard]] virtual bool wants(std::uint64_t /*trace_id*/) const {
+    return true;
+  }
 };
 
 /// Streams each event as one JSON object per line (see schema above).
@@ -103,6 +120,37 @@ class FlightRecorderSink final : public SpanSink {
   std::uint64_t evicted_ = 0;
   std::deque<SpanEvent> events_;
 };
+
+/// Deterministic head-based sampling: a chain is kept iff a fixed hash of
+/// its trace id falls under the rate threshold, so a 1% rate keeps whole
+/// causal chains intact (every hop of a kept chain passes) and the kept
+/// set is byte-identical across reruns and thread counts — the sample is
+/// a function of the id, never of arrival order or wall clock. Probe
+/// markers (trace_id 0) always pass.
+class SamplingSpanSink final : public SpanSink {
+ public:
+  /// `inner` receives the sampled events and must outlive this sink.
+  /// `rate` in [0,1]: 0 keeps only markers, 1 keeps everything.
+  SamplingSpanSink(SpanSink& inner, double rate);
+
+  [[nodiscard]] bool wants(std::uint64_t trace_id) const override;
+  void record(const SpanEvent& event) override;
+
+  /// Events actually forwarded to the inner sink.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  SpanSink* inner_;
+  double rate_;
+  bool keep_all_;
+  std::uint64_t threshold_;  ///< keep iff span_hash(id) < threshold_
+  std::uint64_t recorded_ = 0;
+};
+
+/// The stateless 64-bit mixer (splitmix64 finalizer) behind head-based
+/// sampling. Exposed so tests can predict which ids a rate keeps.
+[[nodiscard]] std::uint64_t span_hash(std::uint64_t x);
 
 namespace detail {
 /// Shared JSONL rendering used by JsonlSpanSink and FlightRecorderSink.

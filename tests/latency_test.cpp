@@ -6,6 +6,7 @@
 // back-to-back snapshots of a quiescent network.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -258,6 +259,46 @@ TEST(ConvergenceProbe, ReArmingRestartsTheMeasurement) {
   events.run();
   EXPECT_EQ(probe.samples_recorded(), 1u);
   EXPECT_EQ(latency.count(), 1u);
+}
+
+TEST(ConvergenceProbe, CrashRestartRecordsOneSamplePerPerturbation) {
+  // A domain crash-restart is a perturbation like any other: the probe
+  // re-arms at the crash instant and, once the sessions re-establish and
+  // the trees repair, records exactly one time-to-converge sample — not
+  // zero (probe never re-armed after a restart) and not one per bounced
+  // channel.
+  Internet net;
+  Domain& a = net.add_domain({.id = 1, .name = "A"});
+  Domain& b = net.add_domain({.id = 2, .name = "B"});
+  Domain& c = net.add_domain({.id = 3, .name = "C"});
+  net.link(a, b);
+  net.link(b, c);
+  for (Domain* d : {&a, &b, &c}) d->announce_unicast();
+  a.originate_group_range(net::Prefix::parse("224.0.128.0/24"));
+  net.settle();
+  c.host_join(net::Ipv4Addr::parse("224.0.128.1"));
+  net.settle();
+  const std::uint64_t baseline = net.convergence_probe().samples_recorded();
+
+  // Crash the transit domain — both its channels bounce, BGMP soft state
+  // vanishes, membership is re-expressed on restart.
+  net.crash_restart_domain(b);
+  EXPECT_TRUE(net.convergence_probe().armed());
+  net.settle();
+  EXPECT_FALSE(net.convergence_probe().armed());
+  EXPECT_EQ(net.convergence_probe().samples_recorded(), baseline + 1);
+
+  // The probe survives repeated crash cycles: one sample each.
+  net.crash_restart_domain(c);
+  net.settle();
+  net.crash_restart_domain(b);
+  net.settle();
+  EXPECT_EQ(net.convergence_probe().samples_recorded(), baseline + 3);
+
+  const obs::HistogramStats converge =
+      net.metrics_snapshot().histogram_stats("core.convergence_latency");
+  EXPECT_EQ(converge.count, baseline + 3);
+  EXPECT_GT(converge.min, 0.0);
 }
 
 // ------------------------------------------------------ latency instruments

@@ -5,13 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "net/event.hpp"
 #include "net/time.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sharded.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 
@@ -520,6 +526,313 @@ TEST_F(TracerTest, ClearClockOnlyDetachesMatchingQueue) {
   log_info("t", [](std::ostream& os) { os << "untimed"; });
   ASSERT_EQ(ring->records().size(), 2u);
   EXPECT_EQ(ring->records()[1].sim_time, net::SimTime());
+}
+
+// ---------------------------------------------------- registry kind checks
+
+TEST(Metrics, DuplicateRegistrationWithDifferentKindThrows) {
+  Metrics m;
+  m.counter("net.messages_sent");
+  EXPECT_THROW(m.gauge("net.messages_sent"), std::logic_error);
+  EXPECT_THROW(m.histogram("net.messages_sent"), std::logic_error);
+  EXPECT_THROW(m.sharded_counter("net.messages_sent"), std::logic_error);
+  EXPECT_THROW(m.topk_gauge("net.messages_sent"), std::logic_error);
+  // Same kind re-registers fine (and returns the same instrument).
+  EXPECT_EQ(&m.counter("net.messages_sent"), &m.counter("net.messages_sent"));
+
+  m.sharded_counter("bgp.updates_sent.by_domain");
+  EXPECT_THROW(m.counter("bgp.updates_sent.by_domain"), std::logic_error);
+  EXPECT_THROW(m.topk_gauge("bgp.updates_sent.by_domain"), std::logic_error);
+
+  m.topk_gauge("core.state_bytes.by_domain");
+  EXPECT_THROW(m.sharded_counter("core.state_bytes.by_domain"),
+               std::logic_error);
+}
+
+// --------------------------------------------------- sharded instruments
+
+TEST(Sharded, CounterIsExactUnderCapacity) {
+  ShardedCounter c(/*capacity=*/8, /*export_top=*/8);
+  for (std::uint64_t key = 1; key <= 4; ++key) c.add(key, key * 10);
+  EXPECT_EQ(c.total(), 100u);
+  EXPECT_EQ(c.tracked(), 4u);
+  for (std::uint64_t key = 1; key <= 4; ++key) {
+    EXPECT_EQ(c.count_of(key), key * 10);
+  }
+  const std::vector<ShardedItem> top = c.top(8);
+  ASSERT_EQ(top.size(), 4u);
+  // Value descending; every item exact (error 0) — nothing was evicted.
+  EXPECT_EQ(top[0].key, 4u);
+  EXPECT_EQ(top[3].key, 1u);
+  for (const ShardedItem& item : top) EXPECT_EQ(item.error, 0u);
+}
+
+TEST(Sharded, CounterKeepsHeavyHittersAcrossEviction) {
+  // Two heavy keys plus a stream of one-shot keys that overflow the
+  // capacity: space-saving must keep the heavy keys tracked, report
+  // per-key counts as upper bounds, and keep the grand total exact.
+  ShardedCounter c(/*capacity=*/4, /*export_top=*/4);
+  for (int i = 0; i < 500; ++i) {
+    c.add(1);
+    c.add(2);
+    c.add(1000 + static_cast<std::uint64_t>(i));  // singleton churn
+  }
+  EXPECT_EQ(c.total(), 1500u);
+  EXPECT_EQ(c.tracked(), 4u);  // bounded memory
+  EXPECT_GE(c.count_of(1), 500u);  // upper bound on the true count
+  EXPECT_GE(c.count_of(2), 500u);
+  const std::vector<ShardedItem> top = c.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  const std::set<std::uint64_t> heavy = {top[0].key, top[1].key};
+  EXPECT_TRUE(heavy.count(1)) << "heavy hitter 1 evicted";
+  EXPECT_TRUE(heavy.count(2)) << "heavy hitter 2 evicted";
+}
+
+TEST(Sharded, TopOrdersValueDescendingThenKeyAscending) {
+  ShardedCounter c(/*capacity=*/8, /*export_top=*/8);
+  c.add(5, 10);
+  c.add(3, 10);
+  c.add(9, 20);
+  const std::vector<ShardedItem> top = c.top(8);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 9u);
+  EXPECT_EQ(top[1].key, 3u);  // ties break key-ascending — deterministic
+  EXPECT_EQ(top[2].key, 5u);
+}
+
+TEST(Sharded, TopKGaugeKeepsExactTopKPerEpoch) {
+  TopKGauge g(/*k=*/3);
+  g.begin_epoch();
+  for (std::uint64_t key = 1; key <= 10; ++key) {
+    g.set(key, static_cast<double>(key * 100));
+  }
+  EXPECT_EQ(g.seen(), 10u);
+  EXPECT_DOUBLE_EQ(g.total(), 5500.0);
+  ASSERT_EQ(g.top().size(), 3u);
+  EXPECT_EQ(g.top()[0].key, 10u);
+  EXPECT_EQ(g.top()[1].key, 9u);
+  EXPECT_EQ(g.top()[2].key, 8u);
+  for (const ShardedItem& item : g.top()) EXPECT_EQ(item.error, 0u);
+
+  // A new epoch starts from scratch — stale keys do not linger.
+  g.begin_epoch();
+  g.set(42, 7.0);
+  EXPECT_EQ(g.seen(), 1u);
+  EXPECT_DOUBLE_EQ(g.total(), 7.0);
+  ASSERT_EQ(g.top().size(), 1u);
+  EXPECT_EQ(g.top()[0].key, 42u);
+}
+
+TEST(Sharded, SnapshotExportsBoundedTopAndExactTotal) {
+  Metrics m;
+  ShardedCounter& c = m.sharded_counter("bgp.updates_sent.by_domain",
+                                        /*capacity=*/64, /*export_top=*/2);
+  for (std::uint64_t key = 1; key <= 5; ++key) c.add(key, key);
+  const Snapshot snap = m.snapshot();
+  const ShardedSample* sample = snap.find_sharded("bgp.updates_sent.by_domain");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, ShardedSample::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(sample->total, 15.0);       // exact despite bounded items
+  ASSERT_EQ(sample->items.size(), 2u);         // export_top caps the view
+  EXPECT_EQ(sample->items[0].key, 5u);
+  EXPECT_EQ(sample->items[1].key, 4u);
+  EXPECT_DOUBLE_EQ(snap.sharded_total("bgp.updates_sent.by_domain"), 15.0);
+  EXPECT_EQ(snap.find_sharded("no.such"), nullptr);
+
+  std::ostringstream os;
+  snap.write_json(os);
+  EXPECT_NE(os.str().find("\"sharded\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"bgp.updates_sent.by_domain\""),
+            std::string::npos);
+}
+
+// ------------------------------------------------ snapshot binary search
+
+TEST(Snapshots, FindLocatesEveryInstrumentInLargeSnapshots) {
+  // 300 instruments: the binary-search path must find every name exactly
+  // and miss cleanly — this is the lookup bench/micro_core benchmarks.
+  Metrics m;
+  std::vector<std::string> names;
+  for (int i = 0; i < 300; ++i) {
+    std::string name = "bench.metric." + std::to_string(i);
+    if (i % 2 == 0) {
+      m.counter(name).inc(static_cast<std::uint64_t>(i) + 1);
+    } else {
+      m.gauge(name).set(static_cast<double>(i) + 0.5);
+    }
+    names.push_back(std::move(name));
+  }
+  m.histogram("bench.latency").observe(1.0);
+  const Snapshot snap = m.snapshot();
+  ASSERT_EQ(snap.samples.size(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    const Sample* s = snap.find(names[static_cast<std::size_t>(i)]);
+    ASSERT_NE(s, nullptr) << names[static_cast<std::size_t>(i)];
+    if (i % 2 == 0) {
+      EXPECT_EQ(s->kind, Sample::Kind::kCounter);
+      EXPECT_EQ(s->count, static_cast<std::uint64_t>(i) + 1);
+    } else {
+      EXPECT_EQ(s->kind, Sample::Kind::kGauge);
+      EXPECT_DOUBLE_EQ(s->value, static_cast<double>(i) + 0.5);
+    }
+  }
+  // Misses: before the first name, between names, after the last.
+  EXPECT_EQ(snap.find("aaaa"), nullptr);
+  EXPECT_EQ(snap.find("bench.metric.1500"), nullptr);
+  EXPECT_EQ(snap.find("zzzz"), nullptr);
+  ASSERT_NE(snap.find_histogram("bench.latency"), nullptr);
+  EXPECT_EQ(snap.find_histogram("bench.metric.0"), nullptr);
+}
+
+// ---------------------------------------------------------- flight recorder
+
+TEST(Recorder, DeltaFramesCarryOnlyChangedSeries) {
+  Metrics m;
+  Counter& moving = m.counter("test.moving");
+  m.counter("test.frozen").inc(5);
+  Recorder rec;
+  rec.tick(m.snapshot(0.0));  // first frame captures everything
+  moving.inc();
+  rec.tick(m.snapshot(1.0));
+  moving.inc();
+  rec.tick(m.snapshot(2.0));
+  EXPECT_EQ(rec.ticks(), 3u);
+  EXPECT_EQ(rec.frames(), 3u);
+  EXPECT_EQ(rec.series(), 2u);
+
+  std::ostringstream os;
+  rec.flush_jsonl(os);
+  const std::string text = os.str();
+  // "test.frozen" appears once (the first full frame), not per-frame.
+  std::size_t frozen_mentions = 0;
+  for (std::size_t at = text.find("test.frozen"); at != std::string::npos;
+       at = text.find("test.frozen", at + 1)) {
+    ++frozen_mentions;
+  }
+  EXPECT_EQ(frozen_mentions, 1u);
+  EXPECT_NE(text.find("\"recorder\""), std::string::npos);
+}
+
+TEST(Recorder, EvictionFoldsOldFramesIntoBase) {
+  Metrics m;
+  Counter& c = m.counter("test.count");
+  Recorder rec(Recorder::Config{.capacity = 2});
+  for (int t = 0; t < 5; ++t) {
+    c.inc(10);
+    rec.tick(m.snapshot(static_cast<double>(t)));
+  }
+  EXPECT_EQ(rec.ticks(), 5u);
+  EXPECT_EQ(rec.frames(), 2u);   // ring is bounded
+  EXPECT_EQ(rec.evicted(), 3u);  // the rest folded into the base
+
+  std::ostringstream os;
+  rec.flush_jsonl(os);
+  const std::string text = os.str();
+  // Base line reconstructs the absolute value at eviction time (t=2,
+  // count=30), and the retained frames still replay to the final 50.
+  EXPECT_NE(text.find("\"base\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"test.count\":30"), std::string::npos);
+  EXPECT_NE(text.find("\"test.count\":50"), std::string::npos);
+}
+
+TEST(Recorder, HistogramsExpandToCountAndSum) {
+  Metrics m;
+  m.histogram("net.delivery_latency").observe(2.0);
+  m.histogram("net.delivery_latency").observe(3.0);
+  Recorder rec;
+  rec.tick(m.snapshot(0.0));
+  std::ostringstream os;
+  rec.flush_jsonl(os);
+  EXPECT_NE(os.str().find("\"net.delivery_latency.count\":2"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("\"net.delivery_latency.sum\":5"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------ span head sampling
+
+SpanEvent sampled_span(std::uint64_t trace_id, SpanEvent::Kind kind) {
+  SpanEvent event;
+  event.trace_id = trace_id;
+  event.kind = kind;
+  event.from = "a";
+  event.to = "b";
+  event.message = "m";
+  return event;
+}
+
+TEST(Sampling, RateOneKeepsEverythingRateZeroKeepsOnlyMarkers) {
+  MemorySpanSink memory;
+  SamplingSpanSink all(memory, 1.0);
+  for (std::uint64_t id = 1; id <= 50; ++id) {
+    EXPECT_TRUE(all.wants(id));
+    all.record(sampled_span(id, SpanEvent::Kind::kSend));
+  }
+  EXPECT_EQ(all.recorded(), 50u);
+  EXPECT_EQ(memory.events().size(), 50u);
+
+  memory.clear();
+  SamplingSpanSink none(memory, 0.0);
+  for (std::uint64_t id = 1; id <= 50; ++id) EXPECT_FALSE(none.wants(id));
+  // Probe markers (trace_id 0) bypass sampling at any rate: the analyzer
+  // needs the measurement windows even in a 0%-sampled stream.
+  EXPECT_TRUE(none.wants(0));
+  none.record(sampled_span(0, SpanEvent::Kind::kProbeArm));
+  EXPECT_EQ(none.recorded(), 1u);
+}
+
+TEST(Sampling, KeptSetIsAPureFunctionOfTheTraceId) {
+  MemorySpanSink sink_a;
+  MemorySpanSink sink_b;
+  SamplingSpanSink first(sink_a, 0.25);
+  SamplingSpanSink second(sink_b, 0.25);
+  std::size_t kept = 0;
+  for (std::uint64_t id = 1; id <= 2000; ++id) {
+    const bool want = first.wants(id);
+    // Two independent sinks at the same rate agree on every id, and
+    // asking twice never changes the answer — no order/time dependence.
+    EXPECT_EQ(second.wants(id), want);
+    EXPECT_EQ(first.wants(id), want);
+    if (want) ++kept;
+  }
+  // A hash-based 25% sample of 2000 ids lands near 500.
+  EXPECT_GT(kept, 350u);
+  EXPECT_LT(kept, 650u);
+}
+
+TEST(Sampling, KeepsWholeCausalChainsIntact) {
+  // Every hop of a chain carries the same trace id, so a kept chain is
+  // kept in full: record() must never split a chain across the decision.
+  MemorySpanSink memory;
+  SamplingSpanSink sampler(memory, 0.5);
+  constexpr std::uint64_t kIds = 200;
+  for (std::uint64_t id = 1; id <= kIds; ++id) {
+    for (const SpanEvent::Kind kind :
+         {SpanEvent::Kind::kSend, SpanEvent::Kind::kDeliver,
+          SpanEvent::Kind::kSend, SpanEvent::Kind::kDeliver}) {
+      if (sampler.wants(id)) sampler.record(sampled_span(id, kind));
+    }
+  }
+  std::set<std::uint64_t> seen;
+  for (const SpanEvent& event : memory.events()) seen.insert(event.trace_id);
+  for (const std::uint64_t id : seen) {
+    EXPECT_EQ(memory.events_for(id).size(), 4u) << "chain " << id << " torn";
+  }
+  EXPECT_GT(seen.size(), 0u);
+  EXPECT_LT(seen.size(), kIds);
+}
+
+TEST(Sampling, WantsMatchesTheExposedHash) {
+  // The sink's decision is exactly `span_hash(id) < rate * 2^53 << 11` —
+  // the contract tests and offline tooling can rely on to predict samples.
+  const double rate = 0.01;
+  MemorySpanSink memory;
+  SamplingSpanSink sampler(memory, rate);
+  const std::uint64_t threshold =
+      static_cast<std::uint64_t>(rate * 9007199254740992.0) << 11;
+  for (std::uint64_t id = 1; id <= 5000; ++id) {
+    EXPECT_EQ(sampler.wants(id), span_hash(id) < threshold) << id;
+  }
 }
 
 }  // namespace

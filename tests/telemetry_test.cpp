@@ -1,0 +1,291 @@
+// Integration tests for the scale-grade telemetry layer: the
+// TelemetrySession wiring (flight recorder + head-sampled spans on a live
+// internet), its zero-perturbation guarantee, critical-path analysis of
+// real convergence windows, the spans JSONL round-trip behind
+// bench/analyze_run, and the METRICS.md audit — every instrument a real
+// run exports must be documented, and the doc must not drift ahead of the
+// code.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/internet.hpp"
+#include "eval/critical_path.hpp"
+#include "eval/scenario.hpp"
+#include "eval/telemetry.hpp"
+#include "net/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+// A small but complete workload: claim → groups/joins → flap, the same
+// shape the macro ladder runs at scale.
+eval::ScenarioSpec small_spec() {
+  eval::ScenarioSpec spec;
+  spec.domains = 16;
+  spec.seed = 7;
+  spec.groups = 4;
+  spec.joins = 3;
+  return spec;
+}
+
+struct RunOutcome {
+  std::uint64_t rib_digest = 0;
+  std::uint64_t events_run = 0;
+};
+
+RunOutcome run_workload(core::Internet& net, const eval::ScenarioSpec& spec) {
+  const eval::BuiltScenario topo = eval::build_scenario(net, spec);
+  eval::phase_claim(net, topo);
+  net.settle();
+  net::Rng rng = eval::make_workload_rng(spec.seed);
+  (void)eval::phase_groups(net, spec, topo, rng);
+  net.settle();
+  eval::phase_flap(net, spec, topo);
+  net.settle();
+  return {eval::rib_digest(net), net.events().events_run()};
+}
+
+// ------------------------------------------------------- zero perturbation
+
+TEST(Telemetry, SessionDoesNotPerturbTheSimulation) {
+  // The whole telemetry layer is passive: attaching a recorder and a span
+  // sampler must leave the converged state and the event count untouched.
+  const eval::ScenarioSpec spec = small_spec();
+  RunOutcome bare;
+  {
+    core::Internet net(spec.seed);
+    bare = run_workload(net, spec);
+  }
+  RunOutcome instrumented;
+  std::uint64_t frames = 0;
+  std::uint64_t spans = 0;
+  {
+    core::Internet net(spec.seed);
+    eval::TelemetrySpec telemetry;
+    telemetry.recorder_interval_seconds = 1.0;
+    telemetry.span_sample_rate = 0.05;
+    eval::TelemetrySession session(net, telemetry);
+    instrumented = run_workload(net, spec);
+    session.final_tick();
+    frames = session.recorder_frames();
+    spans = session.spans_recorded();
+  }
+  EXPECT_EQ(instrumented.rib_digest, bare.rib_digest);
+  EXPECT_EQ(instrumented.events_run, bare.events_run);
+  // ... while actually recording something.
+  EXPECT_GT(frames, 0u);
+  EXPECT_GT(spans, 0u);
+}
+
+// ---------------------------------------------------- end-to-end pipeline
+
+TEST(Telemetry, RecorderAndSpansCaptureARealRun) {
+  const eval::ScenarioSpec spec = small_spec();
+  core::Internet net(spec.seed);
+  eval::TelemetrySpec telemetry;
+  telemetry.recorder_interval_seconds = 1.0;
+  telemetry.span_sample_rate = 0.05;
+  eval::TelemetrySession session(net, telemetry);
+  run_workload(net, spec);
+  session.final_tick();
+
+  // The recorder saw the run as a time series...
+  EXPECT_GT(session.recorder_frames(), 1u);
+  std::ostringstream rec;
+  session.flush_recorder(rec);
+  EXPECT_NE(rec.str().find("\"recorder\""), std::string::npos);
+  EXPECT_NE(rec.str().find("net.messages_sent"), std::string::npos);
+
+  // ...and the span stream contains the probe markers (trace_id 0 passes
+  // any sampling rate) plus whole sampled chains.
+  std::size_t arms = 0;
+  std::size_t fires = 0;
+  for (const obs::SpanEvent& event : session.spans()) {
+    if (event.kind == obs::SpanEvent::Kind::kProbeArm) ++arms;
+    if (event.kind == obs::SpanEvent::Kind::kProbeFire) ++fires;
+  }
+  EXPECT_GT(arms, 0u);
+  EXPECT_GT(fires, 0u);
+
+  // The analyzer reconstructs at least one convergence window with a
+  // critical chain attributed to protocol phases.
+  const eval::CriticalPathReport report = session.critical_path();
+  ASSERT_FALSE(report.windows.empty());
+  EXPECT_EQ(report.unmatched_fires, 0u);
+  const eval::ConvergenceWindow& longest =
+      report.windows[report.longest_window()];
+  EXPECT_GT(longest.duration(), 0.0);
+  EXPECT_FALSE(longest.phase_seconds.empty());
+}
+
+TEST(Telemetry, CriticalPathReportIsByteIdenticalAcrossRuns) {
+  const eval::ScenarioSpec spec = small_spec();
+  std::string first;
+  std::string second;
+  for (std::string* out : {&first, &second}) {
+    core::Internet net(spec.seed);
+    eval::TelemetrySpec telemetry;
+    telemetry.span_sample_rate = 0.05;
+    eval::TelemetrySession session(net, telemetry);
+    run_workload(net, spec);
+    std::ostringstream os;
+    session.critical_path().write_json(os);
+    *out = os.str();
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Telemetry, SpansRoundTripThroughJsonl) {
+  // flush_spans → read_spans_jsonl must reproduce the event stream
+  // field-for-field: the dumped artifact is what bench/analyze_run sees,
+  // so the offline report can only match the in-process one if nothing is
+  // lost or reordered in the serialization.
+  const eval::ScenarioSpec spec = small_spec();
+  core::Internet net(spec.seed);
+  eval::TelemetrySpec telemetry;
+  telemetry.span_sample_rate = 0.05;
+  eval::TelemetrySession session(net, telemetry);
+  run_workload(net, spec);
+
+  std::stringstream jsonl;
+  session.flush_spans(jsonl);
+  const std::vector<obs::SpanEvent> decoded = eval::read_spans_jsonl(jsonl);
+  const std::vector<obs::SpanEvent>& original = session.spans();
+  ASSERT_EQ(decoded.size(), original.size());
+  ASSERT_GT(decoded.size(), 0u);
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i].trace_id, original[i].trace_id) << i;
+    EXPECT_EQ(decoded[i].kind, original[i].kind) << i;
+    EXPECT_EQ(decoded[i].from, original[i].from) << i;
+    EXPECT_EQ(decoded[i].to, original[i].to) << i;
+    EXPECT_EQ(decoded[i].message, original[i].message) << i;
+    EXPECT_EQ(decoded[i].sim_time, original[i].sim_time) << i;
+  }
+
+  // And the offline analysis of the decoded stream matches the in-process
+  // report byte-for-byte.
+  std::ostringstream in_process;
+  session.critical_path().write_json(in_process);
+  std::ostringstream offline;
+  eval::analyze_spans(decoded).write_json(offline);
+  EXPECT_EQ(offline.str(), in_process.str());
+}
+
+// ------------------------------------------------- analyzer unit behaviour
+
+obs::SpanEvent span(std::uint64_t trace_id, double at,
+                    obs::SpanEvent::Kind kind, std::string from,
+                    std::string to, std::string message) {
+  obs::SpanEvent event;
+  event.trace_id = trace_id;
+  event.sim_time = net::SimTime::seconds_f(at);
+  event.kind = kind;
+  event.from = std::move(from);
+  event.to = std::move(to);
+  event.message = std::move(message);
+  return event;
+}
+
+TEST(CriticalPath, ReconstructsTheLongestChainAndPhases) {
+  using Kind = obs::SpanEvent::Kind;
+  std::vector<obs::SpanEvent> events;
+  events.push_back(span(0, 0.0, Kind::kProbeArm, "probe", "", "link-down"));
+  // Trace 7: a two-hop BGP chain finishing at t=2.
+  events.push_back(span(7, 0.0, Kind::kSend, "A", "B", "UPDATE"));
+  events.push_back(span(7, 1.0, Kind::kDeliver, "A", "B", "UPDATE"));
+  events.push_back(span(7, 1.0, Kind::kSend, "B", "C", "UPDATE"));
+  events.push_back(span(7, 2.0, Kind::kDeliver, "B", "C", "UPDATE"));
+  // Trace 9: a BGMP hop finishing later, at t=5 — the critical chain.
+  events.push_back(span(9, 3.0, Kind::kSend, "B/bgmp", "C/bgmp", "JOIN"));
+  events.push_back(span(9, 5.0, Kind::kDeliver, "B/bgmp", "C/bgmp", "JOIN"));
+  events.push_back(span(0, 6.0, Kind::kProbeFire, "probe", "", "link-down"));
+
+  const eval::CriticalPathReport report = eval::analyze_spans(events);
+  ASSERT_EQ(report.windows.size(), 1u);
+  const eval::ConvergenceWindow& w = report.windows[0];
+  EXPECT_EQ(w.label, "link-down");
+  EXPECT_DOUBLE_EQ(w.armed_at, 0.0);
+  EXPECT_DOUBLE_EQ(w.converged_at, 6.0);
+  EXPECT_EQ(w.traces, 2u);
+  EXPECT_EQ(w.hops, 3u);
+  EXPECT_EQ(w.critical_trace, 9u);
+  ASSERT_EQ(w.critical_hops.size(), 1u);
+  EXPECT_EQ(eval::hop_phase(w.critical_hops[0]), "bgmp");
+  // Phase attribution: 2s of bgmp transit on the critical chain, the
+  // remaining 4s of the 6s window covered by no critical hop → wait.
+  EXPECT_DOUBLE_EQ(w.phase_seconds.at("bgmp"), 2.0);
+  EXPECT_DOUBLE_EQ(w.phase_seconds.at("wait"), 4.0);
+}
+
+TEST(CriticalPath, ReArmSupersedesAndUnmatchedFiresAreCounted) {
+  using Kind = obs::SpanEvent::Kind;
+  std::vector<obs::SpanEvent> events;
+  // Fire with no arm at all: counted, no window.
+  events.push_back(span(0, 1.0, Kind::kProbeFire, "probe", "", "stray"));
+  // Two arms before one fire: the later arm defines the window.
+  events.push_back(span(0, 2.0, Kind::kProbeArm, "probe", "", "first"));
+  events.push_back(span(3, 2.5, Kind::kSend, "A", "B", "UPDATE"));
+  events.push_back(span(3, 2.75, Kind::kDeliver, "A", "B", "UPDATE"));
+  events.push_back(span(0, 3.0, Kind::kProbeArm, "probe", "", "second"));
+  events.push_back(span(0, 4.0, Kind::kProbeFire, "probe", "", "second"));
+
+  const eval::CriticalPathReport report = eval::analyze_spans(events);
+  EXPECT_EQ(report.unmatched_fires, 1u);
+  ASSERT_EQ(report.windows.size(), 1u);
+  EXPECT_EQ(report.windows[0].label, "second");
+  EXPECT_DOUBLE_EQ(report.windows[0].armed_at, 3.0);
+  // The superseded arm's traffic does not leak into the new window.
+  EXPECT_EQ(report.windows[0].traces, 0u);
+}
+
+// ----------------------------------------------------- METRICS.md audit
+
+#ifdef METRICS_MD_PATH
+TEST(Docs, EveryExportedMetricAppearsInMetricsMd) {
+  // Run the full workload with telemetry attached, snapshot every
+  // instrument the stack registers, and require METRICS.md to name each
+  // one. A new instrument without a doc row fails here — the reference
+  // table cannot silently rot.
+  std::ifstream doc(METRICS_MD_PATH);
+  ASSERT_TRUE(doc.is_open()) << "cannot read " << METRICS_MD_PATH;
+  std::stringstream buffer;
+  buffer << doc.rdbuf();
+  const std::string text = buffer.str();
+
+  const eval::ScenarioSpec spec = small_spec();
+  core::Internet net(spec.seed);
+  net.enable_step_profiling();
+  eval::TelemetrySpec telemetry;
+  telemetry.recorder_interval_seconds = 1.0;
+  telemetry.span_sample_rate = 0.05;
+  eval::TelemetrySession session(net, telemetry);
+  run_workload(net, spec);
+
+  const obs::Snapshot snap = net.metrics_snapshot();
+  std::set<std::string> names;
+  for (const obs::Sample& s : snap.samples) names.insert(s.name);
+  for (const obs::HistogramSample& h : snap.histograms) names.insert(h.name);
+  for (const obs::ShardedSample& s : snap.sharded) names.insert(s.name);
+  ASSERT_GT(names.size(), 30u);  // the audit covers the real surface
+
+  for (const std::string& name : names) {
+    // Per-tag step histograms are documented once by their prefix row.
+    const std::string lookup =
+        name.rfind("sim.step_wall_seconds.", 0) == 0
+            ? "sim.step_wall_seconds.<tag>"
+            : name;
+    EXPECT_NE(text.find("`" + lookup + "`"), std::string::npos)
+        << "metric \"" << name << "\" is not documented in METRICS.md";
+  }
+}
+#endif  // METRICS_MD_PATH
+
+}  // namespace
