@@ -8,6 +8,10 @@
 
 namespace bgmp {
 
+TargetKey TargetKey::external(Router* r) {
+  return TargetKey{Kind::kPeer, r, r == nullptr ? 0 : r->owner_id()};
+}
+
 // ---------------------------------------------------------------- messages
 
 std::string ControlMessage::describe() const {

@@ -25,11 +25,24 @@ struct TargetKey {
   enum class Kind : std::uint8_t { kMigp, kPeer };
   Kind kind = Kind::kMigp;
   Router* peer = nullptr;  // set iff kind == kPeer
+  // Stable sort key for peer targets: the peer's domain id (AS number),
+  // unique per router. Target containers order by this — never by the
+  // `peer` pointer, whose heap address varies from run to run and would
+  // make every forwarding fan-out order (and with it the scheduler's
+  // event/batch split) depend on allocator history.
+  std::uint64_t order = 0;
 
-  static TargetKey migp() { return TargetKey{Kind::kMigp, nullptr}; }
-  static TargetKey external(Router* r) { return TargetKey{Kind::kPeer, r}; }
+  static TargetKey migp() { return TargetKey{Kind::kMigp, nullptr, 0}; }
+  static TargetKey external(Router* r);  // in router.cpp: needs Router
 
-  friend auto operator<=>(const TargetKey&, const TargetKey&) = default;
+  friend bool operator==(const TargetKey& a, const TargetKey& b) {
+    return a.kind == b.kind && a.peer == b.peer;
+  }
+  friend std::strong_ordering operator<=>(const TargetKey& a,
+                                          const TargetKey& b) {
+    if (a.kind != b.kind) return a.kind <=> b.kind;
+    return a.order <=> b.order;
+  }
 };
 
 /// Refcounted child-target list, stored as a sorted flat vector. Target

@@ -50,16 +50,20 @@ void CandidateArena::release(std::uint32_t index) {
 
 bool RibEntry::upsert(Candidate candidate) {
   CandidateArena& arena = CandidateArena::instance();
-  const std::optional<Route> previous =
-      best_ != CandidateArena::kNil
-          ? std::optional<Route>(arena.value(best_).route)
-          : std::nullopt;
+  const std::uint32_t prev_best = best_;
   std::uint32_t tail = CandidateArena::kNil;
   for (std::uint32_t cur = head_; cur != CandidateArena::kNil;
        cur = arena.next(cur)) {
     if (arena.value(cur).via == candidate.via) {
+      if (cur == prev_best) {
+        // Overwriting the selected slot destroys the only record of the
+        // old best route — save it (moved, not copied) for the compare.
+        const Route before = std::move(arena.value(cur).route);
+        arena.value(cur) = std::move(candidate);
+        return reselect(prev_best, &before);
+      }
       arena.value(cur) = std::move(candidate);
-      return reselect(previous);
+      return reselect(prev_best, nullptr);
     }
     tail = cur;
   }
@@ -70,15 +74,12 @@ bool RibEntry::upsert(Candidate candidate) {
     arena.set_next(tail, index);
   }
   ++size_;
-  return reselect(previous);
+  return reselect(prev_best, nullptr);
 }
 
 bool RibEntry::remove(PeerIndex via) {
   CandidateArena& arena = CandidateArena::instance();
-  const std::optional<Route> previous =
-      best_ != CandidateArena::kNil
-          ? std::optional<Route>(arena.value(best_).route)
-          : std::nullopt;
+  const std::uint32_t prev_best = best_;
   std::uint32_t prev = CandidateArena::kNil;
   for (std::uint32_t cur = head_; cur != CandidateArena::kNil;
        cur = arena.next(cur)) {
@@ -88,16 +89,22 @@ bool RibEntry::remove(PeerIndex via) {
       } else {
         arena.set_next(prev, arena.next(cur));
       }
-      arena.release(cur);
       --size_;
-      return reselect(previous);
+      if (cur == prev_best) {
+        const Route before = std::move(arena.value(cur).route);
+        arena.release(cur);
+        return reselect(prev_best, &before);
+      }
+      arena.release(cur);
+      return reselect(prev_best, nullptr);
     }
     prev = cur;
   }
   return false;
 }
 
-bool RibEntry::reselect(const std::optional<Route>& previous_best) {
+bool RibEntry::reselect(std::uint32_t previous_best,
+                        const Route* previous_route) {
   CandidateArena& arena = CandidateArena::instance();
   // Chain order is insertion order, so the first-best-wins tie behaviour
   // of the old vector scan is preserved exactly.
@@ -109,11 +116,14 @@ bool RibEntry::reselect(const std::optional<Route>& previous_best) {
       best_ = cur;
     }
   }
-  const std::optional<Route> now =
-      best_ != CandidateArena::kNil
-          ? std::optional<Route>(arena.value(best_).route)
-          : std::nullopt;
-  return now != previous_best;
+  if (best_ == CandidateArena::kNil) {
+    return previous_best != CandidateArena::kNil;
+  }
+  if (previous_best == CandidateArena::kNil) return true;
+  const Route& before = previous_route != nullptr
+                            ? *previous_route
+                            : arena.value(previous_best).route;
+  return arena.value(best_).route != before;
 }
 
 void RibEntry::clear() {
@@ -137,20 +147,25 @@ std::optional<std::pair<net::Prefix, const Candidate*>> Rib::longest_match(
   return {{hit->first, best}};
 }
 
-bool Rib::upsert(const net::Prefix& prefix, Candidate candidate) {
+bool Rib::upsert(const net::Prefix& prefix, Candidate candidate,
+                 const RibEntry** entry_out) {
   RibEntry& e = entry(prefix);
   const std::size_t before = e.candidate_count();
   const bool changed = e.upsert(std::move(candidate));
   candidates_ += e.candidate_count() - before;
+  if (entry_out != nullptr) *entry_out = &e;
   return changed;
 }
 
-bool Rib::remove(const net::Prefix& prefix, PeerIndex via) {
+bool Rib::remove(const net::Prefix& prefix, PeerIndex via,
+                 const RibEntry** entry_out) {
   RibEntry& e = entry(prefix);
   const std::size_t before = e.candidate_count();
   const bool changed = e.remove(via);
   candidates_ -= before - e.candidate_count();
+  const bool erased = e.empty();
   erase_if_empty(prefix);
+  if (entry_out != nullptr) *entry_out = erased ? nullptr : &e;
   return changed;
 }
 

@@ -153,7 +153,7 @@ class RibEntry {
   }
   RibEntry& operator=(RibEntry&& other) noexcept {
     if (this != &other) {
-      clear();
+      if (head_ != CandidateArena::kNil) clear();
       head_ = other.head_;
       best_ = other.best_;
       size_ = other.size_;
@@ -165,7 +165,12 @@ class RibEntry {
   }
   RibEntry(const RibEntry&) = delete;
   RibEntry& operator=(const RibEntry&) = delete;
-  ~RibEntry() { clear(); }
+  // Empty-chain fast path: most destructions are moved-from shells (trie
+  // node-pool growth, erase), and the out-of-line clear() touches the
+  // thread-local arena even when there is nothing to release.
+  ~RibEntry() {
+    if (head_ != CandidateArena::kNil) clear();
+  }
 
   /// Inserts or replaces the candidate from `via`. Returns true if the
   /// best route (selection) changed.
@@ -187,8 +192,15 @@ class RibEntry {
   [[nodiscard]] std::size_t candidate_count() const { return size_; }
 
  private:
-  // Returns true if the selection (or its route contents) changed.
-  bool reselect(const std::optional<Route>& previous_best);
+  // Re-runs the decision process and reports whether the selected route
+  // changed, comparing against the pre-mutation best. `previous_best` is
+  // the old best slot (kNil: none); its contents are read live unless the
+  // mutation clobbered that very slot, in which case the caller saved the
+  // old route and passes it as `previous_route`. Keeps the no-change
+  // detection copy-free on the common paths (new candidate, non-best
+  // overwrite), where the old code made two full Route copies — PathRef
+  // refcount traffic that showed up hot at the 10k rung.
+  bool reselect(std::uint32_t previous_best, const Route* previous_route);
   void clear();
 
   std::uint32_t head_ = CandidateArena::kNil;
@@ -212,13 +224,19 @@ class Rib {
   longest_match(net::Ipv4Addr addr) const;
 
   /// Inserts or replaces `candidate` under `prefix`, creating the entry on
-  /// demand. Returns true if the best route (selection) changed.
-  bool upsert(const net::Prefix& prefix, Candidate candidate);
+  /// demand. Returns true if the best route (selection) changed. When
+  /// `entry_out` is non-null it receives the touched entry, valid until
+  /// the next table mutation — callers fanning the change out to peers
+  /// read the new best from it instead of re-descending the trie.
+  bool upsert(const net::Prefix& prefix, Candidate candidate,
+              const RibEntry** entry_out = nullptr);
 
   /// Removes the candidate from `via` under `prefix` (no-op if absent),
   /// erasing the entry once its last candidate is gone. Returns true if
-  /// the best route changed.
-  bool remove(const net::Prefix& prefix, PeerIndex via);
+  /// the best route changed. `entry_out` (optional) receives the surviving
+  /// entry, or nullptr if the removal erased it.
+  bool remove(const net::Prefix& prefix, PeerIndex via,
+              const RibEntry** entry_out = nullptr);
 
   /// Monotonic mutation counter: bumped whenever the table might have
   /// changed (entry access for write, entry erase). Lookup caches compare

@@ -1,5 +1,6 @@
 #include "bgp/speaker.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 
@@ -70,14 +71,19 @@ net::ChannelId Speaker::connect(Speaker& a, Speaker& b,
 PeerIndex Speaker::add_peer(Speaker& peer, net::ChannelId channel,
                             Relationship rel, ExportPolicy export_policy) {
   peers_.push_back(Peer{&peer, channel, rel, export_policy, {}});
+  peer_channels_.push_back(channel);
   return static_cast<PeerIndex>(peers_.size() - 1);
 }
 
 PeerIndex Speaker::peer_by_channel(net::ChannelId channel) const {
-  for (PeerIndex i = 0; i < peers_.size(); ++i) {
-    if (peers_[i].channel == channel) return i;
+  // Channel ids are allocated in connect order, so this vector is
+  // ascending and a hub speaker's lookup is a binary search.
+  const auto it = std::lower_bound(peer_channels_.begin(),
+                                   peer_channels_.end(), channel);
+  if (it == peer_channels_.end() || *it != channel) {
+    throw std::logic_error("Speaker: message on unknown channel");
   }
-  throw std::logic_error("Speaker: message on unknown channel");
+  return static_cast<PeerIndex>(it - peer_channels_.begin());
 }
 
 void Speaker::originate(RouteType type, const net::Prefix& prefix) {
@@ -94,8 +100,9 @@ void Speaker::originate(RouteType type, const net::Prefix& prefix) {
   local.via = kLocalPeer;
   local.internal = false;
   local.exit_uid = uid_;
-  if (rib_mut(type).upsert(prefix, std::move(local))) {
-    best_changed(type, prefix);
+  const RibEntry* entry = nullptr;
+  if (rib_mut(type).upsert(prefix, std::move(local), &entry)) {
+    best_changed(type, prefix, entry);
   }
   // A new covering origination changes which more-specifics are
   // aggregation-suppressed at export.
@@ -107,7 +114,10 @@ void Speaker::withdraw(RouteType type, const net::Prefix& prefix) {
   if (!origins.erase(prefix)) return;
   const OriginScope scope(*this, network_.events().now(), /*remote=*/false);
   const BatchScope batch(*this);
-  if (rib_mut(type).remove(prefix, kLocalPeer)) best_changed(type, prefix);
+  const RibEntry* entry = nullptr;
+  if (rib_mut(type).remove(prefix, kLocalPeer, &entry)) {
+    best_changed(type, prefix, entry);
+  }
   resync_specifics(type, prefix);
 }
 
@@ -190,7 +200,10 @@ void Speaker::on_channel_down(net::ChannelId channel) {
       learned.push_back(prefix);
     });
     for (const net::Prefix& prefix : learned) {
-      if (table.remove(prefix, index)) best_changed(type, prefix);
+      const RibEntry* entry = nullptr;
+      if (table.remove(prefix, index, &entry)) {
+        best_changed(type, prefix, entry);
+      }
     }
     // The peer's session state is gone with the session.
     peer.advertised[static_cast<std::size_t>(type)].clear();
@@ -216,10 +229,11 @@ void Speaker::handle_update(PeerIndex from, const UpdateMessage& update) {
                                 ? delta.origin_time
                                 : network_.events().now(),
                             /*remote=*/true);
+    const RibEntry* entry = nullptr;
     if (!delta.route.has_value()) {
       metrics_.routes_withdrawn->inc();
-      if (rib.remove(delta.prefix, from)) {
-        best_changed(delta.type, delta.prefix);
+      if (rib.remove(delta.prefix, from, &entry)) {
+        best_changed(delta.type, delta.prefix, entry);
       }
       continue;
     }
@@ -228,8 +242,8 @@ void Speaker::handle_update(PeerIndex from, const UpdateMessage& update) {
     // AS-path loop prevention: a route that already crossed this domain is
     // treated as unreachable via this peer.
     if (announced.contains_as(as_)) {
-      if (rib.remove(announced.prefix, from)) {
-        best_changed(delta.type, announced.prefix);
+      if (rib.remove(announced.prefix, from, &entry)) {
+        best_changed(delta.type, announced.prefix, entry);
       }
       continue;
     }
@@ -244,94 +258,127 @@ void Speaker::handle_update(PeerIndex from, const UpdateMessage& update) {
     // iBGP candidate it is the internal sender. The lowest-uid rule then
     // elects one best exit domain-wide.
     candidate.exit_uid = candidate.internal ? peer.speaker->uid() : uid_;
-    if (rib.upsert(announced.prefix, std::move(candidate))) {
-      best_changed(delta.type, announced.prefix);
+    if (rib.upsert(announced.prefix, std::move(candidate), &entry)) {
+      best_changed(delta.type, announced.prefix, entry);
     }
   }
 }
 
-std::optional<Route> Speaker::desired_advertisement(RouteType type,
-                                                    const net::Prefix& prefix,
-                                                    const Peer& peer) const {
-  const RibEntry* entry = rib(type).find(prefix);
-  if (entry == nullptr) return std::nullopt;
-  const Candidate* best = entry->best();
-  if (best == nullptr) return std::nullopt;
-  // Split horizon: never back to the session it was learned from.
-  if (best->via != kLocalPeer && peers_[best->via].speaker == peer.speaker) {
-    return std::nullopt;
+Speaker::SyncContext Speaker::make_sync_context(
+    RouteType type, const net::Prefix& prefix) const {
+  return make_sync_context(type, prefix, rib(type).find(prefix));
+}
+
+Speaker::SyncContext Speaker::make_sync_context(
+    RouteType type, const net::Prefix& prefix, const RibEntry* entry) const {
+  SyncContext ctx;
+  if (entry == nullptr) return ctx;
+  ctx.best = entry->best();
+  if (ctx.best == nullptr) return ctx;
+  const Candidate& best = *ctx.best;
+  if (best.via != kLocalPeer) {
+    ctx.learned_from = peers_[best.via].speaker;
+    // Gao-Rexford provenance, invariant across peers: LOCAL_PREF >= 100
+    // encodes customer-or-local.
+    ctx.gao_blocked = best.route.local_pref < 100;
+    // §4.3.2 aggregation: suppress a more-specific covered by an own
+    // origination — the covering group route already provides reachability
+    // toward this domain, which will then use its more-specific entry.
+    if (aggregation_) {
+      const auto& origins = origins_[static_cast<std::size_t>(type)];
+      const auto cover = origins.longest_match(prefix);
+      ctx.aggregation_suppressed =
+          cover && cover->first.length() < prefix.length();
+    }
   }
-  const bool to_internal = peer.relationship == Relationship::kInternal;
-  if (to_internal) {
+  return ctx;
+}
+
+Speaker::Desired Speaker::desired_from_context(const SyncContext& ctx,
+                                               const Peer& peer) const {
+  if (ctx.best == nullptr) return {};
+  const Candidate& best = *ctx.best;
+  // Split horizon: never back to the session it was learned from
+  // (learned_from is null for local routes; peer.speaker never is).
+  if (peer.speaker == ctx.learned_from) return {};
+  if (peer.relationship == Relationship::kInternal) {
     // iBGP: re-advertise only what we learned externally or originated.
-    if (best->internal) return std::nullopt;
-    return best->route;  // path and LOCAL_PREF carried unchanged
+    if (best.internal) return {};
+    // Path and LOCAL_PREF carried unchanged.
+    return {&best.route, &ctx.internal_ref};
   }
   // eBGP export.
   // Pointless-advertisement suppression: the peer's AS is already on the
   // path and would reject it.
-  if (best->route.contains_as(peer.speaker->as())) return std::nullopt;
-  // §4.3.2 aggregation: suppress a more-specific covered by an own
-  // origination — the covering group route already provides reachability
-  // toward this domain, which will then use its more-specific entry.
-  if (aggregation_ && best->via != kLocalPeer) {
-    const auto& origins = origins_[static_cast<std::size_t>(type)];
-    const auto cover = origins.longest_match(prefix);
-    if (cover && cover->first.length() < prefix.length()) return std::nullopt;
-  }
+  if (best.route.contains_as(peer.speaker->as())) return {};
+  if (ctx.aggregation_suppressed) return {};
   if (peer.export_policy == ExportPolicy::kGaoRexford &&
-      peer.relationship != Relationship::kCustomer) {
-    // Only own/customer routes go to providers and laterals. LOCAL_PREF
-    // >= 100 encodes customer-or-local provenance.
-    if (best->via != kLocalPeer && best->route.local_pref < 100) {
-      return std::nullopt;
-    }
+      peer.relationship != Relationship::kCustomer && ctx.gao_blocked) {
+    // Only own/customer routes go to providers and laterals.
+    return {};
   }
-  Route exported = best->route;
-  exported.as_path = exported.as_path.prepend(as_);
-  exported.local_pref = 100;  // reset; the importer assigns its own
-  return exported;
+  if (!ctx.ebgp_export.has_value()) {
+    Route exported = best.route;
+    exported.as_path = exported.as_path.prepend(as_);
+    exported.local_pref = 100;  // reset; the importer assigns its own
+    ctx.ebgp_export = std::move(exported);
+  }
+  return {&*ctx.ebgp_export, &ctx.ebgp_ref};
 }
 
 void Speaker::sync_peer(RouteType type, const net::Prefix& prefix,
                         Peer& peer) {
   // No session, no updates: the channel-up full sync reconciles later.
   if (!network_.is_up(peer.channel)) return;
+  const SyncContext ctx = make_sync_context(type, prefix);
+  apply_desired(type, prefix, peer, desired_from_context(ctx, peer));
+}
+
+void Speaker::apply_desired(RouteType type, const net::Prefix& prefix,
+                            Peer& peer, const Desired& desired) {
   auto& advertised = peer.advertised[static_cast<std::size_t>(type)];
-  const std::optional<Route> desired =
-      desired_advertisement(type, prefix, peer);
-  const RouteRef* current = advertised.find(prefix);
-  if (desired.has_value() ? (current != nullptr && current->get() == *desired)
-                          : current == nullptr) {
-    return;  // Adj-RIB-Out already agrees
+  RouteRef before;
+  if (desired.route != nullptr) {
+    // Single descent covers both the agree check and the install: a fresh
+    // slot holds the null ref, which never equals an interned id.
+    RouteRef& slot = advertised.get_or_insert(prefix);
+    RouteRef& want = *desired.ref;
+    if (!want.has_value()) want = RouteRef::intern(*desired.route);
+    if (slot == want) return;  // Adj-RIB-Out already agrees
+    before = slot;
+    slot = want;
+  } else {
+    // Withdraw: erase returns the previous ref in the same descent; an
+    // absent entry already agrees.
+    if (!advertised.erase(prefix, before)) return;
   }
-  // Queue the delta and apply it to the Adj-RIB-Out immediately, so later
+  // Queue the delta; the Adj-RIB-Out above is already updated, so later
   // syncs in the same batch compute against the post-change state. The
   // wire message goes out when the outermost batch scope flushes.
-  const auto key = std::pair(type, prefix);
-  auto it = peer.pending.find(key);
-  if (it == peer.pending.end()) {
-    it = peer.pending
-             .emplace(key,
-                      Peer::PendingDelta{
-                          current != nullptr
-                              ? std::optional<Route>(current->get())
-                              : std::nullopt,
-                          std::nullopt, net::SimTime::nanoseconds(-1)})
-             .first;
+  if (peer.pending.empty()) {
+    dirty_peers_.push_back(static_cast<PeerIndex>(&peer - peers_.data()));
   }
-  it->second.latest = desired;
+  const auto [it, inserted] =
+      peer.pending.try_emplace(std::pair(type, prefix));
+  if (inserted) it->second.before = std::move(before);
+  it->second.latest = desired.route != nullptr ? *desired.ref : RouteRef{};
   it->second.origin_time =
       update_origin_.ns() >= 0 ? update_origin_ : network_.events().now();
-  if (desired.has_value()) {
-    advertised.insert(prefix, RouteRef::intern(*desired));
-  } else {
-    advertised.erase(prefix);
-  }
 }
 
 void Speaker::flush_updates() {
-  for (Peer& peer : peers_) {
+  if (dirty_peers_.empty()) return;
+  // Swap into the scratch list first: anything dirtied while flushing
+  // accumulates for the next flush instead of mutating the list being
+  // walked. Both vectors keep their capacity across batches.
+  flush_order_.swap(dirty_peers_);
+  // Ascending index order — identical send order to the full peer scan
+  // this replaces. A peer can appear twice if a mid-batch session loss
+  // cleared its pending map and later syncs re-dirtied it; the duplicate
+  // is skipped below once the map is drained.
+  std::sort(flush_order_.begin(), flush_order_.end());
+  for (const PeerIndex index : flush_order_) {
+    Peer& peer = peers_[index];
     if (peer.pending.empty()) continue;
     if (!network_.is_up(peer.channel)) {
       // Session went away mid-batch; channel-up reconciles via full sync.
@@ -341,9 +388,14 @@ void Speaker::flush_updates() {
     auto update = std::make_unique<UpdateMessage>();
     update->deltas.reserve(peer.pending.size());
     for (auto& [key, pd] : peer.pending) {
-      if (pd.before == pd.latest) continue;  // churn netted out: no change
+      // Canonical ids: equal refs mean equal routes, so churn that netted
+      // out to no wire change is one integer compare.
+      if (pd.before == pd.latest) continue;
       update->deltas.push_back(UpdateMessage::Delta{
-          key.first, key.second, std::move(pd.latest), pd.origin_time});
+          key.first, key.second,
+          pd.latest.has_value() ? std::optional<Route>(pd.latest.get())
+                                : std::nullopt,
+          pd.origin_time});
     }
     peer.pending.clear();
     if (update->deltas.empty()) continue;
@@ -351,23 +403,37 @@ void Speaker::flush_updates() {
     metrics_.updates_sent_by_domain->add(as_);
     network_.send(peer.channel, *this, std::move(update));
   }
+  flush_order_.clear();
 }
 
-void Speaker::best_changed(RouteType type, const net::Prefix& prefix) {
+void Speaker::best_changed(RouteType type, const net::Prefix& prefix,
+                           const RibEntry* entry) {
   // A received update flipped this speaker's best route: the change has
   // now "reached" this domain — record origination → here.
   if (remote_origin_ && update_origin_.ns() >= 0) {
     metrics_.route_convergence_latency->observe(
         (network_.events().now() - update_origin_).to_seconds());
   }
-  sync_all_peers(type, prefix);
+  sync_all_peers(type, prefix, entry);
   for (const RouteChangeListener& listener : listeners_) {
     listener(type, prefix);
   }
 }
 
 void Speaker::sync_all_peers(RouteType type, const net::Prefix& prefix) {
-  for (Peer& peer : peers_) sync_peer(type, prefix, peer);
+  sync_all_peers(type, prefix, rib(type).find(prefix));
+}
+
+void Speaker::sync_all_peers(RouteType type, const net::Prefix& prefix,
+                             const RibEntry* entry) {
+  // One context for the whole fan-out: the RIB lookup, cover check and
+  // exported-route intern happen once, not once per peer.
+  const SyncContext ctx = make_sync_context(type, prefix, entry);
+  for (Peer& peer : peers_) {
+    // No session, no updates: the channel-up full sync reconciles later.
+    if (!network_.is_up(peer.channel)) continue;
+    apply_desired(type, prefix, peer, desired_from_context(ctx, peer));
+  }
 }
 
 void Speaker::full_sync(Peer& peer) {

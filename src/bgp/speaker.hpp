@@ -154,9 +154,12 @@ class Speaker final : public net::Endpoint {
     /// BatchScope). `before` snapshots the Adj-RIB-Out content when the
     /// batch first touched the key, so churn that nets out to no wire
     /// change is dropped at flush. Keyed map: deterministic flush order.
+    /// Both sides are interned handles (null = absent/withdraw): ids are
+    /// canonical, so the flush netting check is an id compare and a batch
+    /// of applies costs refcount bumps, not Route copies.
     struct PendingDelta {
-      std::optional<Route> before;
-      std::optional<Route> latest;
+      RouteRef before;
+      RouteRef latest;
       net::SimTime origin_time = net::SimTime::nanoseconds(-1);
     };
     std::map<std::pair<RouteType, net::Prefix>, PendingDelta> pending;
@@ -221,13 +224,20 @@ class Speaker final : public net::Endpoint {
   void flush_updates();
 
   /// Best-route change fan-out: notifies listeners and resyncs peers.
-  void best_changed(RouteType type, const net::Prefix& prefix);
+  /// `entry` is the loc-RIB entry the triggering mutation touched (nullptr
+  /// when it was erased) — passed through so the fan-out does not repeat
+  /// the trie descent the mutation just performed.
+  void best_changed(RouteType type, const net::Prefix& prefix,
+                    const RibEntry* entry);
 
   /// Recomputes what `peer` should see for (type, prefix) and sends the
   /// delta (announcement or withdrawal), if any.
   void sync_peer(RouteType type, const net::Prefix& prefix, Peer& peer);
-  /// Syncs every peer for one prefix.
+  /// Syncs every peer for one prefix; the overload without an entry looks
+  /// the prefix up (used where no mutation pinpointed the entry).
   void sync_all_peers(RouteType type, const net::Prefix& prefix);
+  void sync_all_peers(RouteType type, const net::Prefix& prefix,
+                      const RibEntry* entry);
   /// Syncs `peer` for every prefix in every view (session establishment).
   void full_sync(Peer& peer);
   /// Re-evaluates all loc-RIB prefixes strictly inside `prefix` — needed
@@ -235,8 +245,49 @@ class Speaker final : public net::Endpoint {
   /// more-specifics aggregation suppresses.
   void resync_specifics(RouteType type, const net::Prefix& prefix);
 
-  [[nodiscard]] std::optional<Route> desired_advertisement(
-      RouteType type, const net::Prefix& prefix, const Peer& peer) const;
+  /// Per-prefix export state shared across every peer in one sync fan-out:
+  /// the loc-RIB best plus every part of the export decision that does not
+  /// depend on the peer. Hoists the RIB lookup, the aggregation cover check
+  /// and the eBGP route construction (an AS-path intern) out of the
+  /// per-peer loop — the dominant BGP cost at the 10k rung, where each
+  /// best-route change fans out to many peers.
+  struct SyncContext {
+    const Candidate* best = nullptr;        ///< nullptr: withdraw everywhere
+    const Speaker* learned_from = nullptr;  ///< split-horizon target
+    bool aggregation_suppressed = false;    ///< covered by an own origination
+    bool gao_blocked = false;  ///< provenance is not customer-or-local
+    /// The prepended/reset eBGP route — identical for every external peer
+    /// that passes the per-peer filters, so it is built (and its AS path
+    /// interned) lazily on the first peer that needs it, at most once.
+    mutable std::optional<Route> ebgp_export;
+    /// Lazily-interned handles for the two routes this fan-out can
+    /// advertise (the iBGP-carried best and the eBGP export). Interned on
+    /// the first peer that needs one and shared by the rest, so the
+    /// Adj-RIB-Out agree check is an id compare per peer, not a Route
+    /// compare, and the hash-cons lookup happens once per fan-out.
+    mutable RouteRef internal_ref;
+    mutable RouteRef ebgp_ref;
+  };
+  /// What one peer should be sent for the context's prefix: the route
+  /// (nullptr = withdraw) plus the context's intern-cache slot for it.
+  struct Desired {
+    const Route* route = nullptr;
+    RouteRef* ref = nullptr;  ///< non-null iff route is
+  };
+  [[nodiscard]] SyncContext make_sync_context(RouteType type,
+                                              const net::Prefix& prefix) const;
+  /// Same, with the loc-RIB entry already in hand (nullptr = no entry) —
+  /// skips the exact-match descent.
+  [[nodiscard]] SyncContext make_sync_context(RouteType type,
+                                              const net::Prefix& prefix,
+                                              const RibEntry* entry) const;
+  /// The peer-dependent tail of the export decision (split horizon, iBGP
+  /// reflection rules, loop suppression, relationship policy).
+  [[nodiscard]] Desired desired_from_context(const SyncContext& ctx,
+                                             const Peer& peer) const;
+  /// Reconciles one peer's Adj-RIB-Out with `desired`, queueing the delta.
+  void apply_desired(RouteType type, const net::Prefix& prefix, Peer& peer,
+                     const Desired& desired);
 
   net::Network& network_;
   DomainId as_;
@@ -274,6 +325,17 @@ class Speaker final : public net::Endpoint {
   /// Locally-originated prefixes per view.
   std::array<net::PrefixTrie<bool>, kRouteTypeCount> origins_;
   std::vector<Peer> peers_;
+  /// peers_[i].channel, hoisted into a flat ascending vector (channels are
+  /// allocated in connect order): peer_by_channel() binary-searches 4-byte
+  /// ids instead of striding across the full Peer structs per delivery.
+  std::vector<net::ChannelId> peer_channels_;
+  /// Peers whose pending map gained its first delta this batch. flush
+  /// sorts the indices, so the per-peer send order matches the full scan
+  /// it replaces exactly.
+  std::vector<PeerIndex> dirty_peers_;
+  /// flush_updates() scratch (swapped with dirty_peers_): keeps capacity
+  /// across batches and isolates the walk from re-entrant dirtying.
+  std::vector<PeerIndex> flush_order_;
   std::vector<RouteChangeListener> listeners_;
 
   /// Direct-mapped longest-match cache per view, invalidated by the RIB

@@ -1,11 +1,27 @@
 // Deterministic discrete-event scheduler — the heart of the ns-style
 // simulation. Events at equal timestamps fire in scheduling order, so a run
 // is a pure function of its inputs and seeds.
+//
+// Internally a ladder queue (a hierarchical calendar): a near-future window
+// ("bottom", a min-heap over one materialized bucket), lazily spawned
+// power-of-two time-bucketed rungs, and an unsorted far-future overflow tier
+// ("top"). Schedule and pop are amortized O(1) in the pending-event count —
+// unlike the previous global binary heap, whose O(log n) pointer-chasing
+// over fat entries dominated 10k-domain runs (the bottom heap's log is over
+// one bucket's burst, not every pending event). The hot sort key (time, seq)
+// is split from the cold payload (action, tag): bucket distribution and
+// heapification touch only 24-byte Key records, while the callable lives in
+// the recycled cancellation slot until the event fires.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <optional>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "net/small_function.hpp"
@@ -26,24 +42,52 @@ class EventQueue {
   /// Scheduled actions are move-only callables with inline storage: one
   /// scheduled event costs no heap allocation unless its captures exceed
   /// the inline buffer, and move-only captures (unique_ptr payloads) are
-  /// supported directly.
-  using Action = SmallFunction<void()>;
+  /// supported directly. 32 bytes covers every in-tree capture now that
+  /// message payloads ride the Network's per-link FIFOs instead of
+  /// delivery closures; larger captures fall back to the heap.
+  using Action = SmallFunction<void(), 32>;
   /// Wall-clock profiling hook: called after each event's action with the
   /// event's tag and the wall time the action took, in seconds.
   using Profiler = std::function<void(std::string_view tag, double seconds)>;
 
   /// Schedules `action` to run at absolute time `at` (must be >= now()).
   /// Throws std::invalid_argument on attempts to schedule in the past.
-  /// `tag` buckets the event for step profiling; it must be a string
-  /// literal (or otherwise outlive the queue) — it is stored unowned.
+  /// `tag` buckets the event for step profiling; it is interned (copied
+  /// into queue-owned storage) on first sight, so even a dangling tag
+  /// cannot corrupt profiling — but callers should still pass string
+  /// literals: the pointer-keyed intern memo assumes a pointer's content
+  /// never changes (debug builds assert it).
+  /// `partition_hint` is the sharded-execution seam: a per-domain subqueue
+  /// index carried on the event's key. Serial execution ignores it; a
+  /// future partitioned scheduler can split rungs by partition without
+  /// re-deriving ownership from the closures.
   EventId schedule_at(SimTime at, Action action,
-                      const char* tag = kDefaultEventTag);
+                      const char* tag = kDefaultEventTag,
+                      std::uint32_t partition_hint = 0);
 
   /// Schedules `action` to run `delay` from now.
   EventId schedule_in(SimTime delay, Action action,
-                      const char* tag = kDefaultEventTag) {
-    return schedule_at(now_ + delay, std::move(action), tag);
+                      const char* tag = kDefaultEventTag,
+                      std::uint32_t partition_hint = 0) {
+    return schedule_at(now_ + delay, std::move(action), tag, partition_hint);
   }
+
+  /// Reserves the next sequence number without scheduling anything.
+  /// Transports that queue messages in their own per-link FIFOs use this
+  /// to remember the exact (time, seq) position a message *would* have
+  /// occupied, then later make it fire there via schedule_reserved() —
+  /// preserving the global total order while keeping at most one pending
+  /// event per FIFO.
+  std::uint64_t reserve_seq() { return next_seq_++; }
+
+  /// Schedules `action` at an explicit (at, seq) position, with `seq`
+  /// previously obtained from reserve_seq(). The caller must ensure the
+  /// position has not already been passed: (at, seq) must sort after every
+  /// event that has run (asserted in debug builds). Reserved positions
+  /// must be scheduled at most once.
+  EventId schedule_reserved(SimTime at, std::uint64_t seq, Action action,
+                            const char* tag = kDefaultEventTag,
+                            std::uint32_t partition_hint = 0);
 
   /// Installs (or, with nullptr-like empty function, removes) the wall-clock
   /// profiler. When unset, step() does not read the clock at all, so the
@@ -58,10 +102,28 @@ class EventQueue {
   [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::uint64_t events_run() const { return events_run_; }
-  /// Largest heap size ever reached — the memory high-water mark of a run.
+  /// Largest number of stored keys (live plus lazily-cancelled, across
+  /// bottom, rungs and overflow) ever reached — the memory high-water
+  /// mark of a run. Name kept from the binary-heap implementation.
   [[nodiscard]] std::size_t heap_high_water() const {
-    return heap_high_water_;
+    return high_water_;
   }
+  /// Rungs currently live — structure depth for the net.event_queue_rungs
+  /// gauge (0 when everything pending fits the bottom window or overflow).
+  [[nodiscard]] std::size_t rung_count() const { return rungs_.size(); }
+
+  /// The (time, seq, partition_hint) key of the earliest live pending
+  /// event, or nullopt when drained. Discards lazily-cancelled entries it
+  /// encounters (their EventIds were already invalid), but never runs
+  /// anything. Delivery batching uses this as its order-exactness guard:
+  /// a FIFO follower may be delivered inline only if its reserved key
+  /// precedes every key still pending here.
+  struct NextKey {
+    SimTime at;
+    std::uint64_t seq = 0;
+    std::uint32_t partition = 0;
+  };
+  std::optional<NextKey> peek_next();
 
   /// Runs the next event. Returns false if the queue is empty.
   bool step();
@@ -76,26 +138,58 @@ class EventQueue {
   void run(std::uint64_t max_events = UINT64_MAX);
 
  private:
-  struct Entry {
-    SimTime at;
-    std::uint64_t seq = 0;  // tie-break: FIFO among equal timestamps
-    std::uint32_t slot = 0;  // cancellation slot (see slots_)
-    Action action;
-    const char* tag = kDefaultEventTag;  // unowned; string literal
-    // std::push_heap builds a max-heap; invert so the earliest event wins.
-    friend bool operator<(const Entry& a, const Entry& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  /// The hot sort key. 24 bytes, trivially copyable: rung distribution and
+  /// bottom sorts move only these, never the callables.
+  struct Key {
+    std::int64_t at = 0;         // absolute time, ns
+    std::uint64_t seq = 0;       // tie-break: FIFO among equal timestamps
+    std::uint32_t slot = 0;      // cancellation slot + payload (see slots_)
+    std::uint32_t partition = 0; // sharded-execution seam; unused serially
   };
+  static_assert(sizeof(Key) == 24, "Key must stay lean: rungs copy these");
 
-  /// Per-pending-event cancellation state. Slots are recycled through a
-  /// free list; the generation distinguishes a slot's successive tenants,
-  /// so a stale EventId can never cancel an unrelated later event.
+  static constexpr bool key_less(const Key& a, const Key& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+  /// Heap comparator: std::push_heap/pop_heap build max-heaps, so the
+  /// bottom min-heap uses the inverted order. (at, seq) pairs are unique,
+  /// so heap pops follow the exact total order regardless of layout.
+  static constexpr bool key_greater(const Key& a, const Key& b) {
+    return key_less(b, a);
+  }
+
+  /// Per-pending-event cancellation state and cold payload. Slots are
+  /// recycled through a free list; the generation distinguishes a slot's
+  /// successive tenants, so a stale EventId can never cancel an unrelated
+  /// later event.
   struct Slot {
     std::uint32_t generation = 0;
     bool cancelled = false;
+    const char* tag = kDefaultEventTag;  // interned; owned by the queue
+    Action action;
   };
+
+  /// One rung: a span of equal power-of-two-width time buckets. Keys in a
+  /// bucket are unsorted; a bucket is sorted exactly once, when it is
+  /// materialized into the bottom (or split into a finer rung). rungs_
+  /// orders coarse-to-fine: back() covers the earliest unconsumed span.
+  struct Rung {
+    std::int64_t start = 0;  // time of bucket 0
+    std::int64_t end = 0;    // exclusive coverage end (saturated)
+    int width_log2 = 0;      // bucket width = 1 << width_log2 ns
+    std::size_t cur = 0;     // first unconsumed bucket
+    std::vector<std::vector<Key>> buckets;
+  };
+
+  /// Buckets holding no more than this are heapified straight into the
+  /// bottom; larger ones spawn a finer rung instead (unless their width
+  /// is already 1 ns, i.e. one timestamp — nothing left to split).
+  static constexpr std::size_t kBottomThreshold = 48;
+  /// A spawned rung divides its parent bucket into 2^kSpawnLog2 buckets.
+  static constexpr int kSpawnLog2 = 6;
+  /// Retired bucket vectors kept for reuse, bounding allocator churn
+  /// without pinning unbounded memory after a burst.
+  static constexpr std::size_t kBucketPoolMax = 256;
 
   static constexpr std::uint32_t slot_of(EventId id) {
     return static_cast<std::uint32_t>(static_cast<std::uint64_t>(id));
@@ -106,21 +200,67 @@ class EventQueue {
 
   std::uint32_t allocate_slot();
   void free_slot(std::uint32_t slot);
+  const char* intern_tag(const char* tag);
 
-  // Pops the earliest non-cancelled entry; false when drained.
-  bool pop_next(Entry& out);
+  EventId schedule_key(SimTime at, std::uint64_t seq, Action action,
+                       const char* tag, std::uint32_t partition);
+  void insert_key(const Key& key);
+  void insert_into_rung(Rung& rung, const Key& key);
+  // Refill machinery: materializes buckets until the bottom holds the
+  // earliest pending keys. Returns false when the whole queue is drained.
+  bool ensure_bottom();
+  void spawn_rung(std::vector<Key>&& keys, std::int64_t start,
+                  std::int64_t end, int parent_width_log2);
+  void build_rung_from_top();
+  std::vector<Key> take_pooled_bucket();
+  void recycle_bucket(std::vector<Key>&& bucket);
+
+  // Pops the earliest non-cancelled key; false when drained.
+  bool pop_next(Key& out);
   // Advances now(), runs the action, and feeds the profiler if installed.
-  void run_entry(Entry& entry);
+  void run_entry(const Key& key);
 
   SimTime now_;
   Profiler profiler_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_run_ = 0;
-  std::size_t live_ = 0;  // scheduled minus run minus cancelled
-  std::size_t heap_high_water_ = 0;
-  std::vector<Entry> heap_;
+  std::size_t live_ = 0;    // scheduled minus run minus cancelled
+  std::size_t stored_ = 0;  // keys held, including lazily-cancelled ones
+  std::size_t high_water_ = 0;
+
+  // Bottom: binary min-heap on (time, seq) — the near-future window every
+  // pop comes from. Covers (-inf, bottom_end_): any schedule below
+  // bottom_end_ lands here in O(log size) with no memmove, which matters
+  // because reserved-seq arms (delivery FIFO heads) insert mid-order into
+  // the active quantum. Materializing a bucket is an O(n) heapify.
+  std::vector<Key> bottom_;
+  std::int64_t bottom_end_ = 0;
+
+  std::vector<Rung> rungs_;  // [0] coarsest/latest … back() finest/earliest
+
+  // Top: unsorted far future, covering [top_start_, +inf). Min/max are
+  // tracked on insert so one pass can size the rung built from it.
+  std::vector<Key> top_;
+  std::int64_t top_start_ = 0;
+  std::int64_t top_min_ = INT64_MAX;
+  std::int64_t top_max_ = INT64_MIN;
+
+  std::vector<std::vector<Key>> bucket_pool_;  // recycled bucket storage
+
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+
+  // Tag interning: owned copies (stable addresses) plus a pointer-keyed
+  // memo so the hot path is one pointer compare for a repeated literal.
+  std::deque<std::string> owned_tags_;
+  std::vector<std::pair<const char*, const char*>> tag_memo_;
+  const char* last_tag_ = nullptr;
+  const char* last_tag_interned_ = nullptr;
+
+#ifndef NDEBUG
+  std::int64_t last_run_at_ = INT64_MIN;  // guards schedule_reserved
+  std::uint64_t last_run_seq_ = 0;
+#endif
 };
 
 }  // namespace net

@@ -17,6 +17,7 @@ Network::Network(EventQueue& events, obs::Metrics* metrics)
       dropped_(&metrics_->counter("net.messages_dropped")),
       held_total_(&metrics_->counter("net.messages_held")),
       retransmitted_(&metrics_->counter("net.messages_retransmitted")),
+      batched_(&metrics_->counter("net.deliveries_batched")),
       delivered_by_domain_(
           &metrics_->sharded_counter("net.messages_delivered.by_domain")),
       delivery_latency_(&metrics_->histogram("net.delivery_latency")) {
@@ -25,15 +26,23 @@ Network::Network(EventQueue& events, obs::Metrics* metrics)
   metrics_->add_refresh_hook([this]() {
     metrics_->gauge("net.channels").set(static_cast<double>(channels_.size()));
     std::size_t held = 0;
-    for (const Channel& ch : channels_) held += ch.held.size();
+    std::size_t in_flight = 0;
+    for (const Channel& ch : channels_) {
+      held += ch.held.size();
+      in_flight += ch.to_a.flight.size() + ch.to_b.flight.size();
+    }
     metrics_->gauge("net.messages_in_partition_queues")
         .set(static_cast<double>(held));
+    metrics_->gauge("net.messages_in_flight")
+        .set(static_cast<double>(in_flight));
     metrics_->gauge("net.events_run")
         .set(static_cast<double>(events_.events_run()));
     metrics_->gauge("net.events_pending")
         .set(static_cast<double>(events_.pending()));
     metrics_->gauge("net.event_queue_high_water")
         .set(static_cast<double>(events_.heap_high_water()));
+    metrics_->gauge("net.event_queue_rungs")
+        .set(static_cast<double>(events_.rung_count()));
   });
 }
 
@@ -45,18 +54,6 @@ ChannelId Network::connect(Endpoint& a, Endpoint& b, SimTime one_way_latency) {
   }
   channels_.emplace_back(&a, &b, one_way_latency);
   return ChannelId{static_cast<std::uint32_t>(channels_.size() - 1)};
-}
-
-Network::Channel& Network::channel(ChannelId id) {
-  const auto idx = static_cast<std::size_t>(id);
-  if (idx >= channels_.size()) {
-    throw std::out_of_range("Network: bad channel id");
-  }
-  return channels_[idx];
-}
-
-const Network::Channel& Network::channel(ChannelId id) const {
-  return const_cast<Network*>(this)->channel(id);
 }
 
 void Network::record_span(obs::SpanEvent::Kind kind, const Message& msg,
@@ -147,28 +144,79 @@ void Network::schedule_delivery(ChannelId id, Endpoint* to,
   // in-order property survives.
   Channel& ch = channel(id);
   SimTime deliver_at = events_.now() + latency + disturbance_delay();
-  SimTime& floor = to == ch.b ? ch.floor_to_b : ch.floor_to_a;
-  if (deliver_at < floor) deliver_at = floor;
-  floor = deliver_at;
-  // A TCP reset (drop_when_down channel going down) invalidates in-flight
-  // segments: the delivery closure carries the session epoch it was sent
-  // under and is discarded on mismatch.
-  const std::uint32_t epoch = ch.epoch;
-  // The scheduled action is a move-only SmallFunction, so the message
-  // unique_ptr rides in the closure directly with no extra allocation.
-  events_.schedule_in(
-      deliver_at - events_.now(),
-      [this, id, to, msg = std::move(msg), sent_at, epoch]() mutable {
-        Channel& target = channel(id);
-        if (target.epoch != epoch) {
-          dropped_->inc();
-          record_span(obs::SpanEvent::Kind::kDrop, *msg, peer_of(id, *to),
-                      *to);
-          return;
-        }
-        deliver(id, *to, std::move(msg), sent_at);
-      },
-      "net.deliver");
+  const bool toward_b = to == ch.b;
+  Direction& dir = toward_b ? ch.to_b : ch.to_a;
+  if (deliver_at < dir.floor) deliver_at = dir.floor;
+  dir.floor = deliver_at;
+  // The seq is reserved here — at the exact point the per-message closure
+  // used to be scheduled — so the message keeps the same (deliver_at, seq)
+  // slot in the global order it always had, while riding the direction's
+  // FIFO instead of the event queue.
+  dir.flight.push_back(InFlight{std::move(msg), deliver_at, sent_at,
+                                events_.reserve_seq(), ch.epoch});
+  arm_direction(id, toward_b);
+}
+
+void Network::arm_direction(ChannelId id, bool toward_b) {
+  Channel& ch = channel(id);
+  Direction& dir = toward_b ? ch.to_b : ch.to_a;
+  if (dir.timer_armed || dir.draining || dir.flight.empty()) return;
+  dir.timer_armed = true;
+  const InFlight& head = dir.flight.front();
+  const Endpoint* to = toward_b ? ch.b : ch.a;
+  events_.schedule_reserved(
+      head.deliver_at, head.seq,
+      [this, id, toward_b]() { drain_direction(id, toward_b); }, "net.deliver",
+      static_cast<std::uint32_t>(to->owner_id()));
+}
+
+void Network::drain_direction(ChannelId id, bool toward_b) {
+  {
+    Direction& dir = toward_b ? channel(id).to_b : channel(id).to_a;
+    dir.timer_armed = false;
+    // Sends from handlers below land in this FIFO; defer re-arming so the
+    // loop (not a nested schedule) decides what the head's event is.
+    dir.draining = true;
+  }
+  bool first = true;
+  for (;;) {
+    // Re-fetch every iteration: a handler may connect() (reallocating
+    // channels_) or mutate this direction.
+    Channel& ch = channel(id);
+    Direction& dir = toward_b ? ch.to_b : ch.to_a;
+    if (dir.flight.empty()) break;
+    if (!first) {
+      // A follower may be carried by the head's event only if nothing
+      // else can legally run first: same delivery instant, and its
+      // reserved key precedes every key still pending in the queue. This
+      // makes batching invisible to the global (time, seq) order.
+      const InFlight& next = dir.flight.front();
+      if (next.deliver_at != events_.now()) break;
+      if (const auto pending = events_.peek_next()) {
+        const bool precedes =
+            next.deliver_at < pending->at ||
+            (pending->at == next.deliver_at && next.seq < pending->seq);
+        if (!precedes) break;
+      }
+      batched_->inc();
+    }
+    first = false;
+    InFlight item = std::move(dir.flight.front());
+    dir.flight.pop_front();
+    // A TCP reset (drop_when_down channel going down) invalidates
+    // in-flight segments: discard on session-epoch mismatch, at the exact
+    // time the delivery would have happened.
+    if (item.epoch != ch.epoch) {
+      dropped_->inc();
+      Endpoint& to = toward_b ? *ch.b : *ch.a;
+      record_span(obs::SpanEvent::Kind::kDrop, *item.msg, peer_of(id, to), to);
+      continue;
+    }
+    deliver(id, toward_b ? *ch.b : *ch.a, std::move(item.msg), item.sent_at);
+  }
+  Direction& dir = toward_b ? channel(id).to_b : channel(id).to_a;
+  dir.draining = false;
+  arm_direction(id, toward_b);
 }
 
 void Network::deliver(ChannelId id, Endpoint& to, std::unique_ptr<Message> msg,
@@ -225,8 +273,6 @@ void Network::set_disturbance(const Disturbance& disturbance, Rng* rng) {
   disturbance_ = disturbance;
   disturbance_rng_ = rng;
 }
-
-bool Network::is_up(ChannelId id) const { return channel(id).up; }
 
 void Network::set_drop_when_down(ChannelId id, bool drop) {
   channel(id).drop_when_down = drop;

@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -129,7 +130,11 @@ class Network {
 
   /// Partition control. Transition notifications go to both endpoints.
   void set_up(ChannelId channel, bool up);
-  [[nodiscard]] bool is_up(ChannelId channel) const;
+  // In-class so the call inlines: BGP consults this per peer on every
+  // sync fan-out (tens of millions of calls at the 10k rung).
+  [[nodiscard]] bool is_up(ChannelId channel) const {
+    return this->channel(channel).up;
+  }
 
   /// Loss semantics while down: by default messages queue and flush on
   /// heal (TCP retransmission across a short outage — what MASC's waiting
@@ -228,11 +233,35 @@ class Network {
     std::unique_ptr<Message> msg;
     SimTime sent_at;  // original send time: held time counts as latency
   };
+  /// One message travelling a channel direction. Messages ride this FIFO
+  /// instead of per-message event closures: `seq` is reserved from the
+  /// event queue at send time, so the message still occupies its exact
+  /// (deliver_at, seq) slot in the global total order, but the queue holds
+  /// at most one pending event per direction (the head's timer).
+  struct InFlight {
+    std::unique_ptr<Message> msg;
+    SimTime deliver_at;
+    SimTime sent_at;
+    std::uint64_t seq;
+    // Transport-session generation the message was sent under; a reset
+    // (drop_when_down channel going down) strands it and it is discarded,
+    // at its original delivery time, on epoch mismatch.
+    std::uint32_t epoch;
+  };
+  struct Direction {
+    std::deque<InFlight> flight;
+    // In-order floor: no delivery may be scheduled earlier than the
+    // latest one already scheduled in this direction. Only binding under
+    // disturbance jitter (fixed latency is monotone anyway).
+    SimTime floor;
+    bool timer_armed = false;  // one drain event pending for the head
+    bool draining = false;     // re-arm deferred until the drain returns
+  };
   struct Channel {
     Channel(Endpoint* a_in, Endpoint* b_in, SimTime latency_in)
         : a(a_in), b(b_in), latency(latency_in) {}
-    // Move-only: held messages are unique_ptrs, and vector reallocation
-    // must move rather than attempt a copy.
+    // Move-only: held/in-flight messages are unique_ptrs, and vector
+    // reallocation must move rather than attempt a copy.
     Channel(Channel&&) noexcept = default;
     Channel& operator=(Channel&&) noexcept = default;
 
@@ -241,26 +270,40 @@ class Network {
     SimTime latency;
     bool up = true;
     bool drop_when_down = false;
-    // Transport-session generation. Bumped when a drop_when_down channel
-    // goes down (session reset); in-flight deliveries carry the epoch they
-    // were sent under and are discarded on mismatch.
+    // Transport-session generation (see InFlight::epoch).
     std::uint32_t epoch = 0;
-    // Per-direction in-order floor: no delivery may be scheduled earlier
-    // than the latest one already scheduled in the same direction. Only
-    // binding under disturbance jitter (fixed latency is monotone anyway).
-    SimTime floor_to_a;
-    SimTime floor_to_b;
+    Direction to_a;
+    Direction to_b;
     // Messages held during a partition, per destination order of send.
     std::deque<QueuedMsg> held;
   };
 
-  Channel& channel(ChannelId id);
-  const Channel& channel(ChannelId id) const;
+  // Inline: every send/deliver/drain resolves its channel through these.
+  Channel& channel(ChannelId id) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (idx >= channels_.size()) {
+      throw std::out_of_range("Network: bad channel id");
+    }
+    return channels_[idx];
+  }
+  const Channel& channel(ChannelId id) const {
+    return const_cast<Network*>(this)->channel(id);
+  }
   void deliver(ChannelId id, Endpoint& to, std::unique_ptr<Message> msg,
                SimTime sent_at);
   void schedule_delivery(ChannelId id, Endpoint* to,
                          std::unique_ptr<Message> msg, SimTime sent_at,
                          SimTime latency);
+  /// Schedules the drain event for a direction's head message at its exact
+  /// reserved (deliver_at, seq) position. No-op if already armed, mid-
+  /// drain, or idle.
+  void arm_direction(ChannelId id, bool toward_b);
+  /// Delivers the direction's head, then keeps draining inline as long as
+  /// the next message is provably the globally next event (same delivery
+  /// quantum and its reserved key precedes everything pending in the event
+  /// queue) — one scheduled event carries a whole same-link batch without
+  /// changing arrival order. Re-arms for the new head on exit.
+  void drain_direction(ChannelId id, bool toward_b);
   [[nodiscard]] SimTime disturbance_delay();
   void record_span(obs::SpanEvent::Kind kind, const Message& msg,
                    const Endpoint& from, const Endpoint& to);
@@ -275,6 +318,7 @@ class Network {
   obs::Counter* dropped_;
   obs::Counter* held_total_;  // messages that entered a partition queue
   obs::Counter* retransmitted_;  // disturbance-model extra transmissions
+  obs::Counter* batched_;  // deliveries carried inline by another's event
   // Per-domain heavy-hitter view of deliveries, keyed by the receiving
   // endpoint's owner_id() — which domain is hot, not just how much total.
   obs::ShardedCounter* delivered_by_domain_;

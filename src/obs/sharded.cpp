@@ -17,34 +17,64 @@ bool item_order(const ShardedItem& a, const ShardedItem& b) {
 
 void ShardedCounter::add(std::uint64_t key, std::uint64_t n) {
   total_ += n;
+  // Attribution is bursty (one domain's sync storm produces a run of adds
+  // for the same key): a one-entry cache turns the run into a direct slot
+  // hit, skipping the hash lookup that otherwise dominates this path.
+  if (last_slot_ != UINT32_MAX && slots_[last_slot_].key == key) {
+    slots_[last_slot_].count += n;
+    return;
+  }
   const auto hit = index_.find(key);
   if (hit != index_.end()) {
+    last_slot_ = hit->second;
     slots_[hit->second].count += n;
     return;
   }
   if (slots_.size() < capacity_) {
-    index_.emplace(key, static_cast<std::uint32_t>(slots_.size()));
+    last_slot_ = static_cast<std::uint32_t>(slots_.size());
+    index_.emplace(key, last_slot_);
     slots_.push_back(Slot{key, n, 0});
     return;
   }
   // Space-saving eviction: the minimum-count slot is replaced, and its
   // count is inherited as the newcomer's floor — so the stored count stays
   // an upper bound on the true count and `error` bounds the overestimate.
-  // Ties evict the largest key, keeping the scan deterministic.
-  std::size_t victim = 0;
-  for (std::size_t i = 1; i < slots_.size(); ++i) {
-    if (slots_[i].count < slots_[victim].count ||
-        (slots_[i].count == slots_[victim].count &&
-         slots_[i].key > slots_[victim].key)) {
-      victim = i;
-    }
-  }
+  // Ties evict the largest key, keeping the choice deterministic.
+  const std::uint32_t victim = take_victim();
   Slot& slot = slots_[victim];
   index_.erase(slot.key);
-  index_.emplace(key, static_cast<std::uint32_t>(victim));
+  index_.emplace(key, victim);
   slot.error = slot.count;
   slot.count += n;
   slot.key = key;
+  last_slot_ = victim;
+}
+
+std::uint32_t ShardedCounter::take_victim() {
+  for (;;) {
+    while (!min_stack_.empty()) {
+      const std::uint32_t candidate = min_stack_.back();
+      min_stack_.pop_back();
+      // Still at the level? Counts only grow, so any slot that left the
+      // level is legitimately no longer minimal — and any slot AT the
+      // level is on the stack (nothing can fall back down to it).
+      if (slots_[candidate].count == min_level_) return candidate;
+    }
+    // Level exhausted: the true minimum rose above min_level_. One scan
+    // establishes the new level and every slot holding it.
+    min_level_ = UINT64_MAX;
+    for (const Slot& slot : slots_) min_level_ = std::min(min_level_, slot.count);
+    min_stack_.clear();
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].count == min_level_) min_stack_.push_back(i);
+    }
+    // Key-ascending so pop_back yields the largest key first — the same
+    // victim order the full scan produced.
+    std::sort(min_stack_.begin(), min_stack_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return slots_[a].key < slots_[b].key;
+              });
+  }
 }
 
 std::uint64_t ShardedCounter::count_of(std::uint64_t key) const {

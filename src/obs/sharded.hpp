@@ -70,11 +70,28 @@ class ShardedCounter {
     std::uint64_t error;
   };
 
+  /// The eviction victim: the minimum-count slot, ties broken toward the
+  /// largest key. Pops from the lazily-maintained min-level stack; rebuilt
+  /// by scanning only when the current level is exhausted.
+  [[nodiscard]] std::uint32_t take_victim();
+
   std::size_t capacity_;
   std::size_t export_top_;
   std::uint64_t total_ = 0;
   std::vector<Slot> slots_;  // insertion order; index_ maps key -> slot
   std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  /// Last slot add() touched (UINT32_MAX: none): repeated adds for the
+  /// same key — the common bursty pattern — skip the hash lookup.
+  std::uint32_t last_slot_ = UINT32_MAX;
+  /// Eviction support: counts never decrease, so the minimum count is
+  /// monotone. `min_level_` is the count of the most recent full scan and
+  /// `min_stack_` the slots that held it, key-ascending (back = largest
+  /// key = next victim). A slot bumped past the level is detected (and
+  /// skipped) at pop time, so each miss costs an amortized O(1) pop and a
+  /// full O(capacity) rescan happens only when a level empties — not on
+  /// every eviction, which at 10k domains made add() scan-bound.
+  std::uint64_t min_level_ = 0;
+  std::vector<std::uint32_t> min_stack_;
 };
 
 /// Exact bounded top-K over values streamed in full once per epoch.

@@ -25,17 +25,22 @@ const Group kGroup = Ipv4Addr::parse("224.0.128.1");
 // Flat target containers must keep std::map/std::set semantics: sorted
 // iteration, refcount slots created at zero, erase by key or iterator.
 TEST(TargetList, KeepsMapSemantics) {
+  // Fake routers never dereferenced: keys are built directly so the test
+  // controls the stable `order` field (normally the peer's domain id).
   bgmp::Router* const fake_a = reinterpret_cast<bgmp::Router*>(0x10);
   bgmp::Router* const fake_b = reinterpret_cast<bgmp::Router*>(0x20);
+  const bgmp::TargetKey key_a{bgmp::TargetKey::Kind::kPeer, fake_a, 1};
+  const bgmp::TargetKey key_b{bgmp::TargetKey::Kind::kPeer, fake_b, 2};
   bgmp::TargetList list;
   EXPECT_TRUE(list.empty());
-  ++list[bgmp::TargetKey::external(fake_b)];
-  ++list[bgmp::TargetKey::external(fake_a)];
-  ++list[bgmp::TargetKey::external(fake_a)];
+  ++list[key_b];
+  ++list[key_a];
+  ++list[key_a];
   ++list[bgmp::TargetKey::migp()];
   EXPECT_EQ(list.size(), 3u);
   EXPECT_TRUE(list.contains(bgmp::TargetKey::migp()));
-  // Iteration is sorted by TargetKey: migp before peers, peers by address.
+  // Iteration is sorted by TargetKey: migp before peers, peers by their
+  // stable domain-id order — never by pointer value.
   std::vector<bgmp::TargetKey> order;
   for (const auto& [key, refs] : list) {
     (void)refs;
@@ -43,26 +48,27 @@ TEST(TargetList, KeepsMapSemantics) {
   }
   ASSERT_EQ(order.size(), 3u);
   EXPECT_EQ(order[0], bgmp::TargetKey::migp());
-  EXPECT_EQ(order[1], bgmp::TargetKey::external(fake_a));
-  EXPECT_EQ(order[2], bgmp::TargetKey::external(fake_b));
-  const auto it = list.find(bgmp::TargetKey::external(fake_a));
+  EXPECT_EQ(order[1], key_a);
+  EXPECT_EQ(order[2], key_b);
+  const auto it = list.find(key_a);
   ASSERT_NE(it, list.end());
   EXPECT_EQ(it->second, 2);
-  EXPECT_EQ(list.erase(bgmp::TargetKey::external(fake_b)), 1u);
-  EXPECT_EQ(list.erase(bgmp::TargetKey::external(fake_b)), 0u);
+  EXPECT_EQ(list.erase(key_b), 1u);
+  EXPECT_EQ(list.erase(key_b), 0u);
   list.erase(list.find(bgmp::TargetKey::migp()));
   EXPECT_EQ(list.size(), 1u);
 }
 
 TEST(TargetSet, DeduplicatesAndSorts) {
   bgmp::Router* const fake = reinterpret_cast<bgmp::Router*>(0x10);
+  const bgmp::TargetKey key{bgmp::TargetKey::Kind::kPeer, fake, 1};
   bgmp::TargetSet set;
-  set.insert(bgmp::TargetKey::external(fake));
+  set.insert(key);
   set.insert(bgmp::TargetKey::migp());
-  set.insert(bgmp::TargetKey::external(fake));
+  set.insert(key);
   EXPECT_EQ(set.size(), 2u);
   EXPECT_TRUE(set.contains(bgmp::TargetKey::migp()));
-  EXPECT_TRUE(set.contains(bgmp::TargetKey::external(fake)));
+  EXPECT_TRUE(set.contains(key));
 }
 
 struct DeliveryLog {
