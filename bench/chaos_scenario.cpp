@@ -6,7 +6,8 @@
 // Usage:
 //   chaos_scenario [--seeds N | --seed S] [--domains D] [--steps T]
 //                  [--check-every K] [--loss P] [--reorder P]
-//                  [--groups G] [--joins J] [--out FILE] [--check]
+//                  [--groups G] [--joins J] [--threads N] [--out FILE]
+//                  [--check]
 //                  [--inject-skip-waiting] [--expect-violations]
 //                  [--telemetry] [--telemetry-interval SEC]
 //                  [--span-sample RATE]
@@ -57,6 +58,8 @@ int main(int argc, char** argv) {
   args.opt("--reorder", &base.reorder_rate, "base transport reorder rate");
   args.opt("--groups", &base.groups, "groups to lease (0 = domains/4)");
   args.opt("--joins", &base.joins, "initial member joins per group");
+  args.opt("--threads", &base.threads,
+           "execution width per seed (byte-identical schedule at any value)");
   args.opt("--out", &out_path, "write the JSON records here");
   args.flag("--check", &gate, "exit 1 unless every seed passes");
   args.flag("--inject-skip-waiting", &inject_skip_waiting,

@@ -115,6 +115,7 @@ Results run_scenario(const eval::ScenarioSpec& spec,
   const auto start = Clock::now();
 
   core::Internet net(spec.seed);
+  net.set_threads(spec.threads);
   // Declared after the internet so it detaches before the network dies.
   std::optional<eval::TelemetrySession> telemetry;
   if (spec.telemetry.enabled()) telemetry.emplace(net, spec.telemetry);
@@ -271,7 +272,8 @@ void write_rung(const Results& r, std::ostream& os, const char* indent) {
      << ", \"groups\": " << s.groups << ", \"joins\": " << s.joins
      << ", \"seed\": " << s.seed << ", \"max_tops\": " << s.max_tops
      << ", \"active_children\": " << s.active_children
-     << ", \"flap_pairs\": " << s.flap_pairs << "},\n"
+     << ", \"flap_pairs\": " << s.flap_pairs
+     << ", \"threads\": " << s.threads << "},\n"
      << indent << "\"wall_seconds\": " << r.wall_seconds << ",\n"
      << indent << "\"events_run\": " << r.events_run << ",\n"
      << indent << "\"events_per_second\": " << r.events_per_second << ",\n"
@@ -361,6 +363,9 @@ bool params_match(const Results& now, const std::string& base) {
     return scrape(base, key, p) ? static_cast<std::uint64_t>(p) == want
                                 : want == 0;
   };
+  // `threads` is deliberately not matched: execution width never changes
+  // the deterministic outputs, so a --threads 4 run checks cleanly
+  // against a --threads 1 baseline (that equality is the whole point).
   return required("domains", static_cast<std::uint64_t>(now.spec.domains)) &&
          required("groups", static_cast<std::uint64_t>(now.spec.groups)) &&
          required("joins", static_cast<std::uint64_t>(now.spec.joins)) &&
@@ -533,6 +538,9 @@ int main(int argc, char** argv) {
            "cap how many children source traffic (0 = all)");
   args.opt("--flap-pairs", &spec.flap_pairs,
            "cap the ring pairs flapped in phase 3 (0 = all)");
+  args.opt("--threads", &spec.threads,
+           "execution width (1 = serial; >1 = partition-sharded parallel "
+           "executor, byte-identical schedule)");
   args.opt("--ladder", &ladder,
            "run one rung per domain count, ascending (csv); rungs > 512 "
            "domains apply the scale caps");

@@ -2,9 +2,18 @@
 
 namespace bgp {
 
+namespace {
+thread_local PathTable* t_path_table_override = nullptr;
+}  // namespace
+
 PathTable& PathTable::instance() {
+  if (t_path_table_override != nullptr) return *t_path_table_override;
   thread_local PathTable table;
   return table;
+}
+
+void PathTable::bind_thread(PathTable* table) {
+  t_path_table_override = table;
 }
 
 std::uint64_t PathTable::hash_hops(const DomainId* hops, std::size_t count) {
@@ -19,6 +28,15 @@ std::uint64_t PathTable::hash_hops(const DomainId* hops, std::size_t count) {
 }
 
 std::uint32_t PathTable::intern(const DomainId* hops, std::size_t count) {
+  if (obs::concurrent()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return intern_locked(hops, count);
+  }
+  return intern_locked(hops, count);
+}
+
+std::uint32_t PathTable::intern_locked(const DomainId* hops,
+                                       std::size_t count) {
   ++stats_.interned;
   if (count == 0) {
     ++stats_.hits;
@@ -39,7 +57,9 @@ std::uint32_t PathTable::intern(const DomainId* hops, std::size_t count) {
     }
     if (equal) {
       ++stats_.hits;
-      ++e.refs;
+      // May resurrect an entry a decref just dropped to zero refs: that
+      // decref re-checks the count once it takes the mutex and backs off.
+      obs::counter_add(e.refs, 1);
       return id;
     }
   }
@@ -48,13 +68,12 @@ std::uint32_t PathTable::intern(const DomainId* hops, std::size_t count) {
     id = free_ids_.back();
     free_ids_.pop_back();
   } else {
-    entries_.emplace_back();
-    id = static_cast<std::uint32_t>(entries_.size() - 1);
+    id = static_cast<std::uint32_t>(entries_.emplace_back());
   }
   Entry& e = entries_[id];
   e.hops.assign(hops, hops + count);
   e.hash = hash;
-  e.refs = 1;
+  e.refs.store(1, std::memory_order_relaxed);
   e.next = buckets_[bucket];
   buckets_[bucket] = id;
   ++live_;
@@ -65,7 +84,23 @@ std::uint32_t PathTable::intern(const DomainId* hops, std::size_t count) {
 
 void PathTable::decref(std::uint32_t id) {
   Entry& e = entries_[id];
-  if (--e.refs != 0) return;
+  if (obs::concurrent()) {
+    if (e.refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    // intern_locked may have resurrected the entry between the decrement
+    // and the lock; it is only dead if the count is still zero here.
+    if (e.refs.load(std::memory_order_relaxed) != 0) return;
+    release(id, e);
+    return;
+  }
+  const std::uint32_t left =
+      e.refs.load(std::memory_order_relaxed) - 1;
+  e.refs.store(left, std::memory_order_relaxed);
+  if (left != 0) return;
+  release(id, e);
+}
+
+void PathTable::release(std::uint32_t id, Entry& e) {
   unlink(id);
   e.hops.clear();
   free_ids_.push_back(id);
@@ -83,14 +118,19 @@ void PathTable::unlink(std::uint32_t id) {
 
 void PathTable::maybe_grow_buckets() {
   if (live_ < buckets_.size()) return;  // load factor < 1
-  const std::size_t new_size = buckets_.size() * 2;
-  std::vector<std::uint32_t> fresh(new_size, 0);
-  for (std::uint32_t id = 1; id < entries_.size(); ++id) {
-    Entry& e = entries_[id];
-    if (e.refs == 0) continue;
-    const std::size_t bucket = e.hash & (new_size - 1);
-    e.next = fresh[bucket];
-    fresh[bucket] = id;
+  // Relink by walking the old chains, not by scanning entries for nonzero
+  // refs: a worker's decref can leave a still-linked entry at zero refs
+  // until its locked release runs, and dropping it here would strand that
+  // pending unlink on a chain that no longer contains the id.
+  std::vector<std::uint32_t> fresh(buckets_.size() * 2, 0);
+  for (std::uint32_t head : buckets_) {
+    for (std::uint32_t id = head; id != 0;) {
+      const std::uint32_t next = entries_[id].next;
+      const std::size_t bucket = entries_[id].hash & (fresh.size() - 1);
+      entries_[id].next = fresh[bucket];
+      fresh[bucket] = id;
+      id = next;
+    }
   }
   buckets_ = std::move(fresh);
 }

@@ -16,12 +16,28 @@
 // each worker's id space is independent. Ids are an implementation detail —
 // they are never ordered, persisted, or compared across threads; all
 // observable behaviour flows through the hop sequences they name.
+//
+// The parallel executor is the one exception to thread confinement: its
+// workers execute events of *one* simulation, whose routes were interned on
+// the coordinator thread, so each worker binds its instance() to the
+// coordinator's table (bind_thread). While workers are live
+// (obs::concurrent()) refcounts flip to atomic RMW and the structural
+// operations — intern, the release path of a dying entry, bucket growth —
+// serialize on a table mutex; the dominant traffic (incref/decref on routes
+// with other refs outstanding, reading hops through a held ref) stays
+// lock-free. Entries live in a ChunkedStore so a concurrent append under
+// the lock never moves an entry another thread is reading.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <mutex>
 #include <vector>
+
+#include "net/chunked_store.hpp"
+#include "obs/concurrency.hpp"
 
 namespace bgp {
 
@@ -89,6 +105,12 @@ class PathTable {
  public:
   static PathTable& instance();
 
+  /// Points this thread's instance() at `table` (nullptr restores the
+  /// thread's own). The parallel executor binds its workers to the
+  /// coordinator's table so one simulation's path ids stay canonical
+  /// across the pool.
+  static void bind_thread(PathTable* table);
+
   struct Stats {
     std::uint64_t interned = 0;    ///< intern() calls (incl. prepends)
     std::uint64_t hits = 0;        ///< served an existing entry
@@ -113,13 +135,19 @@ class PathTable {
   struct Entry {
     std::vector<DomainId> hops;
     std::uint64_t hash = 0;
-    std::uint32_t refs = 0;
+    std::atomic<std::uint32_t> refs{0};
     std::uint32_t next = 0;  ///< hash-bucket chain (0 = end)
   };
 
+  /// entries_[0] is a permanent dummy so id 0 (the empty path) needs no
+  /// bookkeeping anywhere.
+  PathTable() { entries_.emplace_back(); }
+
   std::uint32_t intern(const DomainId* hops, std::size_t count);
-  void incref(std::uint32_t id) { entries_[id].refs++; }
+  std::uint32_t intern_locked(const DomainId* hops, std::size_t count);
+  void incref(std::uint32_t id) { obs::counter_add(entries_[id].refs, 1); }
   void decref(std::uint32_t id);
+  void release(std::uint32_t id, Entry& e);
   [[nodiscard]] const Entry& entry(std::uint32_t id) const {
     return entries_[id];
   }
@@ -129,15 +157,16 @@ class PathTable {
 
   static std::uint64_t hash_hops(const DomainId* hops, std::size_t count);
 
-  /// entries_[0] is a permanent dummy so id 0 (the empty path) needs no
-  /// bookkeeping anywhere.
-  std::vector<Entry> entries_{1};
+  net::ChunkedStore<Entry> entries_;
   std::vector<std::uint32_t> free_ids_;
   /// Power-of-two open hash: bucket -> first entry id, chained via
   /// Entry::next.
   std::vector<std::uint32_t> buckets_ = std::vector<std::uint32_t>(64, 0);
   std::size_t live_ = 0;
   Stats stats_;
+  /// Guards the structural state (buckets, chains, free list, stats) while
+  /// parallel-executor workers are live; untouched in serial phases.
+  std::mutex mutex_;
 };
 
 // Refcount traffic is the cost of every Route copy — keep it inline.

@@ -4,12 +4,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "net/chunked_store.hpp"
 #include "net/prefix.hpp"
 #include "net/prefix_trie.hpp"
 #include "bgp/types.hpp"
+#include "obs/concurrency.hpp"
 
 namespace bgp {
 
@@ -49,12 +52,23 @@ struct Candidate {
 /// the slots (the net::PrefixTrie pool idiom, thread-confined like
 /// bgp::PathTable). Blocks are fixed-size, so Candidate pointers handed
 /// out by best() stay stable until that candidate is removed.
+///
+/// Under the parallel executor, workers bind to the coordinator's arena
+/// (bind_thread, like the intern tables): slot contents stay shard-private
+/// — a RibEntry's chain belongs to one domain — but the free list is
+/// shared, so allocate()/release() serialize on a mutex while workers are
+/// live (obs::concurrent()). Chain reads/writes through held indices stay
+/// lock-free.
 class CandidateArena {
  public:
   static constexpr std::uint32_t kNil = UINT32_MAX;
 
   /// The calling thread's arena (simulations are thread-confined).
   static CandidateArena& instance();
+
+  /// Points this thread's instance() at `arena` (nullptr restores the
+  /// thread's own). See PathTable::bind_thread.
+  static void bind_thread(CandidateArena* arena);
 
   /// Takes a slot (reusing freed ones first), returning its index. The
   /// slot's chain link starts at kNil.
@@ -77,7 +91,7 @@ class CandidateArena {
 
   [[nodiscard]] std::size_t live() const { return live_; }
   [[nodiscard]] std::size_t capacity_bytes() const {
-    return blocks_.size() * kBlockSlots * sizeof(Slot);
+    return slots_.capacity() * sizeof(Slot);
   }
   static constexpr std::size_t slot_bytes();
 
@@ -88,17 +102,21 @@ class CandidateArena {
   };
   static constexpr std::uint32_t kBlockSlots = 1024;
 
-  [[nodiscard]] Slot& slot(std::uint32_t index) {
-    return blocks_[index / kBlockSlots][index % kBlockSlots];
-  }
+  std::uint32_t allocate_locked(Candidate value);
+  void release_locked(std::uint32_t index);
+
+  [[nodiscard]] Slot& slot(std::uint32_t index) { return slots_[index]; }
   [[nodiscard]] const Slot& slot(std::uint32_t index) const {
-    return blocks_[index / kBlockSlots][index % kBlockSlots];
+    return slots_[index];
   }
 
-  std::vector<std::unique_ptr<Slot[]>> blocks_;
+  // 64k chunks of 1k slots: a fixed 512KB directory buys the same ceiling
+  // headroom the old unbounded block vector had.
+  net::ChunkedStore<Slot, kBlockSlots, 65536> slots_;
   std::uint32_t free_head_ = kNil;
-  std::uint32_t allocated_ = 0;  ///< high-water slot count
   std::size_t live_ = 0;
+  /// Guards the free list while parallel-executor workers are live.
+  std::mutex mutex_;
 };
 
 constexpr std::size_t CandidateArena::slot_bytes() { return sizeof(Slot); }

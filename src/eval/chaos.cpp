@@ -55,6 +55,7 @@ ChaosResult run_chaos(const ChaosConfig& config) {
   spec.track_members = true;  // churn needs coherent member sets
 
   core::Internet net(config.seed);
+  net.set_threads(config.threads);
   // Declared after the internet (destroyed first — see telemetry.hpp);
   // attached before the workload so setup-phase convergence is covered too.
   std::optional<TelemetrySession> telemetry;

@@ -18,16 +18,20 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "net/chunked_store.hpp"
 #include "net/small_function.hpp"
 #include "net/time.hpp"
 
 namespace net {
+
+class ParallelExecutor;
 
 /// Handle for cancelling a scheduled event. Packs a slot index and a
 /// generation counter, so a stale handle (the event already ran or was
@@ -57,10 +61,12 @@ class EventQueue {
   /// cannot corrupt profiling — but callers should still pass string
   /// literals: the pointer-keyed intern memo assumes a pointer's content
   /// never changes (debug builds assert it).
-  /// `partition_hint` is the sharded-execution seam: a per-domain subqueue
-  /// index carried on the event's key. Serial execution ignores it; a
-  /// future partitioned scheduler can split rungs by partition without
-  /// re-deriving ownership from the closures.
+  /// `partition_hint` is the sharded-execution seam: the owning domain's
+  /// id, carried on the event's key. Serial execution ignores it; the
+  /// parallel executor (net/parallel.hpp) groups a quantum's events by
+  /// the hint's shard without re-deriving ownership from the closures.
+  /// Hint 0 (unattributable) forces the event's quantum onto the serial
+  /// fallback path.
   EventId schedule_at(SimTime at, Action action,
                       const char* tag = kDefaultEventTag,
                       std::uint32_t partition_hint = 0);
@@ -125,6 +131,18 @@ class EventQueue {
   };
   std::optional<NextKey> peek_next();
 
+  /// peek_next() for callers that may be running inside a parallel-executor
+  /// worker. On the coordinator (or in plain serial runs) it reads the
+  /// stored front directly — unlike peek_next() it does NOT skip
+  /// lazily-cancelled entries, so a cancelled front conservatively blocks
+  /// whatever optimisation the caller was gating (delivery batching). On a
+  /// worker it answers from the quantum's frozen key census plus the
+  /// pre-quantum tail snapshot, which is provably the same answer the
+  /// serial run's guard would produce (see DESIGN.md, "Parallel
+  /// execution"). Delivery batching must use this, never peek_next(),
+  /// because workers may not mutate the ladder.
+  std::optional<NextKey> peek_next_stored();
+
   /// Runs the next event. Returns false if the queue is empty.
   bool step();
 
@@ -167,6 +185,12 @@ class EventQueue {
     bool cancelled = false;
     const char* tag = kDefaultEventTag;  // interned; owned by the queue
     Action action;
+    /// While the slot's event is part of an in-flight parallel quantum,
+    /// the event's seq; UINT64_MAX otherwise. Workers use it to decide
+    /// whether a cancel targets a quantum member (mark, don't touch the
+    /// ladder — the coordinator reconciles at replay) and whether the
+    /// target already fired within the quantum.
+    std::uint64_t quantum_seq = UINT64_MAX;
   };
 
   /// One rung: a span of equal power-of-two-width time buckets. Keys in a
@@ -201,6 +225,35 @@ class EventQueue {
   std::uint32_t allocate_slot();
   void free_slot(std::uint32_t slot);
   const char* intern_tag(const char* tag);
+
+  friend class ParallelExecutor;
+
+  /// One stored key popped by pop_quantum(). `skip` marks entries that
+  /// were lazily cancelled before the quantum began: they carry no action,
+  /// but their (at, seq) still participated in the serial guard order, so
+  /// the executor keeps them in the quantum census and merely recycles
+  /// their slot at replay.
+  struct QuantumEntry {
+    Key key;
+    bool skip = false;
+  };
+
+  /// Pops EVERY stored key at the earliest pending timestamp into `out`
+  /// (cancelled ones flagged as skip), in (at, seq) order. Returns false
+  /// with `out` untouched when the queue is drained. Does not advance
+  /// now(), run anything, or free any slot — the executor owns both.
+  bool pop_quantum(std::vector<QuantumEntry>& out);
+  /// Puts keys taken by pop_quantum() back, unchanged, when the executor
+  /// decides the quantum must run serially after all.
+  void reinsert_quantum(const std::vector<QuantumEntry>& entries);
+  /// The stored front key (after materializing the bottom), cancelled or
+  /// not, with no mutation beyond ensure_bottom(). Nullopt when drained.
+  std::optional<NextKey> peek_stored_front();
+  /// Commits a worker-parked schedule: assigns the serial-order seq and
+  /// inserts the key for the already-allocated `slot`. Counterpart of the
+  /// worker branch in schedule_key().
+  void commit_parked_schedule(std::int64_t at_ns, std::uint32_t slot,
+                              std::uint32_t partition);
 
   EventId schedule_key(SimTime at, std::uint64_t seq, Action action,
                        const char* tag, std::uint32_t partition);
@@ -247,8 +300,16 @@ class EventQueue {
 
   std::vector<std::vector<Key>> bucket_pool_;  // recycled bucket storage
 
-  std::vector<Slot> slots_;
+  // ChunkedStore, not vector: workers read (and, for quantum members,
+  // write) their own entries' slots while another worker appends new slots
+  // under worker_mutex_ — growth must never move existing slots.
+  ChunkedStore<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+
+  /// Serializes the *allocation* side of worker-originated schedules and
+  /// cancels (slot/free-list/live_/tag-memo mutation). Uncontended in
+  /// serial runs — never touched outside worker context.
+  std::mutex worker_mutex_;
 
   // Tag interning: owned copies (stable addresses) plus a pointer-keyed
   // memo so the hot path is one pointer compare for a repeated literal.

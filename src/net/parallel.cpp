@@ -1,0 +1,342 @@
+#include "net/parallel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace net {
+
+ParallelExecutor::ParallelExecutor(EventQueue& events, obs::Metrics& metrics)
+    : events_(events),
+      metrics_(&metrics),
+      window_advances_(&metrics.counter("net.shard_window_advances")),
+      cross_shard_(&metrics.counter("net.cross_shard_messages")) {
+  // Wall-clock idle time is inherently nondeterministic; it is exported as
+  // a gauge for operators and excluded from determinism comparisons.
+  metrics.add_refresh_hook([this]() {
+    metrics_->gauge("sim.shard_idle_seconds")
+        .set(static_cast<double>(idle_ns_.load(std::memory_order_relaxed)) *
+             1e-9);
+  });
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : pool_) worker.join();
+}
+
+void ParallelExecutor::configure(int threads,
+                                 std::vector<std::uint32_t> shard_of,
+                                 std::uint32_t shard_count,
+                                 std::int64_t min_cut_latency_ns,
+                                 std::size_t cut_edges) {
+  threads_ = std::max(1, threads);
+  shard_of_ = std::move(shard_of);
+  shard_count_ = shard_count;
+  min_cut_latency_ns_ = min_cut_latency_ns;
+  metrics_->gauge("core.partition_cut_edges")
+      .set(static_cast<double>(cut_edges));
+}
+
+void ParallelExecutor::run(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  // peek_next() both answers "is anything live" and lazily discards
+  // cancelled fronts, exactly as the serial run loop's pop would.
+  while (events_.peek_next()) {
+    fired += step_quantum();
+    if (fired > max_events) {
+      throw std::runtime_error("EventQueue::run: exceeded max_events");
+    }
+  }
+}
+
+void ParallelExecutor::run_until(SimTime deadline) {
+  for (;;) {
+    const auto next = events_.peek_next();
+    if (!next || next->at > deadline) break;
+    step_quantum();
+  }
+  events_.now_ = std::max(events_.now_, deadline);
+}
+
+std::uint64_t ParallelExecutor::step_quantum() {
+  quantum_.clear();
+  if (!events_.pop_quantum(quantum_)) return 0;
+  const std::int64_t at = quantum_.front().key.at;
+
+  // Eligibility: at least two live events spread over at least two valid
+  // shards, and no serial-only instrumentation observing per-event order
+  // (the step profiler and info-level tracing both narrate execution
+  // order, which a parallel quantum does not preserve).
+  bool parallel = enabled() && !events_.profiler_ &&
+                  !obs::tracer().enabled(obs::TraceLevel::kInfo);
+  if (parallel) {
+    std::size_t live = 0;
+    std::uint32_t first_shard = kUnassignedShard;
+    bool multi_shard = false;
+    for (const EventQueue::QuantumEntry& entry : quantum_) {
+      if (entry.skip) continue;
+      ++live;
+      const std::uint32_t shard = shard_of_hint(entry.key.partition);
+      if (shard == kUnassignedShard) {
+        // Unattributable event (hint 0: probes, telemetry, hosts): the
+        // whole quantum runs serially rather than guessing an owner.
+        parallel = false;
+        break;
+      }
+      if (first_shard == kUnassignedShard) {
+        first_shard = shard;
+      } else if (shard != first_shard) {
+        multi_shard = true;
+      }
+    }
+    if (live < 2 || !multi_shard) parallel = false;
+  }
+  return parallel ? run_quantum_parallel(at) : run_quantum_serial(at);
+}
+
+std::uint64_t ParallelExecutor::run_quantum_serial(std::int64_t at_ns) {
+  events_.reinsert_quantum(quantum_);
+  std::uint64_t fired = 0;
+  for (;;) {
+    const auto next = events_.peek_next();
+    if (!next || next->at.ns() != at_ns) break;
+    events_.step();
+    ++fired;
+  }
+  return fired;
+}
+
+std::uint64_t ParallelExecutor::run_quantum_parallel(std::int64_t at_ns) {
+  start_workers();
+  events_.now_ = SimTime::nanoseconds(at_ns);
+
+  // Freeze the schedule census the delivery-batching guard consults: every
+  // quantum seq (ascending — pop order), plus the earliest key left stored
+  // beyond the quantum. See EventQueue::peek_next_stored for why keys
+  // created mid-quantum cannot change any guard decision.
+  seqs_.clear();
+  for (const EventQueue::QuantumEntry& entry : quantum_) {
+    seqs_.push_back(entry.key.seq);
+  }
+  const auto tail = events_.peek_stored_front();
+
+  for (const EventQueue::QuantumEntry& entry : quantum_) {
+    if (!entry.skip) {
+      events_.slots_[entry.key.slot].quantum_seq = entry.key.seq;
+    }
+  }
+
+  // Group live entries by shard, preserving seq order within each group.
+  shard_slot_.assign(shard_count_, UINT32_MAX);
+  group_count_ = 0;
+  records_.assign(quantum_.size(), ExecRecord{});
+  for (std::uint32_t i = 0; i < quantum_.size(); ++i) {
+    const EventQueue::QuantumEntry& entry = quantum_[i];
+    if (entry.skip) continue;
+    const std::uint32_t shard = shard_of_hint(entry.key.partition);
+    std::uint32_t group = shard_slot_[shard];
+    if (group == UINT32_MAX) {
+      group = static_cast<std::uint32_t>(group_count_++);
+      if (groups_.size() < group_count_) groups_.emplace_back();
+      groups_[group].entries.clear();
+      shard_slot_[shard] = group;
+    }
+    groups_[group].entries.push_back(i);
+  }
+
+  const std::size_t ctx_count = pool_.size() + 1;
+  while (contexts_.size() < ctx_count) {
+    contexts_.push_back(std::make_unique<WorkerContext>());
+  }
+  finished_at_.assign(ctx_count, std::chrono::steady_clock::time_point{});
+  for (std::size_t i = 0; i < ctx_count; ++i) {
+    WorkerContext& ctx = *contexts_[i];
+    ctx.events = &events_;
+    ctx.quantum_at = at_ns;
+    ctx.seqs = seqs_.data();
+    ctx.seq_count = seqs_.size();
+    ctx.has_tail = tail.has_value();
+    if (tail) {
+      ctx.tail_at = tail->at.ns();
+      ctx.tail_seq = tail->seq;
+    }
+    ctx.ops.clear();
+    ctx.defer.ops.clear();
+  }
+  claim_cursor_.store(0, std::memory_order_relaxed);
+  obs::g_concurrent.store(true, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    ++epoch_;
+    working_ = pool_.size();
+  }
+  work_cv_.notify_all();
+  worker_slice(0);
+  finished_at_[0] = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(pool_mutex_);
+    done_cv_.wait(lock, [this]() { return working_ == 0; });
+  }
+  obs::g_concurrent.store(false, std::memory_order_relaxed);
+
+  const auto quantum_end = std::chrono::steady_clock::now();
+  std::uint64_t idle = 0;
+  for (const auto& finished : finished_at_) {
+    idle += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(quantum_end -
+                                                             finished)
+            .count());
+  }
+  idle_ns_.fetch_add(idle, std::memory_order_relaxed);
+
+  const std::uint64_t executed = replay();
+  window_advances_->inc();
+  return executed;
+}
+
+void ParallelExecutor::execute_entry(std::size_t ctx_index,
+                                     std::uint32_t entry_index) {
+  WorkerContext& ctx = *contexts_[ctx_index];
+  const EventQueue::QuantumEntry& entry = quantum_[entry_index];
+  EventQueue::Slot& slot = events_.slots_[entry.key.slot];
+  ExecRecord& rec = records_[entry_index];
+  rec.worker = static_cast<std::uint32_t>(ctx_index);
+  rec.ops_lo = static_cast<std::uint32_t>(ctx.ops.size());
+  rec.defer_lo = static_cast<std::uint32_t>(ctx.defer.ops.size());
+  bool executed = false;
+  // Re-check cancellation: an earlier event in this same shard may have
+  // cancelled this one mid-quantum (cancels are intra-domain, so the flag
+  // was written by this very thread).
+  if (!slot.cancelled) {
+    ctx.current_seq = entry.key.seq;
+    EventQueue::Action action = std::move(slot.action);
+    action();
+    executed = true;
+  }
+  rec.ops_hi = static_cast<std::uint32_t>(ctx.ops.size());
+  rec.defer_hi = static_cast<std::uint32_t>(ctx.defer.ops.size());
+  rec.executed = executed;
+}
+
+void ParallelExecutor::worker_slice(std::size_t ctx_index) {
+  WorkerContext& ctx = *contexts_[ctx_index];
+  t_worker = &ctx;
+  obs::t_metric_defer = &ctx.defer;
+  for (;;) {
+    const std::uint32_t group =
+        claim_cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (group >= group_count_) break;
+    for (const std::uint32_t idx : groups_[group].entries) {
+      execute_entry(ctx_index, idx);
+    }
+  }
+  obs::t_metric_defer = nullptr;
+  t_worker = nullptr;
+}
+
+void ParallelExecutor::worker_main(std::size_t pool_index) {
+  if (thread_init_) thread_init_();
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      work_cv_.wait(lock,
+                    [&]() { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    worker_slice(pool_index + 1);
+    finished_at_[pool_index + 1] = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      if (--working_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ParallelExecutor::start_workers() {
+  const std::size_t want = static_cast<std::size_t>(threads_ - 1);
+  while (pool_.size() < want) {
+    const std::size_t index = pool_.size();
+    pool_.emplace_back([this, index]() { worker_main(index); });
+  }
+}
+
+std::uint64_t ParallelExecutor::replay() {
+  std::uint64_t executed_count = 0;
+  for (std::size_t i = 0; i < quantum_.size(); ++i) {
+    const EventQueue::QuantumEntry& entry = quantum_[i];
+    if (entry.skip) {
+      // Lazily-cancelled before the quantum: recycle the slot exactly
+      // where a serial pop would have.
+      events_.free_slot(entry.key.slot);
+      continue;
+    }
+    const ExecRecord& rec = records_[i];
+    if (!rec.executed) {
+      // Cancelled mid-quantum by an earlier same-shard event; live_ was
+      // adjusted at cancel time, only the slot recycles here.
+      events_.free_slot(entry.key.slot);
+      continue;
+    }
+    ++events_.events_run_;
+    --events_.live_;
+#ifndef NDEBUG
+    events_.last_run_at_ = entry.key.at;
+    events_.last_run_seq_ = entry.key.seq;
+#endif
+    // Serial order frees the slot before the action's side effects land.
+    events_.free_slot(entry.key.slot);
+    ++executed_count;
+    WorkerContext& ctx = *contexts_[rec.worker];
+    // The entry's order-sensitive metric mutations, then its parked
+    // schedule-visible effects, each in call order. Entries replay in
+    // (time, seq) order, so every seq assignment, RNG draw and FIFO arm
+    // lands exactly where the serial run put it.
+    for (std::uint32_t d = rec.defer_lo; d < rec.defer_hi; ++d) {
+      obs::DeferredMetricOp& op = ctx.defer.ops[d];
+      if (op.sharded != nullptr) {
+        op.sharded->add(op.key, op.n);
+      } else {
+        op.histogram->observe(op.value);
+      }
+    }
+    for (std::uint32_t o = rec.ops_lo; o < rec.ops_hi; ++o) {
+      ParkedOp& op = ctx.ops[o];
+      switch (op.kind) {
+        case ParkedOp::Kind::kSchedule:
+          events_.commit_parked_schedule(op.at_ns, op.slot, op.hint);
+          break;
+        case ParkedOp::Kind::kSend: {
+          const auto owners = op.network->channel_owners(op.channel);
+          const std::uint32_t from_shard =
+              shard_of_hint(static_cast<std::uint32_t>(owners.first));
+          const std::uint32_t to_shard =
+              shard_of_hint(static_cast<std::uint32_t>(owners.second));
+          if (from_shard != kUnassignedShard &&
+              to_shard != kUnassignedShard && from_shard != to_shard) {
+            cross_shard_->inc();
+          }
+          op.network->commit_parked_send(op.channel, *op.from,
+                                         std::move(op.msg),
+                                         op.ambient_trace);
+          break;
+        }
+        case ParkedOp::Kind::kGeneric:
+          op.fn();
+          break;
+      }
+    }
+  }
+  return executed_count;
+}
+
+}  // namespace net

@@ -1,0 +1,201 @@
+// Partition-sharded parallel event execution, byte-identical to serial.
+//
+// The serial EventQueue already stores a partition hint (the owning domain)
+// on every key. ParallelExecutor exploits a structural property of the
+// simulated Internet: at one timestamp T, events belonging to different
+// domains only interact through messages, and a message between domains
+// takes at least the minimum cross-shard link latency to arrive — the
+// conservative lookahead window of classic parallel discrete-event
+// simulation (Chandy/Misra/Bryant). Within one timestamp, then, events of
+// different shards are independent *except* for their side effects on the
+// global schedule, and those can be made order-exact by construction:
+//
+//   1. The coordinator pops every stored key at the earliest timestamp T
+//      (a "quantum"), groups the live ones by shard, and fans the groups
+//      out to a small worker pool.
+//   2. Workers run event actions in seq order within their shard but park
+//      every schedule-order-sensitive side effect (new schedules, sends,
+//      span records, activity notifications, direction re-arms) instead of
+//      applying it.
+//   3. After a barrier, the coordinator replays each event's parked
+//      effects in exact serial (time, seq) order — so every sequence
+//      number, RNG draw and FIFO arm lands exactly where the serial run
+//      would have put it, and the resulting schedule (and therefore every
+//      rib_digest) is byte-identical at any --threads.
+//
+// Shard-to-shard isolation within a quantum is the partitioner's job
+// (topology/partition.hpp); anything unattributable (hint 0, probe checks,
+// telemetry ticks) makes its quantum run serially via the fallback path,
+// so correctness never depends on the partition being total.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "net/event.hpp"
+#include "net/network.hpp"
+#include "net/small_function.hpp"
+#include "net/time.hpp"
+#include "obs/concurrency.hpp"
+
+namespace net {
+
+/// One side effect a worker parked for the coordinator to replay in serial
+/// order. kSchedule carries an already-allocated slot (the EventId had to
+/// be valid at park time); the seq is assigned at replay. kSend parks the
+/// whole Network::send call — trace stamping, RNG delay draws and seq
+/// reservation all happen at replay. kGeneric is everything else (span
+/// records, activity notifications, direction re-arms).
+struct ParkedOp {
+  enum class Kind : std::uint8_t { kSchedule, kSend, kGeneric };
+
+  Kind kind = Kind::kGeneric;
+  // kSchedule
+  std::int64_t at_ns = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t hint = 0;
+  // kSend
+  Network* network = nullptr;
+  ChannelId channel{};
+  const Endpoint* from = nullptr;
+  std::unique_ptr<Message> msg;
+  std::uint64_t ambient_trace = 0;
+  // kGeneric
+  SmallFunction<void(), 64> fn;
+};
+
+/// Per-worker state for one quantum. `seqs`/`tail_*` freeze the pending-
+/// schedule census the delivery-batching guard consults (see
+/// EventQueue::peek_next_stored); `ops`/`defer` accumulate parked side
+/// effects, sliced per event by the executor's ExecRecords.
+struct WorkerContext {
+  EventQueue* events = nullptr;
+  std::uint64_t current_seq = 0;  ///< seq of the event being executed
+  std::int64_t quantum_at = 0;    ///< the quantum's timestamp T, ns
+  const std::uint64_t* seqs = nullptr;  ///< all quantum seqs, ascending
+  std::size_t seq_count = 0;
+  bool has_tail = false;  ///< a stored key remains beyond the quantum
+  std::int64_t tail_at = 0;
+  std::uint64_t tail_seq = 0;
+  std::vector<ParkedOp> ops;
+  obs::MetricDeferQueue defer;
+};
+
+/// The executing worker's context; nullptr on the coordinator and in plain
+/// serial runs. EventQueue and Network consult it to decide between direct
+/// mutation and parking.
+inline thread_local WorkerContext* t_worker = nullptr;
+
+class ParallelExecutor {
+ public:
+  static constexpr std::uint32_t kUnassignedShard = UINT32_MAX;
+
+  ParallelExecutor(EventQueue& events, obs::Metrics& metrics);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// Installs the shard map: shard_of is indexed by partition hint (domain
+  /// id; index 0 and any gap stay kUnassignedShard). `min_cut_latency_ns`
+  /// is the conservative window — the minimum latency of any cut edge;
+  /// 0 (adjacent domains in one simulated instant) disables parallelism
+  /// rather than risking same-instant cross-shard interaction.
+  void configure(int threads, std::vector<std::uint32_t> shard_of,
+                 std::uint32_t shard_count, std::int64_t min_cut_latency_ns,
+                 std::size_t cut_edges);
+
+  /// Callback run once on each pool thread as it starts — the owner uses
+  /// it to bind thread-local singletons (the BGP intern tables, the
+  /// candidate arena) to the coordinator's instances. Must be installed
+  /// before the first parallel quantum spawns the pool.
+  void set_thread_init(std::function<void()> init) {
+    thread_init_ = std::move(init);
+  }
+
+  /// True when configured to actually run quanta in parallel. When false
+  /// run()/run_until() still work — every quantum takes the serial path.
+  [[nodiscard]] bool enabled() const {
+    return threads_ > 1 && shard_count_ >= 2 && min_cut_latency_ns_ > 0;
+  }
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Drop-in replacements for EventQueue::run / run_until with quantum
+  /// granularity (the runaway guard in run() is checked per quantum).
+  void run(std::uint64_t max_events = UINT64_MAX);
+  void run_until(SimTime deadline);
+
+ private:
+  /// Where one quantum entry ran and which slices of its worker's parked
+  /// queues belong to it. Written by exactly one worker, read by the
+  /// coordinator after the barrier.
+  struct ExecRecord {
+    std::uint32_t worker = 0;
+    std::uint32_t ops_lo = 0, ops_hi = 0;
+    std::uint32_t defer_lo = 0, defer_hi = 0;
+    bool executed = false;
+  };
+  struct Group {
+    std::vector<std::uint32_t> entries;  // indices into quantum_
+  };
+
+  /// Pops and executes everything at the earliest pending timestamp.
+  /// Returns the number of events run (0 only if nothing live remained —
+  /// callers gate on peek_next() instead of the return value).
+  std::uint64_t step_quantum();
+  std::uint64_t run_quantum_serial(std::int64_t at_ns);
+  std::uint64_t run_quantum_parallel(std::int64_t at_ns);
+  void execute_entry(std::size_t ctx_index, std::uint32_t entry_index);
+  void worker_slice(std::size_t ctx_index);
+  void worker_main(std::size_t pool_index);
+  void start_workers();
+  std::uint64_t replay();
+  [[nodiscard]] std::uint32_t shard_of_hint(std::uint32_t hint) const {
+    return hint < shard_of_.size() ? shard_of_[hint] : kUnassignedShard;
+  }
+
+  EventQueue& events_;
+  obs::Metrics* metrics_;
+  obs::Counter* window_advances_;   // net.shard_window_advances
+  obs::Counter* cross_shard_;      // net.cross_shard_messages
+  std::atomic<std::uint64_t> idle_ns_{0};  // sim.shard_idle_seconds source
+
+  int threads_ = 1;
+  std::function<void()> thread_init_;
+  std::vector<std::uint32_t> shard_of_;
+  std::uint32_t shard_count_ = 0;
+  std::int64_t min_cut_latency_ns_ = 0;
+
+  // Quantum scratch (reused across quanta to stay allocation-free).
+  std::vector<EventQueue::QuantumEntry> quantum_;
+  std::vector<std::uint64_t> seqs_;
+  std::vector<ExecRecord> records_;
+  std::vector<Group> groups_;
+  std::vector<std::uint32_t> shard_slot_;  // shard -> group index, per quantum
+  std::size_t group_count_ = 0;
+  std::atomic<std::uint32_t> claim_cursor_{0};
+
+  // contexts_[0] is the coordinator-as-worker; [i] belongs to pool_[i-1].
+  std::vector<std::unique_ptr<WorkerContext>> contexts_;
+  std::vector<std::chrono::steady_clock::time_point> finished_at_;
+
+  // Epoch barrier: the coordinator bumps epoch_ to release the pool, every
+  // worker decrements working_ when its slice is done.
+  std::vector<std::thread> pool_;
+  std::mutex pool_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  std::size_t working_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace net

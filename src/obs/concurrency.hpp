@@ -1,0 +1,77 @@
+// Concurrency seams for the metrics layer.
+//
+// The registry stays single-writer in spirit: serial runs (and the serial
+// phases of parallel runs) touch instruments directly with zero overhead.
+// While net::ParallelExecutor has worker threads live it raises
+// `g_concurrent`, and the few instruments workers touch switch behaviour:
+//
+//   * Counters (commutative sums) flip to relaxed atomic adds.
+//   * Order-sensitive instruments — ShardedCounter's space-saving sketch
+//     (eviction depends on arrival order) and Histogram (float sums are
+//     order-sensitive) — are never mutated from a worker at all. Each
+//     worker carries a MetricDeferQueue; add()/observe() append to it, and
+//     the executor replays the queues in the serial event order, so the
+//     final sketch and histogram bytes match a serial run exactly.
+//
+// The flag is written only while workers are parked at a barrier, so plain
+// happens-before via the pool's mutex covers it; it is atomic anyway (a
+// relaxed load costs a plain mov) so no access is ever racy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace obs {
+
+class ShardedCounter;
+class Histogram;
+
+inline std::atomic<bool> g_concurrent{false};
+
+[[nodiscard]] inline bool concurrent() {
+  return g_concurrent.load(std::memory_order_relaxed);
+}
+
+/// One deferred mutation: exactly one of `sharded` / `histogram` is set.
+struct DeferredMetricOp {
+  ShardedCounter* sharded = nullptr;
+  std::uint64_t key = 0;
+  std::uint64_t n = 0;
+  Histogram* histogram = nullptr;
+  double value = 0.0;
+};
+
+/// A worker's pending order-sensitive mutations, replayed serially by the
+/// executor in event order.
+struct MetricDeferQueue {
+  std::vector<DeferredMetricOp> ops;
+};
+
+/// The calling thread's defer queue (nullptr = apply directly). Set by the
+/// executor around each worker's slice of a quantum.
+inline thread_local MetricDeferQueue* t_metric_defer = nullptr;
+
+/// Relaxed-when-concurrent counter cell: serial mode keeps the plain
+/// load/store codegen (no lock prefix on the hot path), concurrent mode
+/// uses a real atomic RMW. Reads are always relaxed loads.
+inline void counter_add(std::atomic<std::uint64_t>& cell, std::uint64_t n) {
+  if (concurrent()) {
+    cell.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+  }
+}
+
+/// Same scheme for the 32-bit refcounts of the BGP intern tables.
+inline void counter_add(std::atomic<std::uint32_t>& cell, std::uint32_t n) {
+  if (concurrent()) {
+    cell.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs

@@ -14,9 +14,13 @@
 // rather than count events use plain nouns: `bgmp.tree_entries`. Latency
 // histograms use `<module>.<noun>_latency` and record seconds.
 //
-// Single-threaded like the rest of the simulator: no synchronization.
+// Single-threaded by default; while the parallel executor has workers live,
+// counters flip to relaxed atomic adds and order-sensitive instruments are
+// deferred and replayed serially (see obs/concurrency.hpp). Registration,
+// snapshots and gauges remain serial-only operations.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -26,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/concurrency.hpp"
 #include "obs/histogram.hpp"
 #include "obs/sharded.hpp"
 
@@ -33,14 +38,17 @@ namespace obs {
 
 /// A monotonically increasing event count. References returned by
 /// Metrics::counter() are stable for the registry's lifetime, so hot paths
-/// cache them once at construction.
+/// cache them once at construction. Sums are commutative, so concurrent
+/// workers add directly (relaxed) instead of going through a defer queue.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) { counter_add(value_, n); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// A point-in-time measurement (queue depth, utilisation, RIB size).

@@ -1,0 +1,160 @@
+#include "topology/partition.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace topology {
+namespace {
+
+struct Adj {
+  std::uint32_t to = 0;        // dense index of the neighbour
+  std::int64_t latency_ns = 0;
+  std::uint32_t edge = 0;      // index into the caller's edge list
+};
+
+/// Frontier entry: shard `shard` wants to absorb dense node `node` over an
+/// edge of `latency_ns`. Ordered cheapest-latency first so cheap edges are
+/// claimed (made internal) before expensive ones; ties break on node id
+/// then shard so growth is deterministic.
+struct Claim {
+  std::int64_t latency_ns;
+  std::uint32_t node_id;  // the *domain id*, for stable tie-breaks
+  std::uint32_t shard;
+  std::uint32_t node;     // dense index
+
+  friend bool operator>(const Claim& a, const Claim& b) {
+    if (a.latency_ns != b.latency_ns) return a.latency_ns > b.latency_ns;
+    if (a.node_id != b.node_id) return a.node_id > b.node_id;
+    return a.shard > b.shard;
+  }
+};
+
+}  // namespace
+
+PartitionResult partition_domains(const std::vector<std::uint32_t>& nodes,
+                                  const std::vector<PartitionEdge>& edges,
+                                  std::uint32_t shards) {
+  PartitionResult result;
+  if (nodes.empty()) return result;
+
+  // Dense index over the (sorted, deduplicated) node ids.
+  std::vector<std::uint32_t> ids = nodes;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  const std::uint32_t n = static_cast<std::uint32_t>(ids.size());
+  const std::uint32_t max_id = ids.back();
+  std::vector<std::uint32_t> dense_of(max_id + 1, PartitionResult::kUnassigned);
+  for (std::uint32_t i = 0; i < n; ++i) dense_of[ids[i]] = i;
+
+  std::vector<std::vector<Adj>> adjacency(n);
+  for (std::uint32_t e = 0; e < edges.size(); ++e) {
+    const PartitionEdge& edge = edges[e];
+    if (edge.a > max_id || edge.b > max_id) continue;
+    const std::uint32_t da = dense_of[edge.a];
+    const std::uint32_t db = dense_of[edge.b];
+    if (da == PartitionResult::kUnassigned ||
+        db == PartitionResult::kUnassigned || da == db) {
+      continue;
+    }
+    adjacency[da].push_back(Adj{db, edge.latency_ns, e});
+    adjacency[db].push_back(Adj{da, edge.latency_ns, e});
+  }
+
+  const std::uint32_t k = std::min(shards == 0 ? 1 : shards, n);
+  result.shard_count = k;
+  std::vector<std::uint32_t> assigned(n, PartitionResult::kUnassigned);
+
+  // Farthest-point seeding by BFS hop distance: the first seed is the
+  // lowest id; each next seed maximizes its hop distance to every seed so
+  // far (unreachable counts as infinitely far), ties to the lowest id.
+  // Spreading seeds hop-wise keeps shards contiguous regions rather than
+  // interleaved slices, which is what keeps the cut small.
+  std::vector<std::uint32_t> dist(n, UINT32_MAX);
+  std::vector<std::uint32_t> seeds;
+  seeds.reserve(k);
+  const auto bfs_from = [&](std::uint32_t source) {
+    std::queue<std::uint32_t> frontier;
+    if (dist[source] != 0) {
+      dist[source] = 0;
+      frontier.push(source);
+    }
+    while (!frontier.empty()) {
+      const std::uint32_t cur = frontier.front();
+      frontier.pop();
+      for (const Adj& adj : adjacency[cur]) {
+        if (dist[adj.to] <= dist[cur] + 1) continue;
+        dist[adj.to] = dist[cur] + 1;
+        frontier.push(adj.to);
+      }
+    }
+  };
+  seeds.push_back(0);
+  bfs_from(0);
+  while (seeds.size() < k) {
+    std::uint32_t best = UINT32_MAX;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (dist[i] == 0) continue;  // already a seed
+      if (best == UINT32_MAX || dist[i] > dist[best]) best = i;
+    }
+    seeds.push_back(best);
+    bfs_from(best);
+  }
+  for (std::uint32_t s = 0; s < seeds.size(); ++s) assigned[seeds[s]] = s;
+
+  // Balance cap: no shard may exceed its fair share (rounded up), so a
+  // dense low-latency core cannot absorb everything and starve the rest.
+  const std::uint32_t cap = (n + k - 1) / k;
+  std::vector<std::uint32_t> size(k, 1);
+
+  std::priority_queue<Claim, std::vector<Claim>, std::greater<>> frontier;
+  const auto push_claims = [&](std::uint32_t node, std::uint32_t shard) {
+    for (const Adj& adj : adjacency[node]) {
+      if (assigned[adj.to] != PartitionResult::kUnassigned) continue;
+      frontier.push(Claim{adj.latency_ns, ids[adj.to], shard, adj.to});
+    }
+  };
+  for (std::uint32_t s = 0; s < seeds.size(); ++s) push_claims(seeds[s], s);
+  while (!frontier.empty()) {
+    const Claim claim = frontier.top();
+    frontier.pop();
+    if (assigned[claim.node] != PartitionResult::kUnassigned) continue;
+    if (size[claim.shard] >= cap) continue;  // full; another shard will win
+    assigned[claim.node] = claim.shard;
+    ++size[claim.shard];
+    push_claims(claim.node, claim.shard);
+  }
+
+  // Leftovers: nodes unreachable from any seed, or stranded when every
+  // neighbouring shard hit its cap. Lowest id first into the smallest
+  // shard (ties to the lowest shard index).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (assigned[i] != PartitionResult::kUnassigned) continue;
+    std::uint32_t smallest = 0;
+    for (std::uint32_t s = 1; s < k; ++s) {
+      if (size[s] < size[smallest]) smallest = s;
+    }
+    assigned[i] = smallest;
+    ++size[smallest];
+  }
+
+  result.shard_of.assign(max_id + 1, PartitionResult::kUnassigned);
+  for (std::uint32_t i = 0; i < n; ++i) result.shard_of[ids[i]] = assigned[i];
+
+  result.min_cut_latency_ns = 0;
+  for (const PartitionEdge& edge : edges) {
+    const std::uint32_t sa = result.shard(edge.a);
+    const std::uint32_t sb = result.shard(edge.b);
+    if (sa == PartitionResult::kUnassigned ||
+        sb == PartitionResult::kUnassigned || sa == sb) {
+      continue;
+    }
+    result.cut_edges.push_back(edge);
+    if (result.min_cut_latency_ns == 0 ||
+        edge.latency_ns < result.min_cut_latency_ns) {
+      result.min_cut_latency_ns = edge.latency_ns;
+    }
+  }
+  return result;
+}
+
+}  // namespace topology

@@ -1,0 +1,62 @@
+// Domain-graph partitioning for the parallel executor.
+//
+// The conservative-window executor (net/parallel.hpp) runs shards
+// independently inside a lookahead window bounded by the minimum latency of
+// any cut (cross-shard) channel: a message crossing a cut arrives at least
+// that much later, so same-timestamp events in different shards can never
+// influence each other. The partitioner's job is therefore twofold:
+//
+//   * every domain lands in exactly one shard (events keyed by the domain's
+//     partition_hint route to exactly one run list), and
+//   * the cut avoids low-latency edges where it can, because the window is
+//     only as wide as the *narrowest* cut edge.
+//
+// The heuristic is deterministic farthest-point seeding plus multi-source
+// growth along cheap edges first: K seeds are picked by BFS hop distance
+// (spread across the graph), then shards grow by repeatedly absorbing the
+// unassigned endpoint of the cheapest frontier edge, bounded by a balance
+// cap so one dense core cannot swallow the internet. Edges never traversed
+// become the cut. All ties break on (latency, node id, shard id), so the
+// partition is a pure function of the graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace topology {
+
+/// One undirected inter-domain edge, as handed to the partitioner: the two
+/// domain ids and the channel's one-way latency in nanoseconds.
+struct PartitionEdge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::int64_t latency_ns = 0;
+};
+
+struct PartitionResult {
+  /// shard_of[domain id] = shard index, or kUnassigned for ids not in the
+  /// node set (indexable up to the largest id handed in; domain ids are
+  /// 1-based, so index 0 is always kUnassigned).
+  std::vector<std::uint32_t> shard_of;
+  std::uint32_t shard_count = 0;
+  /// Edges whose endpoints landed in different shards.
+  std::vector<PartitionEdge> cut_edges;
+  /// min over cut_edges of latency_ns — the executor's safe lookahead
+  /// window. 0 when there are no cut edges (single shard / disconnected).
+  std::int64_t min_cut_latency_ns = 0;
+
+  static constexpr std::uint32_t kUnassigned = UINT32_MAX;
+
+  [[nodiscard]] std::uint32_t shard(std::uint32_t domain) const {
+    return domain < shard_of.size() ? shard_of[domain] : kUnassigned;
+  }
+};
+
+/// Partitions `nodes` (distinct domain ids) into at most `shards` shards.
+/// Fewer shards come back when there are fewer nodes than requested.
+/// Deterministic: equal inputs produce byte-identical results.
+[[nodiscard]] PartitionResult partition_domains(
+    const std::vector<std::uint32_t>& nodes,
+    const std::vector<PartitionEdge>& edges, std::uint32_t shards);
+
+}  // namespace topology

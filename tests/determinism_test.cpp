@@ -4,10 +4,18 @@
 // simulation's reproducibility against accidental ordering dependence in
 // the batched-update and lazy-cancel plumbing (iteration order of pending
 // maps, heap tie-breaks, cache effects).
+//
+// The parallel executor extends the contract across execution widths: at
+// any --threads value the event schedule — and therefore every RIB line
+// and every protocol metric — must be byte-identical to the serial run.
+// Only the executor's own book-keeping instruments may differ between
+// widths (see kThreadDependentMetrics).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bgp/speaker.hpp"
@@ -15,18 +23,51 @@
 #include "core/internet.hpp"
 #include "masc/node.hpp"
 #include "net/prefix.hpp"
+#include "obs/metrics.hpp"
 
 namespace core {
 namespace {
 
 struct RunResult {
   std::string metrics_json;
+  /// metrics_json minus the executor book-keeping instruments that
+  /// legitimately vary with execution width.
+  std::string portable_metrics_json;
+  /// Schedule-derived executor counters: identical between runs at the
+  /// same width (unlike the wall-clock idle gauge and the slot-pool
+  /// high-water, which depend on worker interleaving).
+  std::uint64_t shard_window_advances = 0;
+  std::uint64_t cross_shard_messages = 0;
+  double partition_cut_edges = 0.0;
   /// Per domain: "<name> U:<unicast rib> G:<group rib> P:<held prefixes>".
   std::vector<std::string> domains;
 };
 
-RunResult run_once(std::uint64_t seed) {
+/// Instruments whose values depend on the execution width (shard count,
+/// window count, idle time, partition shape) or on how the queue grew
+/// under parallel slot allocation. Everything else — every protocol
+/// counter, gauge, histogram and sharded instrument — must match the
+/// serial run exactly.
+constexpr std::string_view kThreadDependentMetrics[] = {
+    "net.event_queue_high_water",  "net.shard_window_advances",
+    "net.cross_shard_messages",    "sim.shard_idle_seconds",
+    "core.partition_cut_edges",
+};
+
+std::string portable_json(obs::Snapshot snapshot) {
+  std::erase_if(snapshot.samples, [](const obs::Sample& s) {
+    return std::find(std::begin(kThreadDependentMetrics),
+                     std::end(kThreadDependentMetrics),
+                     s.name) != std::end(kThreadDependentMetrics);
+  });
+  std::ostringstream json;
+  snapshot.write_json(json);
+  return json.str();
+}
+
+RunResult run_once(std::uint64_t seed, int threads = 1) {
   Internet net(seed);
+  net.set_threads(threads);
   constexpr int kTops = 3;
   constexpr int kDomains = 12;
   std::vector<Domain*> tops;
@@ -80,9 +121,17 @@ RunResult run_once(std::uint64_t seed) {
   net.settle();
 
   RunResult result;
+  const obs::Snapshot snapshot = net.metrics_snapshot();
   std::ostringstream json;
-  net.metrics_snapshot().write_json(json);
+  snapshot.write_json(json);
   result.metrics_json = json.str();
+  result.portable_metrics_json = portable_json(snapshot);
+  result.shard_window_advances =
+      snapshot.counter_value("net.shard_window_advances");
+  result.cross_shard_messages =
+      snapshot.counter_value("net.cross_shard_messages");
+  result.partition_cut_edges =
+      snapshot.gauge_value("core.partition_cut_edges");
   for (std::size_t i = 0; i < net.domain_count(); ++i) {
     Domain& d = net.domain(i);
     std::ostringstream line;
@@ -116,6 +165,42 @@ TEST(Determinism, SameSeedRunsAreByteIdentical) {
     EXPECT_EQ(a.domains[i], b.domains[i]) << "domain " << i;
   }
   EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
+TEST(Determinism, ParallelRunsMatchTheSerialScheduleByteForByte) {
+  // The tentpole contract: {1, 2, 4, 8} execution widths produce the same
+  // RIB lines and — outside the executor's own instruments — the same
+  // metrics JSON, for multiple seeds.
+  for (const std::uint64_t seed : {21u, 22u}) {
+    const RunResult serial = run_once(seed, 1);
+    for (const int threads : {2, 4, 8}) {
+      const RunResult parallel = run_once(seed, threads);
+      ASSERT_EQ(serial.domains.size(), parallel.domains.size());
+      for (std::size_t i = 0; i < serial.domains.size(); ++i) {
+        EXPECT_EQ(serial.domains[i], parallel.domains[i])
+            << "seed " << seed << " threads " << threads << " domain " << i;
+      }
+      EXPECT_EQ(serial.portable_metrics_json, parallel.portable_metrics_json)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(Determinism, SameWidthParallelRunsAreByteIdentical) {
+  // Two runs at the same width must agree on everything deterministic:
+  // the portable snapshot plus the schedule-derived executor counters.
+  // (The idle gauge is wall-clock-derived and the slot-pool high-water
+  // depends on worker interleaving; those two alone may differ.)
+  const RunResult a = run_once(21, 4);
+  const RunResult b = run_once(21, 4);
+  ASSERT_EQ(a.domains.size(), b.domains.size());
+  for (std::size_t i = 0; i < a.domains.size(); ++i) {
+    EXPECT_EQ(a.domains[i], b.domains[i]) << "domain " << i;
+  }
+  EXPECT_EQ(a.portable_metrics_json, b.portable_metrics_json);
+  EXPECT_EQ(a.shard_window_advances, b.shard_window_advances);
+  EXPECT_EQ(a.cross_shard_messages, b.cross_shard_messages);
+  EXPECT_EQ(a.partition_cut_edges, b.partition_cut_edges);
 }
 
 TEST(Determinism, DifferentSeedsStillConvergeToEquivalentTopology) {

@@ -9,13 +9,16 @@
 // running event (reentrancy).
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "net/event.hpp"
+#include "net/network.hpp"
 #include "net/rng.hpp"
 #include "net/time.hpp"
 
@@ -294,6 +297,63 @@ TEST(EventOracle, PeekNextMatchesPopAndDiscardsCancelled) {
     EXPECT_EQ(peek->seq, key.second);
   }
   EXPECT_EQ(oracle.live(), 0u);
+}
+
+// ------------------------------------------------- in-flight gauge audit
+//
+// A session reset (drop-when-down channel going down) bumps the channel
+// epoch; messages of the old epoch stay queued in the per-direction
+// flight lists until their delivery time, where they are discarded. The
+// net.messages_in_flight gauge must count only live-epoch messages — it
+// used to count the zombies too, overstating flight depth after every
+// reset until the dead entries' delivery times passed.
+
+struct FlightMessage final : net::Message {
+  [[nodiscard]] std::string describe() const override { return "flight"; }
+};
+
+class FlightEndpoint final : public net::Endpoint {
+ public:
+  void on_message(net::ChannelId, std::unique_ptr<net::Message>) override {
+    ++delivered;
+  }
+  [[nodiscard]] std::string name() const override { return "flight"; }
+  int delivered = 0;
+};
+
+TEST(EventOracle, InFlightGaugeExcludesEpochDeadZombies) {
+  EventQueue queue;
+  net::Network network(queue);
+  FlightEndpoint a;
+  FlightEndpoint b;
+  const net::ChannelId ch = network.connect(a, b, SimTime::seconds(5));
+  network.set_drop_when_down(ch, true);
+
+  for (int i = 0; i < 3; ++i) {
+    network.send(ch, a, std::make_unique<FlightMessage>());
+  }
+  EXPECT_EQ(network.metrics().snapshot().gauge_value(
+                "net.messages_in_flight"),
+            3.0);
+
+  // Session reset: the three messages become epoch-dead zombies that stay
+  // queued until t=5s. New-session messages are the only live flight.
+  network.set_up(ch, false);
+  network.set_up(ch, true);
+  for (int i = 0; i < 2; ++i) {
+    network.send(ch, b, std::make_unique<FlightMessage>());
+  }
+  EXPECT_EQ(network.metrics().snapshot().gauge_value(
+                "net.messages_in_flight"),
+            2.0)
+      << "gauge counted epoch-dead zombies";
+
+  queue.run();
+  EXPECT_EQ(a.delivered, 2);  // the new-session messages
+  EXPECT_EQ(b.delivered, 0);  // the old session died with the reset
+  EXPECT_EQ(network.metrics().snapshot().gauge_value(
+                "net.messages_in_flight"),
+            0.0);
 }
 
 }  // namespace

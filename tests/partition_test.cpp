@@ -1,0 +1,139 @@
+// Unit tests for the domain-graph partitioner behind the parallel
+// executor (topology/partition.hpp). The executor's correctness argument
+// leans on two properties proved here: every domain lands in exactly one
+// shard (so each event routes to exactly one run list), and
+// min_cut_latency_ns really is the minimum over the cut — the
+// conservative lookahead window is only safe if no cross-shard channel is
+// faster than it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "topology/partition.hpp"
+
+namespace topology {
+namespace {
+
+/// A ring of `n` domains (ids 1..n) with uniform latency, plus optional
+/// chord edges supplied by the caller.
+std::vector<PartitionEdge> ring_edges(std::uint32_t n,
+                                      std::int64_t latency_ns) {
+  std::vector<PartitionEdge> edges;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    edges.push_back({i, i % n + 1, latency_ns});
+  }
+  return edges;
+}
+
+std::vector<std::uint32_t> ids(std::uint32_t n) {
+  std::vector<std::uint32_t> nodes(n);
+  for (std::uint32_t i = 0; i < n; ++i) nodes[i] = i + 1;
+  return nodes;
+}
+
+TEST(Partition, EveryDomainAssignedExactlyOnce) {
+  const std::vector<std::uint32_t> nodes = ids(64);
+  const PartitionResult part =
+      partition_domains(nodes, ring_edges(64, 1'000'000), 4);
+  ASSERT_GE(part.shard_count, 2u);
+  ASSERT_LE(part.shard_count, 4u);
+  // Index 0 (no domain) and any id outside the node set stay unassigned.
+  EXPECT_EQ(part.shard(0), PartitionResult::kUnassigned);
+  EXPECT_EQ(part.shard(65), PartitionResult::kUnassigned);
+  std::vector<std::uint32_t> population(part.shard_count, 0);
+  for (const std::uint32_t id : nodes) {
+    const std::uint32_t shard = part.shard(id);
+    ASSERT_NE(shard, PartitionResult::kUnassigned) << "domain " << id;
+    ASSERT_LT(shard, part.shard_count) << "domain " << id;
+    ++population[shard];
+  }
+  // Exactly once: populations sum to the node count, and no shard is
+  // empty (an empty shard would mean shard_count lied).
+  std::uint32_t total = 0;
+  for (const std::uint32_t p : population) {
+    EXPECT_GT(p, 0u);
+    total += p;
+  }
+  EXPECT_EQ(total, nodes.size());
+}
+
+TEST(Partition, WindowIsTheMinimumCutEdgeLatency) {
+  // Two dense cliques joined by two bridges of different latency: the cut
+  // must run through the bridges, and the window must equal the FASTER
+  // bridge — a window derived from the slower one would let same-window
+  // events race across the 2ms channel.
+  std::vector<PartitionEdge> edges;
+  const auto clique = [&](std::uint32_t lo, std::uint32_t hi) {
+    for (std::uint32_t a = lo; a <= hi; ++a) {
+      for (std::uint32_t b = a + 1; b <= hi; ++b) {
+        edges.push_back({a, b, 1'000'000});
+      }
+    }
+  };
+  clique(1, 8);
+  clique(9, 16);
+  edges.push_back({4, 12, 2'000'000});   // fast bridge
+  edges.push_back({8, 16, 50'000'000});  // slow bridge
+  const PartitionResult part = partition_domains(ids(16), edges, 2);
+  ASSERT_EQ(part.shard_count, 2u);
+  ASSERT_FALSE(part.cut_edges.empty());
+  std::int64_t min_latency = part.cut_edges.front().latency_ns;
+  for (const PartitionEdge& e : part.cut_edges) {
+    EXPECT_NE(part.shard(e.a), part.shard(e.b))
+        << "cut edge " << e.a << "-" << e.b << " is not actually cut";
+    min_latency = std::min(min_latency, e.latency_ns);
+  }
+  EXPECT_EQ(part.min_cut_latency_ns, min_latency);
+  // The intra-clique 1ms edges should all be internal, so the cut runs
+  // through the bridges and the window is the fast bridge.
+  EXPECT_EQ(part.min_cut_latency_ns, 2'000'000);
+}
+
+TEST(Partition, CutEdgesAreExactlyTheCrossShardEdges) {
+  const std::vector<PartitionEdge> edges = ring_edges(32, 3'000'000);
+  const PartitionResult part = partition_domains(ids(32), edges, 4);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> cut;
+  for (const PartitionEdge& e : part.cut_edges) {
+    cut.emplace(std::min(e.a, e.b), std::max(e.a, e.b));
+  }
+  for (const PartitionEdge& e : edges) {
+    const bool crosses = part.shard(e.a) != part.shard(e.b);
+    const bool listed =
+        cut.count({std::min(e.a, e.b), std::max(e.a, e.b)}) > 0;
+    EXPECT_EQ(crosses, listed) << "edge " << e.a << "-" << e.b;
+  }
+}
+
+TEST(Partition, DeterministicAcrossCalls) {
+  const std::vector<std::uint32_t> nodes = ids(48);
+  const std::vector<PartitionEdge> edges = ring_edges(48, 2'000'000);
+  const PartitionResult a = partition_domains(nodes, edges, 4);
+  const PartitionResult b = partition_domains(nodes, edges, 4);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  EXPECT_EQ(a.shard_count, b.shard_count);
+  EXPECT_EQ(a.min_cut_latency_ns, b.min_cut_latency_ns);
+  ASSERT_EQ(a.cut_edges.size(), b.cut_edges.size());
+}
+
+TEST(Partition, SingleShardHasNoCut) {
+  const PartitionResult part =
+      partition_domains(ids(8), ring_edges(8, 1'000'000), 1);
+  EXPECT_EQ(part.shard_count, 1u);
+  EXPECT_TRUE(part.cut_edges.empty());
+  EXPECT_EQ(part.min_cut_latency_ns, 0);
+}
+
+TEST(Partition, FewerNodesThanShards) {
+  const PartitionResult part =
+      partition_domains(ids(3), ring_edges(3, 1'000'000), 8);
+  EXPECT_LE(part.shard_count, 3u);
+  for (std::uint32_t id = 1; id <= 3; ++id) {
+    EXPECT_NE(part.shard(id), PartitionResult::kUnassigned);
+  }
+}
+
+}  // namespace
+}  // namespace topology
