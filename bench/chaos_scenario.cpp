@@ -7,7 +7,7 @@
 //   chaos_scenario [--seeds N | --seed S] [--domains D] [--steps T]
 //                  [--check-every K] [--loss P] [--reorder P]
 //                  [--groups G] [--joins J] [--threads N] [--out FILE]
-//                  [--check]
+//                  [--check] [--workload]
 //                  [--inject-skip-waiting] [--expect-violations]
 //                  [--telemetry] [--telemetry-interval SEC]
 //                  [--span-sample RATE]
@@ -17,6 +17,12 @@
 // chaos-telemetry-seed<S>.{recorder.jsonl,spans.jsonl,critical_path.json}
 // next to its violation JSON — the time-series and causal-chain evidence
 // CI uploads with a red run.
+//
+// --workload runs the aggregate end-host layer (src/workload) through
+// the schedule: Zipf/Poisson membership churn ticks every 30 simulated
+// seconds while the perturbations land, so tree joins and prunes race
+// flaps, partitions and crash-restarts. The invariant sweeps see the
+// combined state.
 //
 // --check exits 1 unless every seed passes (zero violations + final
 // quiescence). --inject-skip-waiting collapses the MASC waiting period to
@@ -42,6 +48,7 @@ int main(int argc, char** argv) {
   bool expect_violations = false;
   bool inject_skip_waiting = false;
   bool telemetry = false;
+  bool with_workload = false;
   double telemetry_interval = 1.0;
   double span_sample = 0.01;
   std::string out_path;
@@ -62,6 +69,9 @@ int main(int argc, char** argv) {
            "execution width per seed (byte-identical schedule at any value)");
   args.opt("--out", &out_path, "write the JSON records here");
   args.flag("--check", &gate, "exit 1 unless every seed passes");
+  args.flag("--workload", &with_workload,
+            "run aggregate membership churn (Zipf/Poisson end-host layer) "
+            "through the schedule");
   args.flag("--inject-skip-waiting", &inject_skip_waiting,
             "collapse the MASC waiting period (checker self-test bug)");
   args.flag("--expect-violations", &expect_violations,
@@ -80,6 +90,23 @@ int main(int argc, char** argv) {
   if (inject_skip_waiting) {
     base.inject_skip_waiting_period = true;
     base.check_every = 1;  // the overlap window is narrow; sweep every step
+  }
+  if (with_workload) {
+    // A chaos-scale spec: one churn tick per schedule step (the step gap
+    // is 30 simulated seconds), a horizon comfortably past the schedule
+    // so ticks never run dry, and fast lifetimes so cells cross zero —
+    // tree prunes race the perturbations, not just joins.
+    workload::Spec w = workload::Spec::small();
+    w.tick_seconds = base.step_gap.to_seconds();
+    w.sim_days =
+        2.0 * base.steps * base.step_gap.to_seconds() / 86400.0 + 1.0 / 96.0;
+    w.groups = 16;
+    w.arrivals_per_second = 20.0;
+    w.mean_lifetime_seconds = 300.0;
+    w.span_base = 8;
+    w.flash_crowds = 2;
+    w.flash_duration_seconds = 120.0;
+    base.workload = w;
   }
   if (seed_count < 1) {
     std::cerr << "chaos_scenario: --seeds must be >= 1\n";

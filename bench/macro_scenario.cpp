@@ -15,6 +15,16 @@
 //                  [--telemetry] [--telemetry-interval SEC]
 //                  [--span-sample RATE] [--telemetry-budget FRAC]
 //                  [--telemetry-reps N] [--telemetry-out PREFIX]
+//                  [--workload] [--workload-groups G] [--workload-days D]
+//                  [--workload-tick SEC] [--workload-arrivals RATE]
+//                  [--workload-lifetime SEC]
+//
+// --workload runs the aggregate end-host layer (src/workload) between
+// the join and flap phases: Zipf-popular groups, Poisson join/leave with
+// diurnal modulation and flash crowds, BGMP joins/prunes fired on
+// 0↔nonzero per-domain member-count transitions. Every rung then reports
+// members_total (0 when off) plus the workload_* columns, and --check
+// additionally gates members_total and the engine state digest.
 //
 // --telemetry runs every rung twice — once bare, once with the obs
 // flight recorder ticking and head-sampled spans attached — and reports
@@ -62,6 +72,7 @@
 #include "eval/telemetry.hpp"
 #include "net/prefix.hpp"
 #include "net/rng.hpp"
+#include "workload/session.hpp"
 
 namespace {
 
@@ -97,6 +108,17 @@ struct Results {
   // shortest possible — the tree-stretch measure of §5.4.
   double delivery_hops_mean = 0.0;
   double delivery_stretch = 0.0;
+  // Aggregate end-host layer (--workload): the realized member population
+  // and the BGMP economy it induced. members_total is reported on every
+  // rung (0 when the workload is off) so ladder reports have a uniform
+  // schema; the rest only when the workload ran.
+  std::uint64_t members_total = 0;
+  std::uint64_t members_peak = 0;
+  std::uint64_t workload_joins = 0;
+  std::uint64_t workload_tree_joins = 0;
+  std::uint64_t workload_tree_prunes = 0;
+  std::uint64_t workload_edge_load = 0;
+  std::uint64_t workload_engine_digest = 0;
   // Telemetry yield of this run (non-zero only when spec.telemetry is on).
   std::uint64_t recorder_frames = 0;
   std::uint64_t spans_sampled = 0;
@@ -142,6 +164,13 @@ Results run_scenario(const eval::ScenarioSpec& spec,
 
   net::Rng rng = eval::make_workload_rng(spec.seed);
   (void)eval::phase_groups(net, spec, topo, rng);
+  // The aggregate end-host layer churns after the legacy join phase and
+  // before the flap phase, so the backbone flaps hit trees that carry
+  // live membership. A disabled workload leases nothing and draws
+  // nothing: the legacy schedule and digests are byte-identical.
+  std::unique_ptr<workload::Session> workload_session =
+      eval::phase_workload(net, spec, topo);
+  if (workload_session) workload_session->run();
   eval::phase_flap(net, spec, topo);
 
   const auto snap = net.metrics_snapshot();
@@ -176,6 +205,16 @@ Results run_scenario(const eval::ScenarioSpec& spec,
                              ? 0.0
                              : static_cast<double>(hops_travelled) /
                                    static_cast<double>(hops_shortest);
+  }
+  if (workload_session) {
+    const workload::SessionReport report = workload_session->report();
+    r.members_total = report.members_total;
+    r.members_peak = report.members_peak;
+    r.workload_joins = report.joins_total;
+    r.workload_tree_joins = report.tree_joins;
+    r.workload_tree_prunes = report.tree_prunes;
+    r.workload_edge_load = report.edge_load_total;
+    r.workload_engine_digest = report.engine_digest;
   }
   if (telemetry.has_value()) {
     telemetry->final_tick();
@@ -273,7 +312,17 @@ void write_rung(const Results& r, std::ostream& os, const char* indent) {
      << ", \"seed\": " << s.seed << ", \"max_tops\": " << s.max_tops
      << ", \"active_children\": " << s.active_children
      << ", \"flap_pairs\": " << s.flap_pairs
-     << ", \"threads\": " << s.threads << "},\n"
+     << ", \"threads\": " << s.threads
+     << ", \"workload\": " << (s.workload.enabled ? 1 : 0)
+     << ", \"workload_groups\": "
+     << (s.workload.enabled ? s.workload.groups : 0)
+     << ", \"workload_ticks\": "
+     << (s.workload.enabled ? s.workload.ticks() : 0)
+     << ", \"workload_arrivals_milli\": "
+     << (s.workload.enabled
+             ? std::llround(s.workload.arrivals_per_second * 1000.0)
+             : 0)
+     << "},\n"
      << indent << "\"wall_seconds\": " << r.wall_seconds << ",\n"
      << indent << "\"events_run\": " << r.events_run << ",\n"
      << indent << "\"events_per_second\": " << r.events_per_second << ",\n"
@@ -291,7 +340,20 @@ void write_rung(const Results& r, std::ostream& os, const char* indent) {
      << indent << "\"path_full_builds\": " << r.path_full_builds << ",\n"
      << indent << "\"path_nodes_touched\": " << r.path_nodes_touched << ",\n"
      << indent << "\"delivery_hops_mean\": " << r.delivery_hops_mean << ",\n"
-     << indent << "\"delivery_stretch\": " << r.delivery_stretch << ",\n";
+     << indent << "\"delivery_stretch\": " << r.delivery_stretch << ",\n"
+     << indent << "\"members_total\": " << r.members_total << ",\n";
+  if (r.spec.workload.enabled) {
+    os << indent << "\"members_peak\": " << r.members_peak << ",\n"
+       << indent << "\"workload_joins\": " << r.workload_joins << ",\n"
+       << indent << "\"workload_tree_joins\": " << r.workload_tree_joins
+       << ",\n"
+       << indent << "\"workload_tree_prunes\": " << r.workload_tree_prunes
+       << ",\n"
+       << indent << "\"workload_edge_load\": " << r.workload_edge_load
+       << ",\n"
+       << indent << "\"workload_engine_digest\": "
+       << r.workload_engine_digest << ",\n";
+  }
   if (r.telemetry_measured) {
     os << indent << "\"events_per_second_telemetry\": "
        << r.events_per_second_telemetry << ",\n"
@@ -366,6 +428,7 @@ bool params_match(const Results& now, const std::string& base) {
   // `threads` is deliberately not matched: execution width never changes
   // the deterministic outputs, so a --threads 4 run checks cleanly
   // against a --threads 1 baseline (that equality is the whole point).
+  const workload::Spec& w = now.spec.workload;
   return required("domains", static_cast<std::uint64_t>(now.spec.domains)) &&
          required("groups", static_cast<std::uint64_t>(now.spec.groups)) &&
          required("joins", static_cast<std::uint64_t>(now.spec.joins)) &&
@@ -373,7 +436,18 @@ bool params_match(const Results& now, const std::string& base) {
          cap("max_tops", static_cast<std::uint64_t>(now.spec.max_tops)) &&
          cap("active_children",
              static_cast<std::uint64_t>(now.spec.active_children)) &&
-         cap("flap_pairs", static_cast<std::uint64_t>(now.spec.flap_pairs));
+         cap("flap_pairs", static_cast<std::uint64_t>(now.spec.flap_pairs)) &&
+         // Workload keys are cap-style: absent from pre-workload baselines
+         // means "workload off", so old baselines keep matching.
+         cap("workload", w.enabled ? 1 : 0) &&
+         cap("workload_groups",
+             w.enabled ? static_cast<std::uint64_t>(w.groups) : 0) &&
+         cap("workload_ticks",
+             w.enabled ? static_cast<std::uint64_t>(w.ticks()) : 0) &&
+         cap("workload_arrivals_milli",
+             w.enabled ? static_cast<std::uint64_t>(
+                             std::llround(w.arrivals_per_second * 1000.0))
+                       : 0);
 }
 
 int check_one(const Results& now, const std::string& base, double tolerance,
@@ -413,6 +487,17 @@ int check_one(const Results& now, const std::string& base, double tolerance,
   // Converged state must be reproduced bit-for-bit…
   exact("grib_entries_total", now.grib_entries_total);
   exact("rib_digest", now.rib_digest);
+  // …including the realized member population: exact whenever the
+  // baseline carries the column (post-workload baselines always do), and
+  // the full engine state digest on workload rungs.
+  double members_base = 0.0;
+  if (now.spec.workload.enabled ||
+      scrape(base, "members_total", members_base)) {
+    exact("members_total", now.members_total);
+  }
+  if (now.spec.workload.enabled) {
+    exact("workload_engine_digest", now.workload_engine_digest);
+  }
   // …while the work done to get there may drift a little under
   // legitimate changes, but not regress past the tolerance.
   bounded("events_run", now.events_run);
@@ -524,6 +609,7 @@ int main(int argc, char** argv) {
   int telemetry_reps = 3;
   double eps_floor = 0.0;
   std::string telemetry_out;
+  bool with_workload = false;
 
   eval::Args args("macro_scenario",
                   "macro benchmark over the full MASC/MAAS/BGP/BGMP "
@@ -566,7 +652,22 @@ int main(int argc, char** argv) {
   args.opt("--telemetry-out", &telemetry_out,
            "dump per-rung <prefix>-<domains>.{recorder.jsonl,spans.jsonl,"
            "critical_path.json} from the telemetry run");
+  args.flag("--workload", &with_workload,
+            "run the aggregate end-host layer (Zipf/Poisson membership "
+            "churn) between the join and flap phases; adds the "
+            "members_total and workload_* columns");
+  args.opt("--workload-groups", &spec.workload.groups,
+           "workload: multicast groups to lease");
+  args.opt("--workload-days", &spec.workload.sim_days,
+           "workload: simulated horizon in days");
+  args.opt("--workload-tick", &spec.workload.tick_seconds,
+           "workload: churn tick in simulated seconds");
+  args.opt("--workload-arrivals", &spec.workload.arrivals_per_second,
+           "workload: aggregate member arrivals per second");
+  args.opt("--workload-lifetime", &spec.workload.mean_lifetime_seconds,
+           "workload: mean membership lifetime in seconds");
   if (!args.parse(argc, argv)) return args.exit_code();
+  spec.workload.enabled = with_workload;
 
   eval::TelemetrySpec telemetry_spec;
   telemetry_spec.recorder_interval_seconds = telemetry_interval;

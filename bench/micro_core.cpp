@@ -21,6 +21,7 @@
 #include "net/rng.hpp"
 #include "obs/metrics.hpp"
 #include "topology/generators.hpp"
+#include "workload/engine.hpp"
 
 namespace {
 
@@ -449,6 +450,46 @@ void BM_CrossShardHandoff(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64 * 2 * state.range(0));
 }
 BENCHMARK(BM_CrossShardHandoff)->Arg(1)->Arg(16)->ArgNames({"pairs"});
+
+// ------------------------------------------------------- workload engine
+
+// One churn tick of the aggregate end-host layer at the 10k-domain rung's
+// scale: 2.5k Zipf-ranked groups over 10240 domains at the default
+// arrival/lifetime mix, a steady-state population already loaded. Per-tick
+// cost is O(groups + arrivals), not O(cells) — this is the number that
+// keeps a simulated week at the 10k rung affordable.
+void BM_WorkloadTick(benchmark::State& state) {
+  const std::uint32_t domains = static_cast<std::uint32_t>(state.range(0));
+  workload::Spec spec;
+  spec.enabled = true;
+  spec.groups = 2500;
+  spec.sim_days = 10000.0;  // never exhaust the horizon mid-benchmark
+  std::vector<std::uint32_t> roots;
+  roots.reserve(static_cast<std::size_t>(spec.groups));
+  for (int g = 0; g < spec.groups; ++g) {
+    roots.push_back(static_cast<std::uint32_t>(g) % domains);
+  }
+  workload::Engine engine(spec, domains, std::move(roots), 42);
+  engine.set_hops_fn([](std::uint32_t g, std::uint32_t d) {
+    return (g + d) % 7 + 1;  // synthetic topology: nonzero, cheap
+  });
+  // Load the steady state the week-long run spends its time in (~2 days
+  // of warmup at the default rates), so the timed ticks sample the
+  // realistic regime, not the empty ramp.
+  for (int warm = 0; warm < 288; ++warm) engine.tick();
+  for (auto _ : state) {
+    const workload::TickStats stats = engine.tick();
+    benchmark::DoNotOptimize(stats.joins);
+    if (engine.ticks_done() >= spec.ticks()) {
+      state.SkipWithError("workload horizon exhausted; raise sim_days");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["members"] =
+      static_cast<double>(engine.members_total());
+}
+BENCHMARK(BM_WorkloadTick)->Arg(10240)->ArgNames({"domains"});
 
 }  // namespace
 

@@ -7,7 +7,7 @@
 //
 // Usage:
 //   sweep_scenario [--threads N] [--cell-threads N]
-//                  [--scenarios claim,join,flap]
+//                  [--scenarios claim,join,flap,workload]
 //                  [--domains 16,32,48] [--seeds 1,2,3,4]
 //                  [--groups G] [--joins J] [--out FILE] [--smoke]
 //                  [--telemetry] [--telemetry-interval SEC]

@@ -16,6 +16,7 @@
 #include "eval/scenario.hpp"
 #include "net/prefix.hpp"
 #include "net/rng.hpp"
+#include "workload/session.hpp"
 
 namespace eval {
 
@@ -53,6 +54,7 @@ ChaosResult run_chaos(const ChaosConfig& config) {
   spec.joins = config.joins;
   spec.record_links = true;   // the schedule picks flap victims from them
   spec.track_members = true;  // churn needs coherent member sets
+  spec.workload = config.workload;
 
   core::Internet net(config.seed);
   net.set_threads(config.threads);
@@ -73,6 +75,12 @@ ChaosResult run_chaos(const ChaosConfig& config) {
   phase_claim(net, topo);
   std::vector<LiveGroup> live =
       phase_groups(net, spec, topo, workload_rng);
+  // The aggregate end-host layer, churning through the whole schedule.
+  // Its ticks are applied at step boundaries (advance_to never runs
+  // events), so the perturbation schedule and the transport-disturbance
+  // stream replay identically with the workload on or off.
+  std::unique_ptr<workload::Session> workload_session =
+      phase_workload(net, spec, topo);
 
   // ---- chaos phase ------------------------------------------------------
   const net::Network::Disturbance base_disturbance{
@@ -234,6 +242,7 @@ ChaosResult run_chaos(const ChaosConfig& config) {
     }
 
     // Let the perturbation land, sweep if due, then run out the gap.
+    if (workload_session) workload_session->advance_to(net.events().now());
     net.run_until(net.events().now() + net::SimTime::milliseconds(5));
     if ((step + 1) % std::max(1, config.check_every) == 0) {
       sweep(step, /*quiescent=*/false);
@@ -259,6 +268,13 @@ ChaosResult run_chaos(const ChaosConfig& config) {
     sweep(config.steps, /*quiescent=*/true);
   }
 
+  if (workload_session) {
+    workload_session->finish();
+    const workload::SessionReport report = workload_session->report();
+    result.workload_members = report.members_total;
+    result.workload_ticks = static_cast<std::uint64_t>(report.ticks_run);
+    result.workload_engine_digest = report.engine_digest;
+  }
   result.events_run = net.events().events_run();
   result.sim_seconds = net.events().now().to_seconds();
   result.metrics = net.metrics_snapshot();
@@ -298,6 +314,9 @@ void ChaosResult::write_json(std::ostream& os) const {
      << ",\n  \"checks_run\": " << checks_run
      << ",\n  \"recorder_frames\": " << recorder_frames
      << ",\n  \"spans_recorded\": " << spans_recorded
+     << ",\n  \"workload_members\": " << workload_members
+     << ",\n  \"workload_ticks\": " << workload_ticks
+     << ",\n  \"workload_engine_digest\": " << workload_engine_digest
      << ",\n  \"sim_seconds\": " << sim_seconds
      << ",\n  \"wall_seconds\": " << wall_seconds << ",\n  \"schedule\": [";
   bool first = true;

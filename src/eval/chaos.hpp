@@ -24,6 +24,7 @@
 #include "eval/telemetry.hpp"
 #include "net/time.hpp"
 #include "obs/metrics.hpp"
+#include "workload/spec.hpp"
 
 namespace eval {
 
@@ -52,6 +53,13 @@ struct ChaosConfig {
   /// per group.
   int groups = 0;
   int joins = 3;
+
+  /// Aggregate end-host churn (src/workload) running *through* the chaos
+  /// schedule: ticks are applied at each step boundary via
+  /// Session::advance_to, so membership churns while links flap and
+  /// domains crash. Disabled by default — legacy chaos runs and their
+  /// digests are untouched.
+  workload::Spec workload;
 
   /// Relative weights of the perturbation kinds a step draws from.
   int w_flap = 3;
@@ -97,6 +105,10 @@ struct ChaosResult {
   std::uint64_t checks_run = 0;  ///< checker sweeps executed
   std::uint64_t recorder_frames = 0;  ///< flight-recorder frames retained
   std::uint64_t spans_recorded = 0;   ///< span events kept by the sampler
+  /// Aggregate-workload outcome (zero unless config.workload.enabled).
+  std::uint64_t workload_members = 0;
+  std::uint64_t workload_ticks = 0;
+  std::uint64_t workload_engine_digest = 0;
   double sim_seconds = 0.0;
   double wall_seconds = 0.0;
   obs::Snapshot metrics;  ///< final snapshot (offending state on failure)

@@ -6,6 +6,7 @@
 #include "core/domain.hpp"
 #include "core/internet.hpp"
 #include "net/prefix.hpp"
+#include "workload/session.hpp"
 
 namespace eval {
 
@@ -146,6 +147,41 @@ void phase_flap(core::Internet& net, const ScenarioSpec& spec,
     net.set_link_state(*topo.tops[i], *topo.tops[i + 1], true);
     net.settle();
   }
+}
+
+std::unique_ptr<workload::Session> phase_workload(core::Internet& net,
+                                                  const ScenarioSpec& spec,
+                                                  const BuiltScenario& topo) {
+  if (!spec.workload.enabled || topo.active.empty() ||
+      net.domain_count() < 2) {
+    return nullptr;
+  }
+  // Round-robin leasing over the active children, like phase_groups —
+  // this IS the MAAS address-request load the workload models: thousands
+  // of concurrent leases instead of the legacy hundred.
+  std::vector<workload::GroupSite> sites;
+  std::uint64_t failures = 0;
+  for (int g = 0; g < spec.workload.groups; ++g) {
+    const std::size_t pick = static_cast<std::size_t>(g) % topo.active.size();
+    core::Domain* initiator = topo.active[pick];
+    auto lease = initiator->create_group();
+    if (!lease.has_value()) {
+      net.settle();  // claim path is asynchronous; retry once settled
+      lease = initiator->create_group();
+    }
+    if (lease.has_value()) {
+      // Domains were added tops-first, so child k is domain tops+k.
+      sites.push_back({topo.tops.size() + pick, lease->address});
+    } else {
+      ++failures;
+    }
+  }
+  net.settle();
+  if (sites.empty()) return nullptr;
+  auto session = std::make_unique<workload::Session>(
+      net, spec.workload, std::move(sites), spec.seed);
+  session->set_lease_failures(failures);
+  return session;
 }
 
 std::uint64_t rib_digest(core::Internet& net) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <utility>
 #include <vector>
@@ -25,11 +26,15 @@
 #include "eval/telemetry.hpp"
 #include "net/ip.hpp"
 #include "net/rng.hpp"
+#include "workload/spec.hpp"
 
 namespace core {
 class Domain;
 class Internet;
 }  // namespace core
+namespace workload {
+class Session;
+}
 
 namespace eval {
 
@@ -65,6 +70,10 @@ struct ScenarioSpec {
   /// churn needs the member sets; the bench harnesses keep the historical
   /// fire-and-forget joins).
   bool track_members = false;
+  /// The aggregate end-host layer (src/workload). Disabled by default:
+  /// the legacy phases, their RNG streams and every committed digest are
+  /// untouched unless `workload.enabled` is set.
+  workload::Spec workload;
 
   /// The backbone size this spec produces.
   [[nodiscard]] int effective_tops() const;
@@ -116,6 +125,17 @@ void phase_claim(core::Internet& net, const BuiltScenario& topo);
 /// flap withdraws and re-learns whole tables), bounded by `flap_pairs`.
 void phase_flap(core::Internet& net, const ScenarioSpec& spec,
                 const BuiltScenario& topo);
+
+/// Workload setup — leases `spec.workload.groups` group addresses
+/// round-robin over the active children (the MAAS address-request load)
+/// and returns a live workload::Session over them. nullptr when the
+/// workload is disabled or no child can lease. The caller drives it:
+/// `session->run()` for the canonical tick loop, or
+/// `session->advance_to(now)` interleaved with its own run_until calls
+/// (the chaos harness). Keep the session alive until after the final
+/// metrics snapshot.
+[[nodiscard]] std::unique_ptr<workload::Session> phase_workload(
+    core::Internet& net, const ScenarioSpec& spec, const BuiltScenario& topo);
 
 /// Digest of the converged routing state of one simulation: every
 /// domain's unicast and G-RIB best routes in address order. Identical

@@ -14,6 +14,7 @@
 #include "core/internet.hpp"
 #include "net/prefix.hpp"
 #include "net/rng.hpp"
+#include "workload/session.hpp"
 
 namespace eval {
 
@@ -59,6 +60,20 @@ void scenario_flap(core::Internet& net, const SweepCell& cell) {
   phase_flap(net, spec, topo);
 }
 
+void scenario_workload(core::Internet& net, const SweepCell& cell) {
+  ScenarioSpec spec = spec_of(cell);
+  spec.workload = workload::Spec::small();
+  const BuiltScenario topo = build_scenario(net, spec);
+  phase_claim(net, topo);
+  // The session dies with this frame; the workload.* instruments it set
+  // live in the cell's registry, so the snapshot taken afterwards still
+  // exports the final values (and the merged sweep report aggregates
+  // them across cells).
+  std::unique_ptr<workload::Session> session =
+      phase_workload(net, spec, topo);
+  if (session) session->run();
+}
+
 struct NamedScenario {
   const char* name;
   ScenarioFn run;
@@ -68,6 +83,7 @@ constexpr NamedScenario kScenarios[] = {
     {"claim", scenario_claim},
     {"join", scenario_join},
     {"flap", scenario_flap},
+    {"workload", scenario_workload},
 };
 
 ScenarioFn find_scenario(const std::string& name) {

@@ -103,7 +103,9 @@ struct SweepResult {
     const std::vector<int>& domain_counts,
     const std::vector<std::uint64_t>& seeds);
 
-/// Built-in scenario names ("claim", "join", "flap").
+/// Built-in scenario names ("claim", "join", "flap", "workload" — the
+/// last runs Spec::small()'s aggregate end-host churn over the claimed
+/// topology).
 [[nodiscard]] const std::vector<std::string>& scenario_names();
 
 /// Runs every cell (work-stealing across `config.threads` workers),

@@ -149,4 +149,13 @@ std::size_t Maas::short_block_count(net::SimTime now) const {
       }));
 }
 
+double Maas::fragmentation(net::SimTime now) const {
+  if (leases_.empty()) return 0.0;
+  const std::size_t held = long_block_count(now) + short_block_count(now);
+  if (held == 0) return 0.0;
+  const std::uint64_t needed =
+      (leases_.size() + params_.block_size - 1) / params_.block_size;
+  return static_cast<double>(held) / static_cast<double>(needed);
+}
+
 }  // namespace masc

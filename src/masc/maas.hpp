@@ -78,6 +78,12 @@ class Maas {
   [[nodiscard]] std::size_t long_block_count(net::SimTime now) const;
   [[nodiscard]] std::size_t short_block_count(net::SimTime now) const;
 
+  /// Internal fragmentation: live blocks held ÷ the minimum block count
+  /// that could hold the current leases (1.0 = perfectly packed, higher =
+  /// leases scattered over part-empty blocks; 0.0 when nothing is
+  /// leased). The §4.3.1 utilisation-monitoring signal, as a scalar.
+  [[nodiscard]] double fragmentation(net::SimTime now) const;
+
  private:
   struct HeldBlock {
     Block block;

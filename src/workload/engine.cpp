@@ -1,0 +1,299 @@
+#include "workload/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace workload {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001B3ull;
+}
+
+}  // namespace
+
+Engine::Engine(const Spec& spec, std::uint32_t domain_count,
+               std::vector<std::uint32_t> roots, std::uint64_t seed)
+    : spec_(spec),
+      domain_count_(domain_count),
+      roots_(std::move(roots)),
+      churn_rng_(churn_stream(seed)) {
+  if (domain_count_ < 2) {
+    throw std::invalid_argument("workload: need at least 2 domains");
+  }
+  if (roots_.size() != static_cast<std::size_t>(spec_.groups)) {
+    throw std::invalid_argument("workload: roots.size() != spec.groups");
+  }
+  const auto groups = static_cast<std::uint32_t>(roots_.size());
+
+  // Zipf weights, spans, window offsets, per-tick packet budgets. The
+  // offset is a multiplicative hash of the rank — deterministic without
+  // consuming the churn stream, so adding knobs never shifts the draws.
+  weights_.resize(groups);
+  spans_.resize(groups);
+  offsets_.resize(groups);
+  packets_per_tick_.resize(groups);
+  double weight_sum = 0.0;
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    weights_[g] = std::pow(static_cast<double>(g) + 1.0, -spec_.zipf_alpha);
+    weight_sum += weights_[g];
+  }
+  const std::uint32_t eligible = domain_count_ - 1;  // all but the root
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    weights_[g] /= weight_sum;
+    const double raw =
+        static_cast<double>(spec_.span_base) *
+        std::pow(static_cast<double>(g) + 1.0, -spec_.span_alpha);
+    spans_[g] = static_cast<std::uint32_t>(std::clamp<double>(
+        std::llround(raw), 1.0, static_cast<double>(eligible)));
+    offsets_[g] = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(g) * 2654435761ull) % eligible);
+    packets_per_tick_[g] = static_cast<std::uint64_t>(std::max<std::int64_t>(
+        1, std::llround(spec_.packets_per_second * spec_.tick_seconds)));
+  }
+
+  // Flash crowds from a dedicated stream: biasing the group draw by u²
+  // points bursts at popular ranks (the flash regime BIER-Star's LEO
+  // scenarios motivate) while still occasionally hitting the tail.
+  std::mt19937_64 flash_rng(seed * 0xA24BAED4963EE407ull + 5);
+  const std::int64_t horizon = spec_.ticks();
+  const auto duration_ticks = std::max<std::int64_t>(
+      1, std::llround(spec_.flash_duration_seconds / spec_.tick_seconds));
+  for (int i = 0; i < spec_.flash_crowds && horizon > 0; ++i) {
+    const double u = u01(flash_rng);
+    FlashCrowd f;
+    f.group = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        groups - 1,
+        static_cast<std::uint64_t>(u * u * static_cast<double>(groups))));
+    f.start_tick = static_cast<std::int64_t>(
+        draw_index(flash_rng, static_cast<std::uint64_t>(horizon)));
+    f.duration_ticks = duration_ticks;
+    flashes_.push_back(f);
+  }
+  std::sort(flashes_.begin(), flashes_.end(),
+            [](const FlashCrowd& a, const FlashCrowd& b) {
+              if (a.start_tick != b.start_tick)
+                return a.start_tick < b.start_tick;
+              return a.group < b.group;
+            });
+
+  cell_base_.resize(groups + 1, 0);
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    cell_base_[g + 1] = cell_base_[g] + spans_[g];
+  }
+  counts_.assign(cell_base_[groups], 0);
+  hops_.assign(cell_base_[groups], 0);
+  fenwick_.assign(cell_base_[groups] + groups, 0);  // +1 slot per tree
+  group_total_.assign(groups, 0);
+  domain_members_.assign(domain_count_, 0);
+  load_rate_.assign(domain_count_, 0);
+  load_acc_.assign(domain_count_, 0);
+  load_flushed_at_.assign(domain_count_, 0);
+}
+
+double Engine::diurnal_factor(std::int64_t tick) const {
+  const double t = static_cast<double>(tick) * spec_.tick_seconds;
+  return 1.0 + spec_.diurnal_amplitude * std::sin(2.0 * kPi * t / 86400.0);
+}
+
+double Engine::flash_factor(std::uint32_t g, std::int64_t tick) const {
+  double factor = 1.0;
+  for (const FlashCrowd& f : flashes_) {
+    if (f.start_tick > tick) break;  // sorted by start
+    if (f.group == g && tick < f.start_tick + f.duration_ticks) {
+      factor *= spec_.flash_multiplier;
+    }
+  }
+  return factor;
+}
+
+std::uint32_t Engine::slot_domain(std::uint32_t g, std::uint32_t slot) const {
+  const std::uint32_t eligible = domain_count_ - 1;
+  const std::uint32_t e =
+      static_cast<std::uint32_t>((offsets_[g] + slot) % eligible);
+  return e < roots_[g] ? e : e + 1;  // skip the group's root domain
+}
+
+std::uint64_t Engine::poisson(std::mt19937_64& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  std::uint64_t k = 0;
+  double acc = -std::log(1.0 - u01(rng));
+  while (acc <= lambda) {
+    ++k;
+    acc += -std::log(1.0 - u01(rng));
+  }
+  return k;
+}
+
+std::uint64_t Engine::draw_index(std::mt19937_64& rng, std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("workload: draw_index(0)");
+  if (n == 1) return 0;  // no draw: zero-entropy picks must not advance rng
+  std::uint64_t mask = n - 1;
+  mask |= mask >> 1;
+  mask |= mask >> 2;
+  mask |= mask >> 4;
+  mask |= mask >> 8;
+  mask |= mask >> 16;
+  mask |= mask >> 32;
+  for (;;) {
+    const std::uint64_t r = rng() & mask;
+    if (r < n) return r;
+  }
+}
+
+void Engine::fenwick_add(std::uint32_t g, std::uint32_t slot,
+                         std::int32_t delta) {
+  // Tree g lives at fenwick_[cell_base_[g] + g], 1-based over spans_[g].
+  std::uint32_t* tree = fenwick_.data() + cell_base_[g] + g;
+  const std::uint32_t n = spans_[g];
+  for (std::uint32_t i = slot + 1; i <= n; i += i & (~i + 1)) {
+    tree[i] = static_cast<std::uint32_t>(static_cast<std::int64_t>(tree[i]) +
+                                         delta);
+  }
+}
+
+std::uint32_t Engine::find_member_slot(std::uint32_t g,
+                                       std::uint64_t k) const {
+  const std::uint32_t* tree = fenwick_.data() + cell_base_[g] + g;
+  const std::uint32_t n = spans_[g];
+  std::uint32_t bit = 1;
+  while ((bit << 1) <= n) bit <<= 1;
+  std::uint32_t pos = 0;
+  for (; bit != 0; bit >>= 1) {
+    const std::uint32_t next = pos + bit;
+    if (next <= n && tree[next] <= k) {
+      pos = next;
+      k -= tree[next];
+    }
+  }
+  return pos;  // 0-based slot whose prefix sum first exceeds the target
+}
+
+void Engine::flush_domain(std::uint32_t d) {
+  const std::int64_t dt = ticks_done_ - load_flushed_at_[d];
+  if (dt > 0) {
+    load_acc_[d] += load_rate_[d] * static_cast<std::uint64_t>(dt);
+  }
+  load_flushed_at_[d] = ticks_done_;
+}
+
+void Engine::apply_join(std::uint32_t g, std::uint32_t slot) {
+  std::uint32_t& count = counts_[cell_base_[g] + slot];
+  fenwick_add(g, slot, 1);
+  ++count;
+  if (++group_total_[g] == 1) ++active_groups_;
+  ++members_total_;
+  members_peak_ = std::max(members_peak_, members_total_);
+  ++joins_total_;
+  const std::uint32_t d = slot_domain(g, slot);
+  ++domain_members_[d];
+  if (count == 1) {
+    ++ups_;
+    ++active_cells_;
+    const std::uint32_t hops = hops_fn_ ? hops_fn_(g, d) : 0;
+    hops_[cell_base_[g] + slot] = hops;
+    if (hops != 0) {
+      flush_domain(d);
+      load_rate_[d] += packets_per_tick_[g] * hops;
+    }
+    if (observer_) observer_({ticks_done_, g, d, true});
+  }
+}
+
+void Engine::apply_leave(std::uint32_t g, std::uint32_t slot) {
+  std::uint32_t& count = counts_[cell_base_[g] + slot];
+  fenwick_add(g, slot, -1);
+  --count;
+  if (--group_total_[g] == 0) --active_groups_;
+  --members_total_;
+  ++leaves_total_;
+  const std::uint32_t d = slot_domain(g, slot);
+  --domain_members_[d];
+  if (count == 0) {
+    ++downs_;
+    --active_cells_;
+    // The hops cached at join time are subtracted — not re-queried — so
+    // the rate returns to exactly what this cell added even if the
+    // topology changed underneath (chaos partitions).
+    const std::uint32_t hops = hops_[cell_base_[g] + slot];
+    if (hops != 0) {
+      flush_domain(d);
+      load_rate_[d] -= packets_per_tick_[g] * hops;
+    }
+    if (observer_) observer_({ticks_done_, g, d, false});
+  }
+}
+
+TickStats Engine::tick() {
+  TickStats stats;
+  if (ticks_done_ >= spec_.ticks()) return stats;
+  const std::uint64_t ups_before = ups_;
+  const std::uint64_t downs_before = downs_;
+  const auto groups = static_cast<std::uint32_t>(roots_.size());
+  const double diurnal = diurnal_factor(ticks_done_);
+  for (const FlashCrowd& f : flashes_) {
+    if (f.start_tick == ticks_done_) ++stats.flashes_started;
+  }
+  // Rank order, joins before leaves within a group: the one canonical
+  // draw sequence both the engine and the oracle consume.
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    const double join_rate = spec_.arrivals_per_second * weights_[g] *
+                             diurnal * flash_factor(g, ticks_done_) *
+                             spec_.tick_seconds;
+    const std::uint64_t n_join = poisson(churn_rng_, join_rate);
+    for (std::uint64_t j = 0; j < n_join; ++j) {
+      const auto slot =
+          static_cast<std::uint32_t>(draw_index(churn_rng_, spans_[g]));
+      apply_join(g, slot);
+    }
+    stats.joins += n_join;
+    const double leave_rate = static_cast<double>(group_total_[g]) *
+                              spec_.tick_seconds /
+                              spec_.mean_lifetime_seconds;
+    const std::uint64_t n_leave =
+        std::min<std::uint64_t>(group_total_[g],
+                                poisson(churn_rng_, leave_rate));
+    for (std::uint64_t j = 0; j < n_leave; ++j) {
+      const std::uint64_t k = draw_index(churn_rng_, group_total_[g]);
+      apply_leave(g, find_member_slot(g, k));
+    }
+    stats.leaves += n_leave;
+  }
+  ++ticks_done_;
+  stats.up_transitions = ups_ - ups_before;
+  stats.down_transitions = downs_ - downs_before;
+  return stats;
+}
+
+std::uint64_t Engine::digest() const {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  fnv_mix(h, members_total_);
+  fnv_mix(h, joins_total_);
+  fnv_mix(h, leaves_total_);
+  fnv_mix(h, ups_);
+  fnv_mix(h, downs_);
+  fnv_mix(h, active_cells_);
+  fnv_mix(h, active_groups_);
+  fnv_mix(h, static_cast<std::uint64_t>(ticks_done_));
+  for (const std::uint64_t m : domain_members_) fnv_mix(h, m);
+  for (const std::uint64_t t : group_total_) fnv_mix(h, t);
+  return h;
+}
+
+void Engine::drain_loads(
+    const std::function<void(std::uint32_t, std::uint64_t)>& visit) {
+  for (std::uint32_t d = 0; d < domain_count_; ++d) {
+    flush_domain(d);
+    if (load_acc_[d] != 0) {
+      visit(d, load_acc_[d]);
+      load_acc_[d] = 0;
+    }
+  }
+}
+
+}  // namespace workload

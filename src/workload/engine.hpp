@@ -1,0 +1,210 @@
+// The aggregate member-count engine.
+//
+// State is a sparse matrix of member counts over (group, domain-slot)
+// cells. One tick() draws, per group in rank order, a Poisson number of
+// joins (rate = arrivals × zipf weight × diurnal × flash) and a Poisson
+// number of leaves (rate = current members / mean lifetime), placing
+// joins uniformly over the group's domain-affinity span and removing
+// leaves uniformly over current members (a Fenwick tree gives O(log span)
+// member sampling). Every 0↔nonzero cell transition is reported to the
+// observer in draw order — that is where the session layer fires the real
+// BGMP join/prune — and updates the cell's domain's aggregate tree-edge
+// load rate (packets/tick × hops to the group root, integers throughout
+// so the differential oracle can demand exact equality).
+//
+// The engine is deliberately free of any core::Internet dependency: it is
+// a pure function of {seed, Spec, domain_count, roots} plus the injected
+// hops callback. That keeps the brute-force oracle honest (same inputs,
+// independent state evolution) and lets bench/micro_core time a bare tick
+// at 10k domains × 2.5k groups without building a network.
+//
+// Determinism: all randomness flows through the engine's own primitives
+// (u01 / poisson / draw_index below) over std::mt19937_64 — no
+// std::*_distribution, whose draw counts vary across standard libraries.
+// The only platform dependence left is libm rounding in log/sin; ticks
+// run on the coordinator thread between event-queue quanta, so results
+// are byte-identical at any execution width.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "workload/spec.hpp"
+
+namespace workload {
+
+/// One 0↔nonzero cell transition, in the exact order drawn.
+struct Transition {
+  std::int64_t tick;
+  std::uint32_t group;
+  std::uint32_t domain;
+  bool up;  ///< true: 0 → nonzero (join the tree); false: nonzero → 0
+};
+
+struct TickStats {
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t up_transitions = 0;
+  std::uint64_t down_transitions = 0;
+  std::uint64_t flashes_started = 0;
+};
+
+/// A pre-drawn flash crowd: [start_tick, start_tick + duration_ticks)
+/// multiplies `group`'s arrival rate by Spec::flash_multiplier.
+struct FlashCrowd {
+  std::uint32_t group;
+  std::int64_t start_tick;
+  std::int64_t duration_ticks;
+};
+
+class Engine {
+ public:
+  /// Inter-domain hop count from `group`'s root to `domain` at join time
+  /// (0 = unknown/unreachable: the cell then contributes no edge load).
+  using HopsFn = std::function<std::uint32_t(std::uint32_t group,
+                                             std::uint32_t domain)>;
+  using TransitionObserver = std::function<void(const Transition&)>;
+
+  /// `roots[g]` is the domain index hosting group g's root; spans never
+  /// place members there (mirroring phase_groups, which skips the
+  /// initiator). Requires domain_count >= 2 and roots.size() == groups.
+  Engine(const Spec& spec, std::uint32_t domain_count,
+         std::vector<std::uint32_t> roots, std::uint64_t seed);
+
+  void set_hops_fn(HopsFn fn) { hops_fn_ = std::move(fn); }
+  void set_transition_observer(TransitionObserver fn) {
+    observer_ = std::move(fn);
+  }
+
+  /// Runs one churn step. Ticks past Spec::ticks() are no-ops.
+  TickStats tick();
+
+  // ---- state queries ----------------------------------------------------
+  [[nodiscard]] std::int64_t ticks_done() const { return ticks_done_; }
+  [[nodiscard]] std::uint64_t members_total() const { return members_total_; }
+  [[nodiscard]] std::uint64_t members_peak() const { return members_peak_; }
+  [[nodiscard]] std::uint64_t joins_total() const { return joins_total_; }
+  [[nodiscard]] std::uint64_t leaves_total() const { return leaves_total_; }
+  [[nodiscard]] std::uint64_t up_transitions() const { return ups_; }
+  [[nodiscard]] std::uint64_t down_transitions() const { return downs_; }
+  [[nodiscard]] std::uint64_t active_cells() const { return active_cells_; }
+  [[nodiscard]] std::uint64_t active_groups() const { return active_groups_; }
+  [[nodiscard]] std::uint32_t domain_count() const { return domain_count_; }
+  [[nodiscard]] std::uint32_t groups() const {
+    return static_cast<std::uint32_t>(roots_.size());
+  }
+  [[nodiscard]] std::uint64_t group_members(std::uint32_t g) const {
+    return group_total_[g];
+  }
+  [[nodiscard]] std::uint64_t members_in_domain(std::uint32_t d) const {
+    return domain_members_[d];
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& members_by_domain() const {
+    return domain_members_;
+  }
+  [[nodiscard]] const std::vector<FlashCrowd>& flashes() const {
+    return flashes_;
+  }
+
+  /// FNV-1a over the full count state plus the event totals — the value
+  /// the determinism grid compares across thread widths.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Flushes the lazy per-domain load accumulators up to ticks_done() and
+  /// visits every domain with a nonzero accumulated delta (packet-hops,
+  /// exact integers), then zeroes them. Repeated calls partition the
+  /// totals: the sum over all drains equals the oracle's per-tick sum.
+  void drain_loads(
+      const std::function<void(std::uint32_t domain, std::uint64_t delta)>&
+          visit);
+
+  // ---- the shared process definition ------------------------------------
+  // The oracle reference model reuses these so the *inputs* of both state
+  // machines agree by construction; the state evolution (Fenwick sampling
+  // and lazy load accounting vs brute-force scans) is what differs.
+  [[nodiscard]] double group_weight(std::uint32_t g) const {
+    return weights_[g];
+  }
+  [[nodiscard]] double diurnal_factor(std::int64_t tick) const;
+  [[nodiscard]] double flash_factor(std::uint32_t g, std::int64_t tick) const;
+  [[nodiscard]] std::uint32_t span_of(std::uint32_t g) const {
+    return spans_[g];
+  }
+  [[nodiscard]] std::uint32_t slot_domain(std::uint32_t g,
+                                          std::uint32_t slot) const;
+  [[nodiscard]] std::uint64_t packets_per_tick(std::uint32_t g) const {
+    return packets_per_tick_[g];
+  }
+
+  /// Uniform double in [0, 1) — 53 bits straight off the engine.
+  [[nodiscard]] static double u01(std::mt19937_64& rng) {
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  }
+  /// Poisson(lambda) by exponential inter-arrival summation: O(lambda)
+  /// draws, no std::poisson_distribution (draw counts there are
+  /// implementation-defined, which would break the oracle's shared
+  /// stream).
+  [[nodiscard]] static std::uint64_t poisson(std::mt19937_64& rng,
+                                             double lambda);
+  /// Uniform index in [0, n) by masked rejection (portable; n >= 1).
+  [[nodiscard]] static std::uint64_t draw_index(std::mt19937_64& rng,
+                                                std::uint64_t n);
+  /// The churn stream a given seed produces — the engine draws from
+  /// exactly this generator, so a reference model seeded the same way
+  /// replays the identical draw sequence.
+  [[nodiscard]] static std::mt19937_64 churn_stream(std::uint64_t seed) {
+    return std::mt19937_64(seed * 0x9E3779B97F4A7C15ull +
+                           0xD1B54A32D192ED03ull);
+  }
+
+ private:
+  void flush_domain(std::uint32_t d);
+  void apply_join(std::uint32_t g, std::uint32_t slot);
+  void apply_leave(std::uint32_t g, std::uint32_t slot);
+  /// Fenwick prefix-descent: the slot holding the (k+1)-th member of g.
+  [[nodiscard]] std::uint32_t find_member_slot(std::uint32_t g,
+                                               std::uint64_t k) const;
+  void fenwick_add(std::uint32_t g, std::uint32_t slot, std::int32_t delta);
+
+  Spec spec_;
+  std::uint32_t domain_count_;
+  std::vector<std::uint32_t> roots_;
+  std::mt19937_64 churn_rng_;
+
+  // Per-group derived process parameters.
+  std::vector<double> weights_;              // normalized zipf
+  std::vector<std::uint32_t> spans_;         // domain-affinity span
+  std::vector<std::uint32_t> offsets_;       // span window start
+  std::vector<std::uint64_t> packets_per_tick_;
+  std::vector<FlashCrowd> flashes_;          // sorted by start_tick
+
+  // Cell state, flattened per group at cell_base_[g].
+  std::vector<std::size_t> cell_base_;       // groups + 1 entries
+  std::vector<std::uint32_t> counts_;        // members per cell
+  std::vector<std::uint32_t> fenwick_;       // one tree per group, 1-based
+  std::vector<std::uint32_t> hops_;          // cached hops while nonzero
+  std::vector<std::uint64_t> group_total_;
+
+  // Per-domain aggregates.
+  std::vector<std::uint64_t> domain_members_;
+  std::vector<std::uint64_t> load_rate_;     // packet-hops per tick
+  std::vector<std::uint64_t> load_acc_;      // flushed packet-hops
+  std::vector<std::int64_t> load_flushed_at_;
+
+  std::int64_t ticks_done_ = 0;
+  std::uint64_t members_total_ = 0;
+  std::uint64_t members_peak_ = 0;
+  std::uint64_t joins_total_ = 0;
+  std::uint64_t leaves_total_ = 0;
+  std::uint64_t ups_ = 0;
+  std::uint64_t downs_ = 0;
+  std::uint64_t active_cells_ = 0;
+  std::uint64_t active_groups_ = 0;
+
+  HopsFn hops_fn_;
+  TransitionObserver observer_;
+};
+
+}  // namespace workload

@@ -21,9 +21,11 @@
 #include "bgp/speaker.hpp"
 #include "core/domain.hpp"
 #include "core/internet.hpp"
+#include "eval/scenario.hpp"
 #include "masc/node.hpp"
 #include "net/prefix.hpp"
 #include "obs/metrics.hpp"
+#include "workload/session.hpp"
 
 namespace core {
 namespace {
@@ -201,6 +203,65 @@ TEST(Determinism, SameWidthParallelRunsAreByteIdentical) {
   EXPECT_EQ(a.shard_window_advances, b.shard_window_advances);
   EXPECT_EQ(a.cross_shard_messages, b.cross_shard_messages);
   EXPECT_EQ(a.partition_cut_edges, b.partition_cut_edges);
+}
+
+/// A scenario run with the aggregate workload attached: the engine's
+/// churn is applied on the coordinator between event quanta, so its
+/// digest, the converged RIBs and every portable metric must be
+/// byte-identical at any execution width.
+struct WorkloadRun {
+  std::string portable_metrics_json;
+  std::uint64_t rib_digest = 0;
+  std::uint64_t engine_digest = 0;
+  std::uint64_t members = 0;
+  std::uint64_t tree_joins = 0;
+};
+
+WorkloadRun run_workload_once(std::uint64_t seed, int threads) {
+  Internet net(seed);
+  net.set_threads(threads);
+  eval::ScenarioSpec spec;
+  spec.domains = 24;
+  spec.seed = seed;
+  spec.groups = 6;
+  spec.joins = 2;
+  spec.workload = workload::Spec::small();
+  spec.workload.groups = 12;
+  spec.workload.sim_days = 1.0 / 24.0;  // 30 ticks of 120 s
+  const eval::BuiltScenario topo = eval::build_scenario(net, spec);
+  eval::phase_claim(net, topo);
+  net::Rng rng = eval::make_workload_rng(spec.seed);
+  (void)eval::phase_groups(net, spec, topo, rng);
+  std::unique_ptr<workload::Session> session =
+      eval::phase_workload(net, spec, topo);
+  WorkloadRun result;
+  if (session != nullptr) {
+    session->run();
+    const workload::SessionReport report = session->report();
+    result.engine_digest = report.engine_digest;
+    result.members = report.members_total;
+    result.tree_joins = report.tree_joins;
+  }
+  result.rib_digest = eval::rib_digest(net);
+  result.portable_metrics_json = portable_json(net.metrics_snapshot());
+  return result;
+}
+
+TEST(Determinism, WorkloadRunsAreByteIdenticalAcrossThreadWidths) {
+  for (const std::uint64_t seed : {3u, 9u}) {
+    const WorkloadRun serial = run_workload_once(seed, 1);
+    ASSERT_GT(serial.members, 0u) << "seed " << seed;
+    ASSERT_GT(serial.tree_joins, 0u) << "seed " << seed;
+    for (const int threads : {2, 4, 8}) {
+      const WorkloadRun parallel = run_workload_once(seed, threads);
+      EXPECT_EQ(serial.engine_digest, parallel.engine_digest)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(serial.rib_digest, parallel.rib_digest)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(serial.portable_metrics_json, parallel.portable_metrics_json)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
 }
 
 TEST(Determinism, DifferentSeedsStillConvergeToEquivalentTopology) {

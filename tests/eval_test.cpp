@@ -6,9 +6,13 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/domain.hpp"
+#include "core/internet.hpp"
 #include "eval/masc_sim.hpp"
+#include "eval/scenario.hpp"
 #include "eval/tree_model.hpp"
 #include "net/rng.hpp"
+#include "obs/metrics.hpp"
 #include "topology/generators.hpp"
 
 namespace eval {
@@ -243,6 +247,76 @@ TEST(TrafficConcentration, HybridAddsBranchLoad) {
   // tree's.
   EXPECT_GE(hybrid.links_used, bidir.links_used);
   EXPECT_GE(hybrid.max_load, 1);
+}
+
+// ----------------------------------------------- scenario member dedup
+
+TEST(ScenarioPhases, TrackMembersDedupsPicksAndDeliversOncePerMember) {
+  // Regression for the track_members dedup in phase_groups: member picks
+  // that repeat a domain (or hit the initiator) are dropped from the
+  // member set WITHOUT skipping the RNG draw, so each unique member
+  // domain joins exactly once and receives exactly one copy per send.
+  core::Internet net(7);
+  ScenarioSpec spec;
+  spec.domains = 12;
+  spec.groups = 3;
+  spec.joins = 48;  // four draws per domain: duplicates are guaranteed
+  spec.track_members = true;
+  const BuiltScenario topo = build_scenario(net, spec);
+  phase_claim(net, topo);
+  net::Rng rng = make_workload_rng(spec.seed);
+  const std::vector<LiveGroup> live = phase_groups(net, spec, topo, rng);
+  ASSERT_FALSE(live.empty());
+
+  std::uint64_t unique_members = 0;
+  for (const LiveGroup& l : live) {
+    EXPECT_LT(l.members.size(), static_cast<std::size_t>(spec.joins))
+        << "48 draws over 12 domains cannot all be unique — dedup is off";
+    EXPECT_GT(l.members.size(), 0u);
+    EXPECT_FALSE(l.members.contains(l.root_index))
+        << "the initiator must never join its own group as a member";
+    EXPECT_LT(l.members.size(), net.domain_count());
+    unique_members += l.members.size();
+  }
+
+  // One packet per group: exactly one delivery per unique member domain.
+  // A broken dedup that double-joined would double-report deliveries.
+  const std::uint64_t before =
+      net.metrics_snapshot().counter_value("core.deliveries");
+  for (const LiveGroup& l : live) l.root->send(l.group);
+  net.settle();
+  const std::uint64_t after =
+      net.metrics_snapshot().counter_value("core.deliveries");
+  EXPECT_EQ(after - before, unique_members);
+}
+
+TEST(ScenarioPhases, TrackMembersDrawsTheSameStreamAsFireAndForget) {
+  // The dedup consumes one draw per pick regardless of outcome, so the
+  // RNG leaves phase_groups in the same state either way — chaos resumes
+  // the identical churn schedule whether or not membership is tracked.
+  ScenarioSpec tracked;
+  tracked.domains = 12;
+  tracked.groups = 3;
+  tracked.joins = 48;
+  tracked.track_members = true;
+  ScenarioSpec legacy = tracked;
+  legacy.track_members = false;
+
+  net::Rng rng_a = make_workload_rng(1);
+  net::Rng rng_b = make_workload_rng(1);
+  {
+    core::Internet net(1);
+    const BuiltScenario topo = build_scenario(net, tracked);
+    phase_claim(net, topo);
+    (void)phase_groups(net, tracked, topo, rng_a);
+  }
+  {
+    core::Internet net(1);
+    const BuiltScenario topo = build_scenario(net, legacy);
+    phase_claim(net, topo);
+    (void)phase_groups(net, legacy, topo, rng_b);
+  }
+  EXPECT_EQ(rng_a.index(1u << 20), rng_b.index(1u << 20));
 }
 
 // ------------------------------------------------------------- Figure 2

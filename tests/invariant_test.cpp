@@ -52,6 +52,53 @@ INSTANTIATE_TEST_SUITE_P(
     Cells, ChaosGrid,
     ::testing::Combine(::testing::Values(12, 24), ::testing::Range(1, 17)));
 
+// ------------------------------------------------------- chaos + workload
+
+/// A chaos-scale workload: ticks aligned with the step gap, lifetimes
+/// short enough that membership churns (and trees join/prune) inside a
+/// 12-step run, a couple of flash crowds inside the horizon.
+workload::Spec chaos_workload(const ChaosConfig& config) {
+  workload::Spec w = workload::Spec::small();
+  w.tick_seconds = config.step_gap.to_seconds();
+  w.sim_days =
+      2.0 * config.steps * config.step_gap.to_seconds() / 86400.0 + 1.0 / 96.0;
+  w.groups = 12;
+  w.arrivals_per_second = 20.0;
+  w.mean_lifetime_seconds = 300.0;
+  w.span_base = 8;
+  w.flash_crowds = 2;
+  w.flash_duration_seconds = 120.0;
+  return w;
+}
+
+ChaosConfig workload_cell(std::uint64_t seed, int domains) {
+  ChaosConfig config = grid_cell(seed, domains);
+  config.workload = chaos_workload(config);
+  return config;
+}
+
+class ChaosWorkloadGrid : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(ChaosWorkloadGrid, RunsViolationFreeWithLiveMembershipChurn) {
+  // Every invariant (lease overlap, G-RIB consistency, quiescence) must
+  // keep holding while the aggregate member layer drives joins/prunes
+  // through the same trees the perturbations are tearing at.
+  const auto [domains, seed] = GetParam();
+  const ChaosResult r =
+      run_chaos(workload_cell(static_cast<std::uint64_t>(seed), domains));
+  EXPECT_TRUE(r.passed()) << transcript(r);
+  EXPECT_GT(r.checks_run, 0u);
+  EXPECT_GT(r.workload_ticks, 0);
+  EXPECT_GT(r.workload_members, 0u)
+      << "workload never built membership — the layer is inert";
+}
+
+// 2 topology sizes x 8 seeds = 16 cells (chaos label: nightly budget).
+INSTANTIATE_TEST_SUITE_P(
+    Cells, ChaosWorkloadGrid,
+    ::testing::Combine(::testing::Values(12, 24), ::testing::Range(1, 9)));
+
 // --------------------------------------------------------------- determinism
 
 TEST(ChaosDeterminism, EqualConfigsProduceEqualRuns) {
@@ -63,6 +110,18 @@ TEST(ChaosDeterminism, EqualConfigsProduceEqualRuns) {
   EXPECT_EQ(a.checks_run, b.checks_run);
   EXPECT_EQ(a.violations.size(), b.violations.size());
   EXPECT_EQ(a.quiesced, b.quiesced);
+}
+
+TEST(ChaosDeterminism, WorkloadRunsReplayToTheSameEngineDigest) {
+  const ChaosConfig config = workload_cell(5, 16);
+  const ChaosResult a = run_chaos(config);
+  const ChaosResult b = run_chaos(config);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.events_run, b.events_run);
+  EXPECT_EQ(a.workload_members, b.workload_members);
+  EXPECT_EQ(a.workload_ticks, b.workload_ticks);
+  ASSERT_NE(a.workload_engine_digest, 0u);
+  EXPECT_EQ(a.workload_engine_digest, b.workload_engine_digest);
 }
 
 // ----------------------------------------------------------- fault injection

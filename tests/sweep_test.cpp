@@ -40,12 +40,13 @@ TEST(SweepGrid, MakeGridIsSortedCrossProduct) {
   EXPECT_EQ(cells.back().seed, 2u);
 }
 
-TEST(SweepGrid, ScenarioNamesAreTheBuiltinThree) {
+TEST(SweepGrid, ScenarioNamesAreTheBuiltinFour) {
   const auto& names = scenario_names();
-  ASSERT_EQ(names.size(), 3u);
+  ASSERT_EQ(names.size(), 4u);
   EXPECT_NE(std::find(names.begin(), names.end(), "claim"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "join"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "flap"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "workload"), names.end());
 }
 
 TEST(Sweep, UnknownScenarioThrowsBeforeRunningAnything) {

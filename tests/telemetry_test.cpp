@@ -21,6 +21,8 @@
 #include "net/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "workload/session.hpp"
+#include "workload/spec.hpp"
 
 namespace {
 
@@ -47,6 +49,12 @@ RunOutcome run_workload(core::Internet& net, const eval::ScenarioSpec& spec) {
   net::Rng rng = eval::make_workload_rng(spec.seed);
   (void)eval::phase_groups(net, spec, topo, rng);
   net.settle();
+  // The aggregate member layer, when the spec asks for it (the docs
+  // audit does, so every workload.* instrument exports).
+  if (const std::unique_ptr<workload::Session> session =
+          eval::phase_workload(net, spec, topo)) {
+    session->run();
+  }
   eval::phase_flap(net, spec, topo);
   net.settle();
   return {eval::rib_digest(net), net.events().events_run()};
@@ -260,7 +268,10 @@ TEST(Docs, EveryExportedMetricAppearsInMetricsMd) {
   buffer << doc.rdbuf();
   const std::string text = buffer.str();
 
-  const eval::ScenarioSpec spec = small_spec();
+  eval::ScenarioSpec spec = small_spec();
+  spec.workload = workload::Spec::small();
+  spec.workload.groups = 8;
+  spec.workload.sim_days = 1.0 / 24.0;  // 30 ticks: enough to export all
   core::Internet net(spec.seed);
   net.enable_step_profiling();
   eval::TelemetrySpec telemetry;
